@@ -1,0 +1,173 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "datasets/registry.h"
+#include "errors/mixture.h"
+#include "errors/image_errors.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+#include "errors/text_errors.h"
+#include "ml/conv_net.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/sgd_logistic_regression.h"
+#include "stats/descriptive.h"
+
+namespace bbv::bench {
+
+RunConfig ParseArgs(int argc, char** argv) {
+  RunConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      config.fast = true;
+    } else if (arg == "--full") {
+      config.fast = false;
+    } else if (common::StartsWith(arg, "--seed=")) {
+      config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (common::StartsWith(arg, "--model=")) {
+      config.model = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--fast|--full] [--seed=N] [--model=lr|dnn|xgb|conv|all]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  return config;
+}
+
+std::unique_ptr<ml::Classifier> MakeClassifier(const std::string& name,
+                                               const RunConfig& config) {
+  if (name == "lr") {
+    return std::make_unique<ml::SgdLogisticRegression>();
+  }
+  if (name == "dnn") {
+    ml::FeedForwardNetwork::Options options;
+    options.epochs = config.fast ? 25 : 40;
+    return std::make_unique<ml::FeedForwardNetwork>(options);
+  }
+  if (name == "xgb") {
+    ml::GradientBoostedTrees::Options options;
+    options.num_rounds = config.fast ? 40 : 60;
+    return std::make_unique<ml::GradientBoostedTrees>(options);
+  }
+  if (name == "conv") {
+    ml::ConvNet::Options options =
+        config.fast ? ml::ConvNet::Options{} : ml::ConvNet::Options::PaperScale();
+    return std::make_unique<ml::ConvNet>(options);
+  }
+  std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+  std::abort();
+}
+
+ExperimentData PrepareDataset(const std::string& dataset_name,
+                              const RunConfig& config, common::Rng& rng) {
+  datasets::DatasetOptions options;
+  options.num_rows = config.DatasetRows();
+  options.image_side = config.ImageSide();
+  auto dataset = datasets::MakeByName(dataset_name, options, rng);
+  BBV_CHECK(dataset.ok()) << dataset.status().ToString();
+  data::Dataset balanced = data::BalanceClasses(*dataset, rng);
+  data::DatasetSplit source_serving = TrainTestSplit(balanced, 0.7, rng);
+  data::DatasetSplit train_test = TrainTestSplit(source_serving.first, 0.7, rng);
+  return ExperimentData{std::move(train_test.first),
+                        std::move(train_test.second),
+                        std::move(source_serving.second)};
+}
+
+std::unique_ptr<ml::BlackBoxModel> TrainBlackBox(const std::string& model_name,
+                                                 const data::Dataset& train,
+                                                 const RunConfig& config,
+                                                 common::Rng& rng) {
+  auto model = std::make_unique<ml::BlackBoxModel>(
+      MakeClassifier(model_name, config));
+  const common::Status status = model->Train(train, rng);
+  BBV_CHECK(status.ok()) << status.ToString();
+  return model;
+}
+
+std::vector<std::shared_ptr<errors::ErrorGen>> KnownTabularErrors() {
+  return {std::make_shared<errors::MissingValues>(),
+          std::make_shared<errors::NumericOutliers>(),
+          std::make_shared<errors::SwappedColumns>(),
+          std::make_shared<errors::Scaling>()};
+}
+
+std::vector<std::shared_ptr<errors::ErrorGen>> UnknownTabularErrors() {
+  // Each of the paper's unknown error types perturbs *one* attribute
+  // ("a categorical attribute", "a numeric attribute").
+  return {std::make_shared<errors::CategoricalTypos>(
+              std::vector<std::string>{}, errors::FractionRange{},
+              /*max_columns=*/1),
+          std::make_shared<errors::NumericSmearing>(
+              std::vector<std::string>{}, errors::FractionRange{},
+              /*max_relative_change=*/0.1, /*max_columns=*/1),
+          std::make_shared<errors::SignFlip>(std::vector<std::string>{},
+                                             errors::FractionRange{},
+                                             /*max_columns=*/1)};
+}
+
+std::vector<std::shared_ptr<errors::ErrorGen>> ImageErrors() {
+  return {std::make_shared<errors::GaussianImageNoise>(),
+          std::make_shared<errors::ImageRotation>()};
+}
+
+std::vector<std::shared_ptr<errors::ErrorGen>> ErrorsForDataset(
+    const std::string& dataset_name) {
+  if (dataset_name == "digits" || dataset_name == "fashion") {
+    return ImageErrors();
+  }
+  if (dataset_name == "tweets") {
+    // Text data: the adversarial leetspeak attack is the designated error.
+    return {std::make_shared<errors::AdversarialLeetspeak>()};
+  }
+  return KnownTabularErrors();
+}
+
+common::Result<data::DataFrame> CorruptRandomSubset(
+    const data::DataFrame& frame, const errors::ErrorGen& generator,
+    common::Rng& rng) {
+  return errors::BlendCorruption(frame, generator, rng.Uniform(), rng);
+}
+
+std::vector<const errors::ErrorGen*> RawPointers(
+    const std::vector<std::shared_ptr<errors::ErrorGen>>& generators) {
+  std::vector<const errors::ErrorGen*> raw;
+  raw.reserve(generators.size());
+  for (const auto& generator : generators) raw.push_back(generator.get());
+  return raw;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  BBV_CHECK(!values.empty());
+  Summary summary;
+  const std::vector<double> percentiles =
+      stats::Percentiles(values, {5.0, 25.0, 50.0, 75.0, 95.0});
+  summary.p05 = percentiles[0];
+  summary.p25 = percentiles[1];
+  summary.median = percentiles[2];
+  summary.p75 = percentiles[3];
+  summary.p95 = percentiles[4];
+  summary.mean = stats::Mean(values);
+  return summary;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const RunConfig& config) {
+  std::printf("==================================================\n");
+  std::printf("%s: %s\n", figure.c_str(), description.c_str());
+  std::printf("mode=%s seed=%llu\n", config.fast ? "fast" : "full",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("==================================================\n");
+}
+
+}  // namespace bbv::bench

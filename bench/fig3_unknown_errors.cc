@@ -1,0 +1,157 @@
+// Reproduces Figure 3: performance-prediction quality (MAE with 5th/95th
+// percentile bands) for linear vs. nonlinear models as the fraction of
+// *unknown* errors grows.
+//
+// Protocol (paper §6.1.2): the serving data is always corrupted by the full
+// error mixture (swapped columns, scaling, outliers, missing values and
+// model-entropy-based missing values), but the performance predictor is
+// trained on data where each error only affects `fraction` of the rows.
+// fraction = 0 means the predictor never saw the error type at training
+// time; the paper observes that linear-model performance becomes harder to
+// predict while nonlinear models stay predictable.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/performance_predictor.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+
+namespace bbv::bench {
+namespace {
+
+/// Wraps a generator so that only `fraction` of the rows receive its
+/// corruption (fraction = 1 reduces to the plain generator).
+class BlendedGen : public errors::ErrorGen {
+ public:
+  BlendedGen(std::shared_ptr<errors::ErrorGen> inner, double fraction)
+      : inner_(std::move(inner)), fraction_(fraction) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override {
+    return errors::BlendCorruption(frame, *inner_, fraction_, rng);
+  }
+  std::string Name() const override { return "blended_" + inner_->Name(); }
+
+ private:
+  std::shared_ptr<errors::ErrorGen> inner_;
+  double fraction_;
+};
+
+std::vector<double> RunCell(const std::string& model_name,
+                            const std::string& dataset_name, double fraction,
+                            const RunConfig& config) {
+  common::Rng rng(config.seed);
+  const ExperimentData data = PrepareDataset(dataset_name, config, rng);
+  const auto model = TrainBlackBox(model_name, data.train, config, rng);
+
+  // The paper chooses one random numeric and one random categorical column
+  // per model/dataset combination and applies all error types to them
+  // (swaps, scaling, outliers, missing values, entropy-based missing).
+  const std::vector<std::string> numeric_columns =
+      data.test.features.ColumnNamesOfType(data::ColumnType::kNumeric);
+  const std::vector<std::string> categorical_columns =
+      data.test.features.ColumnNamesOfType(data::ColumnType::kCategorical);
+  BBV_CHECK(!numeric_columns.empty() && !categorical_columns.empty());
+  const std::string numeric_column = rng.Choice(numeric_columns);
+  const std::string categorical_column = rng.Choice(categorical_columns);
+
+  std::vector<std::shared_ptr<errors::ErrorGen>> full_errors = {
+      std::make_shared<errors::SwappedColumns>(
+          std::make_pair(categorical_column, numeric_column)),
+      std::make_shared<errors::Scaling>(
+          std::vector<std::string>{numeric_column}),
+      std::make_shared<errors::NumericOutliers>(
+          std::vector<std::string>{numeric_column}),
+      std::make_shared<errors::MissingValues>(
+          std::vector<std::string>{categorical_column}),
+      std::make_shared<errors::EntropyBasedMissing>(
+          model.get(), std::vector<std::string>{categorical_column})};
+
+  // Predictor only sees `fraction` of each error's impact at training time.
+  std::vector<std::shared_ptr<errors::ErrorGen>> blended;
+  blended.reserve(full_errors.size());
+  for (const auto& generator : full_errors) {
+    blended.push_back(std::make_shared<BlendedGen>(generator, fraction));
+  }
+
+  core::PerformancePredictor::Options options;
+  options.corruptions_per_generator =
+      std::max(8, config.CorruptionsPerGenerator() / 2);
+  core::PerformancePredictor predictor(options);
+  const common::Status status =
+      predictor.Train(*model, data.test, RawPointers(blended), rng);
+  BBV_CHECK(status.ok()) << status.ToString();
+
+  // Serving data always receives the full mixture.
+  errors::ErrorMixture mixture(full_errors);
+  std::vector<double> absolute_errors;
+  for (int repetition = 0; repetition < config.ServingRepetitions();
+       ++repetition) {
+    auto corrupted = mixture.Corrupt(data.serving.features, rng);
+    BBV_CHECK(corrupted.ok()) << corrupted.status().ToString();
+    auto probabilities = model->PredictProba(*corrupted);
+    BBV_CHECK(probabilities.ok()) << probabilities.status().ToString();
+    const double true_accuracy = core::ComputeScore(
+        core::ScoreMetric::kAccuracy, *probabilities, data.serving.labels);
+    auto estimate = predictor.EstimateScoreFromProba(*probabilities);
+    BBV_CHECK(estimate.ok()) << estimate.status().ToString();
+    absolute_errors.push_back(std::abs(*estimate - true_accuracy));
+  }
+  return absolute_errors;
+}
+
+void Run(const RunConfig& config) {
+  PrintHeader("Figure 3",
+              "prediction quality for linear vs nonlinear models under "
+              "increasing fractions of unknown error types (fraction of "
+              "unknown errors = 1 - training blend fraction)",
+              config);
+  const std::vector<double> unknown_fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+  const std::vector<std::string> tabular_datasets = {"income", "heart", "bank"};
+
+  struct Group {
+    const char* label;
+    std::vector<std::string> models;
+  };
+  const std::vector<Group> groups = {
+      {"linear", {"lr"}},
+      {"nonlinear", {"xgb", "dnn"}},
+  };
+  for (const Group& group : groups) {
+    std::printf("--- %s model(s) ---\n", group.label);
+    for (double unknown : unknown_fractions) {
+      const double blend = 1.0 - unknown;
+      std::vector<double> pooled;
+      for (const std::string& model_name : group.models) {
+        for (const std::string& dataset : tabular_datasets) {
+          const std::vector<double> errors_for_cell =
+              RunCell(model_name, dataset, blend, config);
+          pooled.insert(pooled.end(), errors_for_cell.begin(),
+                        errors_for_cell.end());
+        }
+      }
+      const Summary summary = Summarize(pooled);
+      std::printf(
+          "group=%-9s fraction_unknown=%.2f mae{p5=%.4f median=%.4f "
+          "p95=%.4f mean=%.4f}\n",
+          group.label, unknown, summary.p05, summary.median, summary.p95,
+          summary.mean);
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbv::bench
+
+int main(int argc, char** argv) {
+  bbv::bench::Run(bbv::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Figure 4: sensitivity of the performance predictor to the size
+// of the held-out set D_test from which the corrupted meta-training data is
+// generated. Six panels: (missing values, income) and (outliers, heart),
+// each for lr / dnn / xgb; |D_test| is swept over
+// {10, 50, 100, 250, 500, 750, 1000, 1500} and we report the MAE plus the
+// 10th/90th percentile of the absolute-error distribution.
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/performance_predictor.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "stats/descriptive.h"
+
+namespace bbv::bench {
+namespace {
+
+void RunPanel(const std::string& dataset_name, const std::string& model_name,
+              const errors::ErrorGen& generator, const RunConfig& config) {
+  common::Rng rng(config.seed);
+  const ExperimentData data = PrepareDataset(dataset_name, config, rng);
+  const auto model = TrainBlackBox(model_name, data.train, config, rng);
+
+  const std::vector<size_t> sizes = {10, 50, 100, 250, 500, 750, 1000, 1500};
+  for (size_t test_size : sizes) {
+    if (test_size > data.test.NumRows()) break;
+    // Subsample D_test to the requested size.
+    std::vector<size_t> rows =
+        rng.SampleWithoutReplacement(data.test.NumRows(), test_size);
+    const data::Dataset small_test = data.test.SelectRows(rows);
+
+    core::PerformancePredictor::Options options;
+    options.corruptions_per_generator = config.CorruptionsPerGenerator();
+    core::PerformancePredictor predictor(options);
+    const std::vector<const errors::ErrorGen*> generators = {&generator};
+    const common::Status status =
+        predictor.Train(*model, small_test, generators, rng);
+    BBV_CHECK(status.ok()) << status.ToString();
+
+    std::vector<double> absolute_errors;
+    for (int repetition = 0; repetition < config.ServingRepetitions();
+         ++repetition) {
+      auto corrupted = generator.Corrupt(data.serving.features, rng);
+      BBV_CHECK(corrupted.ok()) << corrupted.status().ToString();
+      auto probabilities = model->PredictProba(*corrupted);
+      BBV_CHECK(probabilities.ok()) << probabilities.status().ToString();
+      const double true_accuracy = core::ComputeScore(
+          core::ScoreMetric::kAccuracy, *probabilities, data.serving.labels);
+      auto estimate = predictor.EstimateScoreFromProba(*probabilities);
+      BBV_CHECK(estimate.ok()) << estimate.status().ToString();
+      absolute_errors.push_back(std::abs(*estimate - true_accuracy));
+    }
+    const double mae = stats::Mean(absolute_errors);
+    const std::vector<double> bands =
+        stats::Percentiles(absolute_errors, {10.0, 90.0});
+    std::printf(
+        "panel=%s/%s(%s) test_size=%-5zu mae=%.4f p10=%.4f p90=%.4f\n",
+        generator.Name().c_str(), dataset_name.c_str(), model_name.c_str(),
+        test_size, mae, bands[0], bands[1]);
+    std::fflush(stdout);
+  }
+}
+
+void Run(const RunConfig& config) {
+  PrintHeader("Figure 4",
+              "sensitivity of the performance predictor to |D_test|",
+              config);
+  const errors::MissingValues missing;
+  const errors::NumericOutliers outliers;
+  for (const std::string model_name : {"lr", "dnn", "xgb"}) {
+    if (config.model != "all" && config.model != model_name) continue;
+    RunPanel("income", model_name, missing, config);
+    RunPanel("heart", model_name, outliers, config);
+  }
+}
+
+}  // namespace
+}  // namespace bbv::bench
+
+int main(int argc, char** argv) {
+  bbv::bench::Run(bbv::bench::ParseArgs(argc, argv));
+  return 0;
+}

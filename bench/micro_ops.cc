@@ -1,0 +1,123 @@
+// Google-benchmark micro-benchmarks for the hot operations inside the
+// validation layer (not a paper figure): output-percentile featurization,
+// hypothesis tests, forest inference, corruption generators and the feature
+// pipeline. These bound the serving-time overhead of deploying a
+// performance predictor next to a model.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/prediction_statistics.h"
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "featurize/pipeline.h"
+#include "ml/random_forest.h"
+#include "stats/hypothesis.h"
+
+namespace bbv::bench {
+namespace {
+
+linalg::Matrix MakeProbabilities(size_t rows, common::Rng& rng) {
+  linalg::Matrix probabilities(rows, 2);
+  for (size_t i = 0; i < rows; ++i) {
+    const double p = rng.Uniform();
+    probabilities.At(i, 0) = p;
+    probabilities.At(i, 1) = 1.0 - p;
+  }
+  return probabilities;
+}
+
+void BM_PredictionStatistics(benchmark::State& state) {
+  common::Rng rng(1);
+  const linalg::Matrix probabilities =
+      MakeProbabilities(static_cast<size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PredictionStatistics(probabilities));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredictionStatistics)->Arg(1000)->Arg(10000);
+
+void BM_TwoSampleKsTest(benchmark::State& state) {
+  common::Rng rng(2);
+  std::vector<double> a(static_cast<size_t>(state.range(0)));
+  std::vector<double> b(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian(0.1, 1.1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::TwoSampleKsTest(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TwoSampleKsTest)->Arg(1000)->Arg(10000);
+
+void BM_RandomForestInference(benchmark::State& state) {
+  common::Rng rng(3);
+  const size_t dim = 42;
+  linalg::Matrix features(512, dim);
+  std::vector<double> targets(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t j = 0; j < dim; ++j) features.At(i, j) = rng.Uniform();
+    targets[i] = rng.Uniform();
+  }
+  ml::RandomForestRegressor::Options options;
+  options.num_trees = static_cast<int>(state.range(0));
+  ml::RandomForestRegressor forest(options);
+  BBV_CHECK(forest.Fit(features, targets, rng).ok());
+  const std::vector<double> row = features.Row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictRow(row.data()));
+  }
+}
+BENCHMARK(BM_RandomForestInference)->Arg(25)->Arg(100);
+
+void BM_MissingValuesCorruption(benchmark::State& state) {
+  common::Rng rng(4);
+  const data::Dataset dataset =
+      datasets::MakeIncome(static_cast<size_t>(state.range(0)), rng);
+  const errors::MissingValues generator;
+  for (auto _ : state) {
+    auto corrupted = generator.Corrupt(dataset.features, rng);
+    benchmark::DoNotOptimize(corrupted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MissingValuesCorruption)->Arg(1000)->Arg(5000);
+
+void BM_OutlierCorruption(benchmark::State& state) {
+  common::Rng rng(5);
+  const data::Dataset dataset =
+      datasets::MakeIncome(static_cast<size_t>(state.range(0)), rng);
+  const errors::NumericOutliers generator;
+  for (auto _ : state) {
+    auto corrupted = generator.Corrupt(dataset.features, rng);
+    benchmark::DoNotOptimize(corrupted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OutlierCorruption)->Arg(1000)->Arg(5000);
+
+void BM_PipelineTransform(benchmark::State& state) {
+  common::Rng rng(6);
+  const data::Dataset dataset =
+      datasets::MakeIncome(static_cast<size_t>(state.range(0)), rng);
+  featurize::FeaturePipeline pipeline;
+  BBV_CHECK(pipeline.Fit(dataset.features).ok());
+  for (auto _ : state) {
+    auto transformed = pipeline.Transform(dataset.features);
+    benchmark::DoNotOptimize(transformed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineTransform)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace bbv::bench
+
+BENCHMARK_MAIN();

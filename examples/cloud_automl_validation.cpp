@@ -1,0 +1,77 @@
+// The paper's §6.3.2 scenario as a library walkthrough: a team outsources
+// model training to a cloud AutoML service (here: automl::CloudModelService,
+// which hides the model family and feature map behind a metered batch
+// prediction endpoint) and still wants to validate the predictions it gets
+// back. Because the approach only consumes predicted class probabilities,
+// it works unchanged against the hosted model.
+//
+// Build & run:  ./build/examples/cloud_automl_validation
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "automl/cloud_service.h"
+#include "common/rng.h"
+#include "core/performance_predictor.h"
+#include "data/dataset.h"
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+
+int main() {
+  bbv::common::Rng rng(17);
+
+  bbv::data::Dataset dataset = bbv::datasets::MakeIncome(5000, rng);
+  dataset = bbv::data::BalanceClasses(dataset, rng);
+  auto [source, serving] = bbv::data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = bbv::data::TrainTestSplit(source, 0.7, rng);
+
+  // "Upload" the training data; the service runs its own model search and
+  // returns an opaque hosted model.
+  bbv::automl::CloudModelService service;
+  auto hosted = service.TrainModel(train, rng);
+  BBV_CHECK(hosted.ok()) << hosted.status().ToString();
+  const bbv::automl::CloudHostedModel& model = **hosted;
+  std::printf("cloud service returned a hosted model ('%s')\n",
+              model.Name().c_str());
+
+  // Validate it like any other black box: corrupt held-out data, retrieve
+  // predictions from the endpoint, learn the performance predictor.
+  const bbv::errors::ErrorMixture mixture(
+      std::vector<std::shared_ptr<bbv::errors::ErrorGen>>{
+          std::make_shared<bbv::errors::MissingValues>(),
+          std::make_shared<bbv::errors::NumericOutliers>(),
+          std::make_shared<bbv::errors::SwappedColumns>(),
+          std::make_shared<bbv::errors::Scaling>()});
+  bbv::core::PerformancePredictor::Options options;
+  options.corruptions_per_generator = 200;
+  bbv::core::PerformancePredictor predictor(options);
+  std::vector<const bbv::errors::ErrorGen*> generators = {&mixture};
+  BBV_CHECK(predictor.Train(model, test, generators, rng).ok());
+  std::printf("predictor trained; the endpoint served %zu API calls\n",
+              model.api_calls());
+
+  // Estimate accuracy on corrupted serving batches and compare with the
+  // ground truth (available only in this walkthrough).
+  std::printf("\n%-8s %-10s %-10s\n", "batch", "estimated", "actual");
+  double total_error = 0.0;
+  const int kBatches = 10;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const bbv::data::DataFrame corrupted =
+        mixture.Corrupt(serving.features, rng).ValueOrDie();
+    const auto probabilities = model.PredictProba(corrupted).ValueOrDie();
+    const double actual = bbv::core::ComputeScore(
+        bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
+    const double estimated =
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+    total_error += std::abs(estimated - actual);
+    std::printf("%-8d %.3f      %.3f\n", batch, estimated, actual);
+  }
+  std::printf("\nmean absolute error over %d corrupted batches: %.4f\n",
+              kBatches, total_error / kBatches);
+  return 0;
+}

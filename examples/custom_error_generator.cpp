@@ -1,0 +1,94 @@
+// Writing your own error generator. The paper lets engineers encode their
+// domain knowledge about what can go wrong with serving data by
+// implementing a small corruption operator; here we build a
+// "unit change" generator (Fahrenheit temperatures suddenly delivered as
+// Celsius — a real bug class in sensor pipelines) and train a performance
+// predictor that anticipates it on a synthetic patient-vitals task.
+//
+// Build & run:  ./build/examples/custom_error_generator
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/performance_predictor.h"
+#include "data/dataset.h"
+#include "datasets/tabular.h"
+#include "errors/error_gen.h"
+#include "ml/black_box.h"
+#include "ml/gradient_boosted_trees.h"
+
+namespace {
+
+/// Converts a fraction of the values of a numeric column from Fahrenheit to
+/// Celsius, as if an upstream service silently changed its unit. Everything
+/// a generator needs: copy the frame, sample a magnitude, mutate cells.
+class UnitChange : public bbv::errors::ErrorGen {
+ public:
+  explicit UnitChange(std::string column) : column_(std::move(column)) {}
+
+  bbv::common::Result<bbv::data::DataFrame> Corrupt(
+      const bbv::data::DataFrame& frame,
+      bbv::common::Rng& rng) const override {
+    bbv::data::DataFrame corrupted = frame;
+    if (!corrupted.HasColumn(column_)) {
+      return bbv::common::Status::NotFound("no column named '" + column_ +
+                                           "'");
+    }
+    bbv::data::Column& column = corrupted.ColumnByName(column_);
+    const double fraction = rng.Uniform();  // unknown incident magnitude
+    for (size_t row = 0; row < column.size(); ++row) {
+      bbv::data::CellValue& cell = column.cell(row);
+      if (cell.is_numeric() && rng.Bernoulli(fraction)) {
+        cell = bbv::data::CellValue((cell.AsDouble() - 32.0) * 5.0 / 9.0);
+      }
+    }
+    return corrupted;
+  }
+
+  std::string Name() const override { return "fahrenheit_to_celsius"; }
+
+ private:
+  std::string column_;
+};
+
+}  // namespace
+
+int main() {
+  bbv::common::Rng rng(5);
+
+  // The heart dataset stands in for a vitals-monitoring task; we treat the
+  // systolic blood pressure column as the sensor reading at risk.
+  bbv::data::Dataset dataset = bbv::datasets::MakeHeart(6000, rng);
+  dataset = bbv::data::BalanceClasses(dataset, rng);
+  auto [source, serving] = bbv::data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = bbv::data::TrainTestSplit(source, 0.7, rng);
+
+  bbv::ml::BlackBoxModel model(
+      std::make_unique<bbv::ml::GradientBoostedTrees>());
+  BBV_CHECK(model.Train(train, rng).ok());
+  std::printf("model accuracy on clean test data: %.3f\n",
+              model.ScoreAccuracy(test).ValueOrDie());
+
+  const UnitChange unit_change("ap_hi");
+  bbv::core::PerformancePredictor predictor;
+  std::vector<const bbv::errors::ErrorGen*> generators = {&unit_change};
+  BBV_CHECK(predictor.Train(model, test, generators, rng).ok());
+
+  std::printf("\n%-28s %-10s %-10s\n", "incident", "estimated", "actual");
+  for (int wave = 0; wave < 5; ++wave) {
+    const bbv::data::DataFrame corrupted =
+        unit_change.Corrupt(serving.features, rng).ValueOrDie();
+    const auto probabilities = model.PredictProba(corrupted).ValueOrDie();
+    const double actual = bbv::core::ComputeScore(
+        bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
+    const double estimated =
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+    std::printf("unit change wave %-11d %.3f      %.3f\n", wave, estimated,
+                actual);
+  }
+  return 0;
+}

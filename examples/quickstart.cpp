@@ -1,0 +1,94 @@
+// Quickstart: validate the predictions of a black box classifier on unseen,
+// unlabeled serving data.
+//
+// The workflow mirrors Figure 1 of the paper:
+//   1. Train a black box model on labeled source data.
+//   2. Declare the kinds of data errors you expect in production (missing
+//      values, outliers, scaling bugs, ...). You only name the *types*;
+//      magnitudes are unknown and are sampled automatically.
+//   3. Train a performance predictor from synthetically corrupted copies of
+//      the held-out test set (Algorithm 1).
+//   4. At serving time, estimate the model's accuracy on an unlabeled batch
+//      from the distribution of its own outputs (Algorithm 2).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/performance_predictor.h"
+#include "data/dataset.h"
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "ml/black_box.h"
+#include "ml/sgd_logistic_regression.h"
+
+int main() {
+  bbv::common::Rng rng(42);
+
+  // 1. Labeled source data and an unseen serving partition. (In production
+  //    the serving labels would not exist; we keep them here only to show
+  //    how good the estimates are.)
+  bbv::data::Dataset dataset = bbv::datasets::MakeIncome(6000, rng);
+  dataset = bbv::data::BalanceClasses(dataset, rng);
+  auto [source, serving] = bbv::data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = bbv::data::TrainTestSplit(source, 0.7, rng);
+
+  // Train the black box model (any Classifier works; the validation layer
+  // only ever sees predicted class probabilities).
+  bbv::ml::BlackBoxModel model(
+      std::make_unique<bbv::ml::SgdLogisticRegression>());
+  if (auto status = model.Train(train, rng); !status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("black box accuracy on held-out test data: %.3f\n",
+              model.ScoreAccuracy(test).ValueOrDie());
+
+  // 2. The error types we anticipate in serving data.
+  bbv::errors::MissingValues missing_values;
+  bbv::errors::NumericOutliers outliers;
+  bbv::errors::Scaling scaling;
+  std::vector<const bbv::errors::ErrorGen*> expected_errors = {
+      &missing_values, &outliers, &scaling};
+
+  // 3. Learn the performance predictor (Algorithm 1).
+  bbv::core::PerformancePredictor predictor;
+  if (auto status = predictor.Train(model, test, expected_errors, rng);
+      !status.ok()) {
+    std::fprintf(stderr, "predictor training failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("performance predictor trained on %zu corrupted copies\n",
+              predictor.num_training_examples());
+
+  // 4. Estimate the score on unlabeled serving batches (Algorithm 2).
+  const double clean_estimate =
+      predictor.EstimateScore(model, serving.features).ValueOrDie();
+  std::printf("\nclean serving batch:     estimated=%.3f actual=%.3f\n",
+              clean_estimate, model.ScoreAccuracy(serving).ValueOrDie());
+
+  // Simulate a preprocessing bug that rescales numeric columns.
+  const bbv::data::DataFrame corrupted =
+      scaling.Corrupt(serving.features, rng).ValueOrDie();
+  const double corrupted_estimate =
+      predictor.EstimateScore(model, corrupted).ValueOrDie();
+  const auto corrupted_probabilities =
+      model.PredictProba(corrupted).ValueOrDie();
+  const double corrupted_actual =
+      bbv::core::ComputeScore(bbv::core::ScoreMetric::kAccuracy,
+                              corrupted_probabilities, serving.labels);
+  std::printf("corrupted serving batch: estimated=%.3f actual=%.3f\n",
+              corrupted_estimate, corrupted_actual);
+
+  if (corrupted_estimate < 0.95 * predictor.test_score()) {
+    std::printf("\n=> ALARM: estimated accuracy dropped more than 5%% below "
+                "the test-time score (%.3f); do not trust these "
+                "predictions.\n",
+                predictor.test_score());
+  }
+  return 0;
+}

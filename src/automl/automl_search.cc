@@ -1,0 +1,139 @@
+#include "automl/automl_search.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "featurize/pipeline.h"
+#include "ml/conv_net.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::automl {
+
+namespace {
+
+using ClassifierFactory = std::function<std::unique_ptr<ml::Classifier>()>;
+
+std::vector<ClassifierFactory> TabularZoo(const std::string& flavor) {
+  std::vector<ClassifierFactory> zoo;
+  const bool trees_only = flavor == "tpot";
+  if (!trees_only) {
+    for (ml::Penalty penalty : {ml::Penalty::kL2, ml::Penalty::kL1}) {
+      for (double learning_rate : {0.05, 0.2}) {
+        zoo.push_back([penalty, learning_rate]() {
+          ml::SgdLogisticRegression::Options options;
+          options.penalty = penalty;
+          options.learning_rate = learning_rate;
+          return std::make_unique<ml::SgdLogisticRegression>(options);
+        });
+      }
+    }
+    for (size_t width : {16UL, 48UL}) {
+      zoo.push_back([width]() {
+        ml::FeedForwardNetwork::Options options;
+        options.hidden_sizes = {width, width};
+        options.epochs = 25;
+        return std::make_unique<ml::FeedForwardNetwork>(options);
+      });
+    }
+  }
+  for (int depth : {4, 8}) {
+    zoo.push_back([depth]() {
+      ml::TreeOptions options;
+      options.max_depth = depth;
+      options.min_samples_leaf = 5;
+      return std::make_unique<ml::DecisionTreeClassifier>(options);
+    });
+  }
+  for (int rounds : {30, 60}) {
+    for (int depth : {2, 4}) {
+      zoo.push_back([rounds, depth]() {
+        ml::GradientBoostedTrees::Options options;
+        options.num_rounds = rounds;
+        options.tree.max_depth = depth;
+        return std::make_unique<ml::GradientBoostedTrees>(options);
+      });
+    }
+  }
+  return zoo;
+}
+
+/// Fits the shared feature pipeline, grid-searches the zoo by CV accuracy,
+/// and retrains the winning candidate as a BlackBoxModel.
+common::Result<std::unique_ptr<ml::BlackBoxModel>> SearchAndTrain(
+    const data::Dataset& train,
+    const std::vector<ClassifierFactory>& candidates, int cv_folds,
+    common::Rng& rng) {
+  if (train.NumRows() == 0) {
+    return common::Status::InvalidArgument("empty training dataset");
+  }
+  featurize::FeaturePipeline pipeline;
+  BBV_RETURN_NOT_OK(pipeline.Fit(train.features));
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix features,
+                       pipeline.Transform(train.features));
+  BBV_ASSIGN_OR_RETURN(
+      size_t winner,
+      ml::GridSearchClassifier(candidates, features, train.labels,
+                               train.num_classes, cv_folds, rng));
+  auto model = std::make_unique<ml::BlackBoxModel>(candidates[winner]());
+  BBV_RETURN_NOT_OK(model->Train(train, rng));
+  return model;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<ml::BlackBoxModel>> AutoMlTabularSearch(
+    const data::Dataset& train, const AutoMlOptions& options,
+    common::Rng& rng) {
+  return SearchAndTrain(train, TabularZoo(options.flavor), options.cv_folds,
+                        rng);
+}
+
+common::Result<std::unique_ptr<ml::BlackBoxModel>> AutoKerasImageSearch(
+    const data::Dataset& train, common::Rng& rng) {
+  std::vector<ClassifierFactory> zoo;
+  struct Architecture {
+    size_t conv1;
+    size_t conv2;
+    size_t dense;
+  };
+  for (const Architecture& arch : {Architecture{4, 8, 32},
+                                   Architecture{8, 16, 64},
+                                   Architecture{8, 24, 96}}) {
+    zoo.push_back([arch]() {
+      ml::ConvNet::Options options;
+      options.conv1_channels = arch.conv1;
+      options.conv2_channels = arch.conv2;
+      options.dense_units = arch.dense;
+      options.epochs = 5;
+      return std::make_unique<ml::ConvNet>(options);
+    });
+  }
+  // 2-fold CV keeps the architecture search affordable; auto-keras likewise
+  // scores candidates on a single validation split.
+  return SearchAndTrain(train, zoo, /*cv_folds=*/2, rng);
+}
+
+common::Result<std::unique_ptr<ml::BlackBoxModel>> MakeLargeConvNet(
+    const data::Dataset& train, common::Rng& rng, bool paper_scale) {
+  ml::ConvNet::Options options;
+  if (paper_scale) {
+    options = ml::ConvNet::Options::PaperScale();
+  } else {
+    // "Large" relative to the auto-keras search space, but affordable on a
+    // single core for the fast experiment mode.
+    options.conv1_channels = 16;
+    options.conv2_channels = 32;
+    options.dense_units = 96;
+  }
+  auto model = std::make_unique<ml::BlackBoxModel>(
+      std::make_unique<ml::ConvNet>(options));
+  BBV_RETURN_NOT_OK(model->Train(train, rng));
+  return model;
+}
+
+}  // namespace bbv::automl

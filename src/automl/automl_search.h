@@ -1,0 +1,48 @@
+#ifndef BBV_AUTOML_AUTOML_SEARCH_H_
+#define BBV_AUTOML_AUTOML_SEARCH_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "ml/black_box.h"
+
+namespace bbv::automl {
+
+/// Automatic machine learning for tabular/text data — the stand-in for
+/// auto-sklearn and TPOT in the paper's §6.3. Runs a cross-validated search
+/// over a zoo of model families and hyperparameters (linear models, CARTs,
+/// gradient-boosted ensembles, feed-forward networks) and returns the
+/// winner as an opaque black box: callers never learn which family won,
+/// matching the paper's "model internals such as feature maps or ensembling
+/// techniques are decided automatically".
+struct AutoMlOptions {
+  /// Cross-validation folds for candidate scoring.
+  int cv_folds = 3;
+  /// Search breadth knob; "tpot" restricts the zoo to tree pipelines the
+  /// way TPOT does, "sklearn" searches every family.
+  std::string flavor = "sklearn";
+};
+
+common::Result<std::unique_ptr<ml::BlackBoxModel>> AutoMlTabularSearch(
+    const data::Dataset& train, const AutoMlOptions& options,
+    common::Rng& rng);
+
+/// Neural architecture search for image data — the auto-keras stand-in.
+/// Searches over convolutional architectures (channel counts, dense width)
+/// by validation accuracy and returns the winner as a black box.
+common::Result<std::unique_ptr<ml::BlackBoxModel>> AutoKerasImageSearch(
+    const data::Dataset& train, common::Rng& rng);
+
+/// The "large-convnet" from Figure 6: a convolutional architecture larger
+/// than anything in the auto-keras search space, without any search.
+/// `paper_scale` selects the paper's exact 32/64/128 architecture; the
+/// default is a scaled-down variant for single-core experiment runs.
+common::Result<std::unique_ptr<ml::BlackBoxModel>> MakeLargeConvNet(
+    const data::Dataset& train, common::Rng& rng, bool paper_scale = false);
+
+}  // namespace bbv::automl
+
+#endif  // BBV_AUTOML_AUTOML_SEARCH_H_

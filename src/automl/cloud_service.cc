@@ -1,0 +1,37 @@
+#include "automl/cloud_service.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bbv::automl {
+
+common::Result<linalg::Matrix> CloudHostedModel::PredictProba(
+    const data::DataFrame& frame) const {
+  linalg::Matrix all_probabilities;
+  const size_t num_rows = frame.NumRows();
+  size_t start = 0;
+  // Split into API-sized batches like a real prediction endpoint would.
+  do {
+    const size_t end = std::min(start + max_batch_size_, num_rows);
+    std::vector<size_t> rows(end - start);
+    std::iota(rows.begin(), rows.end(), start);
+    BBV_ASSIGN_OR_RETURN(linalg::Matrix batch_probabilities,
+                         model_->PredictProba(frame.SelectRows(rows)));
+    all_probabilities.AppendRows(batch_probabilities);
+    ++api_calls_;
+    rows_served_ += rows.size();
+    start = end;
+  } while (start < num_rows);
+  return all_probabilities;
+}
+
+common::Result<std::unique_ptr<CloudHostedModel>>
+CloudModelService::TrainModel(const data::Dataset& train,
+                              common::Rng& rng) const {
+  BBV_ASSIGN_OR_RETURN(std::unique_ptr<ml::BlackBoxModel> model,
+                       AutoMlTabularSearch(train, options_.automl, rng));
+  return std::make_unique<CloudHostedModel>(std::move(model),
+                                            options_.max_batch_size);
+}
+
+}  // namespace bbv::automl

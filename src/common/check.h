@@ -1,0 +1,62 @@
+#ifndef BBV_COMMON_CHECK_H_
+#define BBV_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace bbv::common::internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Programming errors (violated invariants, misuse of internal APIs) fail
+/// fast through BBV_CHECK; recoverable conditions use Status instead.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "Check failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace bbv::common::internal
+
+#define BBV_CHECK(condition)                                              \
+  if (condition) {                                                        \
+  } else /* NOLINT */                                                     \
+    ::bbv::common::internal::CheckFailureStream(#condition, __FILE__,     \
+                                                __LINE__)
+
+#define BBV_CHECK_EQ(a, b) BBV_CHECK((a) == (b))
+#define BBV_CHECK_NE(a, b) BBV_CHECK((a) != (b))
+#define BBV_CHECK_LT(a, b) BBV_CHECK((a) < (b))
+#define BBV_CHECK_LE(a, b) BBV_CHECK((a) <= (b))
+#define BBV_CHECK_GT(a, b) BBV_CHECK((a) > (b))
+#define BBV_CHECK_GE(a, b) BBV_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define BBV_DCHECK(condition) BBV_CHECK(condition)
+#else
+#define BBV_DCHECK(condition) \
+  if (true) {                 \
+  } else                      \
+    ::bbv::common::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+#endif
+
+#endif  // BBV_COMMON_CHECK_H_

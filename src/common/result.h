@@ -1,0 +1,72 @@
+#ifndef BBV_COMMON_RESULT_H_
+#define BBV_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace bbv::common {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing the value of an errored result aborts, so
+/// callers must test `ok()` (or use BBV_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    BBV_CHECK(!status_.ok()) << "Result constructed from an OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BBV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    BBV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    BBV_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or aborts with a readable message. Convenience for
+  /// examples and benchmarks where an error is unrecoverable anyway.
+  T ValueOrDie() && { return std::move(*this).value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagates its error, or assigns the value.
+#define BBV_ASSIGN_OR_RETURN(lhs, expr)                   \
+  BBV_ASSIGN_OR_RETURN_IMPL_(                             \
+      BBV_STATUS_MACRO_CONCAT_(_bbv_result, __COUNTER__), lhs, expr)
+
+#define BBV_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define BBV_STATUS_MACRO_CONCAT_(x, y) BBV_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define BBV_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+}  // namespace bbv::common
+
+#endif  // BBV_COMMON_RESULT_H_

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bbv::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotateLeft(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = RotateLeft(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotateLeft(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double low, double high) {
+  BBV_CHECK_LE(low, high);
+  return low + (high - low) * Uniform();
+}
+
+size_t Rng::UniformInt(size_t n) {
+  BBV_CHECK_GT(n, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t value = NextUint64();
+  while (value >= limit) {
+    value = NextUint64();
+  }
+  return static_cast<size_t>(value % n);
+}
+
+int64_t Rng::UniformInt(int64_t low, int64_t high) {
+  BBV_CHECK_LE(low, high);
+  const auto range = static_cast<uint64_t>(high - low) + 1;
+  // range == 0 means the full int64 span; fall back to raw output.
+  if (range == 0) return static_cast<int64_t>(NextUint64());
+  return low + static_cast<int64_t>(UniformInt(static_cast<size_t>(range)));
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; guards against log(0).
+  double u1 = Uniform();
+  while (u1 <= 0.0) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  BBV_CHECK_LE(k, n);
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + UniformInt(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> result(n);
+  for (size_t i = 0; i < n; ++i) result[i] = i;
+  Shuffle(result);
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace bbv::common

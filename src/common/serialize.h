@@ -1,0 +1,71 @@
+#ifndef BBV_COMMON_SERIALIZE_H_
+#define BBV_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bbv::common {
+
+/// Minimal little-endian binary archive for persisting trained artifacts
+/// (models, performance predictors). The format is: a caller-supplied magic
+/// tag, a version, then length-prefixed primitives. No backward
+/// compatibility guarantees beyond the version check — this is a deployment
+/// format, not an interchange format.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteMagic(const std::string& magic, uint32_t version);
+  void WriteUint32(uint32_t value);
+  void WriteUint64(uint64_t value);
+  void WriteInt32(int32_t value);
+  void WriteDouble(double value);
+  void WriteString(const std::string& value);
+  void WriteDoubleVector(const std::vector<double>& values);
+  void WriteInt32Vector(const std::vector<int32_t>& values);
+
+  /// OK unless the underlying stream failed.
+  Status status() const;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reader counterpart; every method validates stream state and returns a
+/// Status-carrying Result.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Checks that the stream starts with `magic` and that the stored version
+  /// equals `expected_version`.
+  Status ExpectMagic(const std::string& magic, uint32_t expected_version);
+  Result<uint32_t> ReadUint32();
+  Result<uint64_t> ReadUint64();
+  Result<int32_t> ReadInt32();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+  Result<std::vector<int32_t>> ReadInt32Vector();
+
+ private:
+  /// Guard against adversarial / corrupt length prefixes.
+  static constexpr uint64_t kMaxElementCount = 1ull << 32;
+
+  std::istream& in_;
+};
+
+}  // namespace bbv::common
+
+#endif  // BBV_COMMON_SERIALIZE_H_

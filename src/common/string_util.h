@@ -1,0 +1,38 @@
+#ifndef BBV_COMMON_STRING_UTIL_H_
+#define BBV_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbv::common {
+
+/// Splits `text` on `delimiter`, keeping empty tokens ("a,,b" -> 3 tokens).
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits `text` on runs of whitespace, dropping empty tokens.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// FNV-1a 64-bit hash, used by the hashing vectorizer and one-hot bucketing.
+uint64_t Fnv1aHash(std::string_view text);
+
+}  // namespace bbv::common
+
+#endif  // BBV_COMMON_STRING_UTIL_H_

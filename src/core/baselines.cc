@@ -1,0 +1,176 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "stats/hypothesis.h"
+
+namespace bbv::core {
+
+// ---------------------------------------------------------------------------
+// REL
+// ---------------------------------------------------------------------------
+
+common::Status RelShiftDetector::Fit(const data::DataFrame& reference) {
+  numeric_reference_.clear();
+  categorical_reference_.clear();
+  for (size_t col = 0; col < reference.NumCols(); ++col) {
+    const data::Column& column = reference.column(col);
+    if (column.type() == data::ColumnType::kNumeric) {
+      std::vector<double> values = column.NumericValues();
+      if (values.empty()) continue;
+      numeric_reference_.emplace_back(column.name(), std::move(values));
+    } else if (column.type() == data::ColumnType::kCategorical) {
+      std::unordered_map<std::string, double> counts;
+      for (const auto& cell : column.cells()) {
+        if (cell.is_string()) counts[cell.AsString()] += 1.0;
+      }
+      if (counts.empty()) continue;
+      categorical_reference_.emplace_back(column.name(), std::move(counts));
+    }
+    // Text and image columns are not handled by REL.
+  }
+  if (numeric_reference_.empty() && categorical_reference_.empty()) {
+    return common::Status::FailedPrecondition(
+        "REL has no numeric or categorical columns to test");
+  }
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+common::Result<bool> RelShiftDetector::DetectsShift(
+    const data::DataFrame& serving) const {
+  if (!fitted_) {
+    return common::Status::FailedPrecondition("DetectsShift before Fit");
+  }
+  const size_t num_tests =
+      numeric_reference_.size() + categorical_reference_.size();
+  const double corrected_alpha = stats::BonferroniAlpha(alpha_, num_tests);
+
+  for (const auto& [name, reference_values] : numeric_reference_) {
+    if (!serving.HasColumn(name)) {
+      return common::Status::NotFound("serving data lacks column '" + name +
+                                      "'");
+    }
+    std::vector<double> serving_values =
+        serving.ColumnByName(name).NumericValues();
+    if (serving_values.empty()) return true;  // all values gone: shifted
+    const stats::TestResult test =
+        stats::TwoSampleKsTest(reference_values, serving_values);
+    if (test.Rejects(corrected_alpha)) return true;
+  }
+  for (const auto& [name, reference_counts] : categorical_reference_) {
+    if (!serving.HasColumn(name)) {
+      return common::Status::NotFound("serving data lacks column '" + name +
+                                      "'");
+    }
+    // Shared category universe: reference categories plus "other" for
+    // unseen serving values (typos, encoding errors land there).
+    std::unordered_map<std::string, double> serving_counts;
+    double serving_other = 0.0;
+    for (const auto& cell : serving.ColumnByName(name).cells()) {
+      if (!cell.is_string()) continue;
+      if (reference_counts.contains(cell.AsString())) {
+        serving_counts[cell.AsString()] += 1.0;
+      } else {
+        serving_other += 1.0;
+      }
+    }
+    std::vector<double> reference_vector;
+    std::vector<double> serving_vector;
+    reference_vector.reserve(reference_counts.size() + 1);
+    serving_vector.reserve(reference_counts.size() + 1);
+    for (const auto& [category, count] : reference_counts) {
+      reference_vector.push_back(count);
+      const auto it = serving_counts.find(category);
+      serving_vector.push_back(it == serving_counts.end() ? 0.0 : it->second);
+    }
+    reference_vector.push_back(0.0);
+    serving_vector.push_back(serving_other);
+    double serving_total = serving_other;
+    for (const auto& [category, count] : serving_counts) {
+      serving_total += count;
+    }
+    if (serving_total == 0.0) return true;  // column emptied out: shifted
+    const stats::TestResult test =
+        stats::ChiSquaredHomogeneityTest(reference_vector, serving_vector);
+    if (test.Rejects(corrected_alpha)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// BBSE
+// ---------------------------------------------------------------------------
+
+common::Status BbseDetector::Fit(const data::DataFrame& reference) {
+  BBV_ASSIGN_OR_RETURN(reference_probabilities_,
+                       model_->PredictProba(reference));
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+common::Result<bool> BbseDetector::DetectsShift(
+    const data::DataFrame& serving) const {
+  if (!fitted_) {
+    return common::Status::FailedPrecondition("DetectsShift before Fit");
+  }
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model_->PredictProba(serving));
+  return DetectsShiftFromProba(probabilities);
+}
+
+common::Result<bool> BbseDetector::DetectsShiftFromProba(
+    const linalg::Matrix& probabilities) const {
+  if (!fitted_) {
+    return common::Status::FailedPrecondition("DetectsShift before Fit");
+  }
+  const double corrected_alpha =
+      stats::BonferroniAlpha(alpha_, probabilities.cols());
+  for (size_t k = 0; k < probabilities.cols(); ++k) {
+    const stats::TestResult test = stats::TwoSampleKsTest(
+        reference_probabilities_.Col(k), probabilities.Col(k));
+    if (test.Rejects(corrected_alpha)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// BBSEh
+// ---------------------------------------------------------------------------
+
+common::Status BbsehDetector::Fit(const data::DataFrame& reference) {
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model_->PredictProba(reference));
+  reference_class_counts_.assign(probabilities.cols(), 0.0);
+  for (size_t predicted : probabilities.ArgMaxPerRow()) {
+    reference_class_counts_[predicted] += 1.0;
+  }
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+common::Result<bool> BbsehDetector::DetectsShift(
+    const data::DataFrame& serving) const {
+  if (!fitted_) {
+    return common::Status::FailedPrecondition("DetectsShift before Fit");
+  }
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model_->PredictProba(serving));
+  return DetectsShiftFromProba(probabilities);
+}
+
+common::Result<bool> BbsehDetector::DetectsShiftFromProba(
+    const linalg::Matrix& probabilities) const {
+  if (!fitted_) {
+    return common::Status::FailedPrecondition("DetectsShift before Fit");
+  }
+  std::vector<double> serving_counts(probabilities.cols(), 0.0);
+  for (size_t predicted : probabilities.ArgMaxPerRow()) {
+    serving_counts[predicted] += 1.0;
+  }
+  const stats::TestResult test = stats::ChiSquaredHomogeneityTest(
+      reference_class_counts_, serving_counts);
+  return test.Rejects(alpha_);
+}
+
+}  // namespace bbv::core

@@ -1,0 +1,117 @@
+#ifndef BBV_CORE_BASELINES_H_
+#define BBV_CORE_BASELINES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataframe.h"
+#include "linalg/matrix.h"
+#include "ml/black_box.h"
+
+namespace bbv::core {
+
+/// Task-independent dataset-shift detectors, the paper's §6.2 baselines.
+/// Each is "fitted" on clean reference data and later asked whether a
+/// serving batch looks shifted. A detected shift is interpreted as an alarm
+/// ("do not trust the predictions") when computing validation F1 scores.
+class ShiftDetector {
+ public:
+  virtual ~ShiftDetector() = default;
+
+  /// True if the detector flags the serving batch as shifted.
+  virtual common::Result<bool> DetectsShift(
+      const data::DataFrame& serving) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// REL: univariate shift detection on the *raw input columns* —
+/// Kolmogorov-Smirnov tests for numeric columns and chi-squared tests for
+/// categorical columns against the reference data, with Bonferroni
+/// correction across columns. Ignores text and image columns (the paper
+/// notes REL "was not applicable to the image dataset").
+class RelShiftDetector : public ShiftDetector {
+ public:
+  explicit RelShiftDetector(double alpha = 0.05) : alpha_(alpha) {}
+
+  /// Records the reference distributions from clean data.
+  common::Status Fit(const data::DataFrame& reference);
+
+  common::Result<bool> DetectsShift(
+      const data::DataFrame& serving) const override;
+  std::string Name() const override { return "REL"; }
+
+ private:
+  double alpha_;
+  bool fitted_ = false;
+  /// Numeric column name -> reference values.
+  std::vector<std::pair<std::string, std::vector<double>>> numeric_reference_;
+  /// Categorical column name -> (category -> count).
+  std::vector<std::pair<std::string,
+                        std::unordered_map<std::string, double>>>
+      categorical_reference_;
+};
+
+/// BBSE (Lipton et al.): Kolmogorov-Smirnov test between the black box
+/// model's softmax outputs on the clean test data and on the serving data,
+/// per class dimension with Bonferroni correction.
+class BbseDetector : public ShiftDetector {
+ public:
+  explicit BbseDetector(const ml::BlackBox* model, double alpha = 0.05)
+      : model_(model), alpha_(alpha) {
+    BBV_CHECK(model_ != nullptr);
+  }
+
+  /// Retains the model outputs on the clean reference data.
+  common::Status Fit(const data::DataFrame& reference);
+
+  common::Result<bool> DetectsShift(
+      const data::DataFrame& serving) const override;
+
+  /// Decision from precomputed model outputs (avoids re-running the model
+  /// when the caller already has them).
+  common::Result<bool> DetectsShiftFromProba(
+      const linalg::Matrix& probabilities) const;
+
+  std::string Name() const override { return "BBSE"; }
+
+ private:
+  const ml::BlackBox* model_;
+  double alpha_;
+  bool fitted_ = false;
+  linalg::Matrix reference_probabilities_;
+};
+
+/// BBSEh (hard-label variant, Rabanser et al.): chi-squared test between
+/// the counts of the *predicted classes* on the clean test data and on the
+/// serving data.
+class BbsehDetector : public ShiftDetector {
+ public:
+  explicit BbsehDetector(const ml::BlackBox* model, double alpha = 0.05)
+      : model_(model), alpha_(alpha) {
+    BBV_CHECK(model_ != nullptr);
+  }
+
+  common::Status Fit(const data::DataFrame& reference);
+
+  common::Result<bool> DetectsShift(
+      const data::DataFrame& serving) const override;
+
+  /// Decision from precomputed model outputs.
+  common::Result<bool> DetectsShiftFromProba(
+      const linalg::Matrix& probabilities) const;
+
+  std::string Name() const override { return "BBSE-h"; }
+
+ private:
+  const ml::BlackBox* model_;
+  double alpha_;
+  bool fitted_ = false;
+  std::vector<double> reference_class_counts_;
+};
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_BASELINES_H_

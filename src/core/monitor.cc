@@ -1,0 +1,74 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace bbv::core {
+
+ModelMonitor::ModelMonitor(const ml::BlackBox* model,
+                           PerformancePredictor predictor, Options options)
+    : model_(model), predictor_(std::move(predictor)), options_(options) {
+  BBV_CHECK(model_ != nullptr);
+  BBV_CHECK(predictor_.trained()) << "ModelMonitor needs a trained predictor";
+  BBV_CHECK(options_.alarm_threshold > 0.0 && options_.alarm_threshold < 1.0);
+  BBV_CHECK_GT(options_.history_limit, 0u);
+}
+
+common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
+    const data::DataFrame& serving) {
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model_->PredictProba(serving));
+  return ObserveFromProba(probabilities);
+}
+
+common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
+    const linalg::Matrix& probabilities) {
+  if (probabilities.rows() == 0) {
+    return common::Status::InvalidArgument("empty serving batch");
+  }
+  BBV_ASSIGN_OR_RETURN(double estimate,
+                       predictor_.EstimateScoreFromProba(probabilities));
+  BatchReport report;
+  report.batch_id = batches_observed_++;
+  report.rows = probabilities.rows();
+  report.estimated_score = estimate;
+  report.reference_score = predictor_.test_score();
+  report.relative_drop =
+      report.reference_score > 0.0
+          ? (report.reference_score - estimate) / report.reference_score
+          : 0.0;
+  report.alarm = report.relative_drop > options_.alarm_threshold;
+  if (report.alarm) ++alarms_raised_;
+  history_.push_back(report);
+  if (history_.size() > options_.history_limit) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<ptrdiff_t>(
+                                          history_.size() -
+                                          options_.history_limit));
+  }
+  return report;
+}
+
+std::string ModelMonitor::Summary() const {
+  std::ostringstream os;
+  os << "ModelMonitor(" << model_->Name() << "): " << batches_observed_
+     << " batches observed, " << alarms_raised_ << " alarms\n";
+  os << "reference score: " << predictor_.test_score() << "\n";
+  if (!history_.empty()) {
+    std::vector<double> estimates;
+    estimates.reserve(history_.size());
+    for (const BatchReport& report : history_) {
+      estimates.push_back(report.estimated_score);
+    }
+    const std::vector<double> bands =
+        stats::Percentiles(estimates, {5.0, 50.0, 95.0});
+    os << "recent estimates (" << history_.size()
+       << " batches): p5=" << bands[0] << " median=" << bands[1]
+       << " p95=" << bands[2] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bbv::core

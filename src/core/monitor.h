@@ -1,0 +1,72 @@
+#ifndef BBV_CORE_MONITOR_H_
+#define BBV_CORE_MONITOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/performance_predictor.h"
+#include "data/dataframe.h"
+#include "ml/black_box.h"
+
+namespace bbv::core {
+
+/// Serving-time convenience wrapper (the "end user or serving system
+/// inspects estimated score" step from the paper's Figure 1): feeds batches
+/// through the black box and a trained performance predictor, keeps a
+/// bounded history of estimates, and renders an operations summary.
+class ModelMonitor {
+ public:
+  struct Options {
+    /// Relative quality drop that raises an alarm (e.g. 0.05 = 5%).
+    double alarm_threshold = 0.05;
+    /// Maximum batch reports retained (older entries are dropped).
+    size_t history_limit = 1000;
+  };
+
+  /// Assessment of one serving batch.
+  struct BatchReport {
+    size_t batch_id = 0;
+    size_t rows = 0;
+    /// Predictor estimate of the score on this batch.
+    double estimated_score = 0.0;
+    /// Clean-test reference score l_test.
+    double reference_score = 0.0;
+    /// (reference - estimate) / reference; positive = estimated drop.
+    double relative_drop = 0.0;
+    bool alarm = false;
+  };
+
+  /// `model` must outlive the monitor; `predictor` must be trained.
+  ModelMonitor(const ml::BlackBox* model, PerformancePredictor predictor)
+      : ModelMonitor(model, std::move(predictor), Options{}) {}
+  ModelMonitor(const ml::BlackBox* model, PerformancePredictor predictor,
+               Options options);
+
+  /// Scores one serving batch and appends the report to the history.
+  common::Result<BatchReport> Observe(const data::DataFrame& serving);
+
+  /// Report from precomputed model outputs.
+  common::Result<BatchReport> ObserveFromProba(
+      const linalg::Matrix& probabilities);
+
+  const std::vector<BatchReport>& history() const { return history_; }
+  size_t batches_observed() const { return batches_observed_; }
+  size_t alarms_raised() const { return alarms_raised_; }
+
+  /// Multi-line human-readable summary: batches seen, alarm count, and the
+  /// distribution of recent estimates.
+  std::string Summary() const;
+
+ private:
+  const ml::BlackBox* model_;
+  PerformancePredictor predictor_;
+  Options options_;
+  std::vector<BatchReport> history_;
+  size_t batches_observed_ = 0;
+  size_t alarms_raised_ = 0;
+};
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_MONITOR_H_

@@ -1,0 +1,214 @@
+#include "core/performance_predictor.h"
+
+#include <algorithm>
+
+#include "core/prediction_statistics.h"
+#include "ml/cross_validation.h"
+#include "ml/metrics.h"
+
+namespace bbv::core {
+
+namespace internal {
+
+linalg::Matrix SubsampleProba(const linalg::Matrix& probabilities,
+                              const std::vector<size_t>& rows) {
+  return probabilities.SelectRows(rows);
+}
+
+std::vector<int> SubsampleLabels(const std::vector<int>& labels,
+                                 const std::vector<size_t>& rows) {
+  std::vector<int> result;
+  result.reserve(rows.size());
+  for (size_t row : rows) result.push_back(labels[row]);
+  return result;
+}
+
+}  // namespace internal
+
+double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
+                    const std::vector<int>& labels) {
+  switch (metric) {
+    case ScoreMetric::kAccuracy:
+      return ml::AccuracyFromProba(probabilities, labels);
+    case ScoreMetric::kRocAuc:
+      return ml::RocAucFromProba(probabilities, labels);
+  }
+  BBV_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+PerformancePredictor::PerformancePredictor(Options options)
+    : options_(std::move(options)) {
+  if (options_.percentile_points.empty()) {
+    options_.percentile_points = DefaultPercentilePoints();
+  }
+}
+
+common::Status PerformancePredictor::Train(
+    const ml::BlackBox& model, const data::Dataset& test,
+    const std::vector<const errors::ErrorGen*>& generators,
+    common::Rng& rng) {
+  if (test.NumRows() == 0) {
+    return common::Status::InvalidArgument("empty test dataset");
+  }
+  if (generators.empty()) {
+    return common::Status::InvalidArgument(
+        "need at least one error generator");
+  }
+
+  // Score on the clean test data (line 2 of Algorithm 1).
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix clean_probabilities,
+                       model.PredictProba(test.features));
+  test_score_ = ComputeScore(options_.metric, clean_probabilities, test.labels);
+
+  // Collect the meta-training set M (lines 3-12).
+  std::vector<std::vector<double>> feature_rows;
+  std::vector<double> scores;
+  const bool subsample = options_.meta_batch_size > 0 &&
+                         options_.meta_batch_size < test.NumRows();
+  const auto add_example = [&](const linalg::Matrix& probabilities) {
+    if (subsample) {
+      const std::vector<size_t> rows = rng.SampleWithoutReplacement(
+          test.NumRows(), options_.meta_batch_size);
+      const linalg::Matrix batch = internal::SubsampleProba(probabilities, rows);
+      const std::vector<int> labels =
+          internal::SubsampleLabels(test.labels, rows);
+      feature_rows.push_back(
+          PredictionStatistics(batch, options_.percentile_points));
+      scores.push_back(ComputeScore(options_.metric, batch, labels));
+    } else {
+      feature_rows.push_back(
+          PredictionStatistics(probabilities, options_.percentile_points));
+      scores.push_back(
+          ComputeScore(options_.metric, probabilities, test.labels));
+    }
+  };
+  for (int c = 0; c < options_.clean_copies; ++c) {
+    add_example(clean_probabilities);
+  }
+  for (const errors::ErrorGen* generator : generators) {
+    BBV_CHECK(generator != nullptr);
+    for (int repetition = 0; repetition < options_.corruptions_per_generator;
+         ++repetition) {
+      BBV_ASSIGN_OR_RETURN(data::DataFrame corrupted,
+                           generator->Corrupt(test.features, rng));
+      BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                           model.PredictProba(corrupted));
+      add_example(probabilities);
+    }
+  }
+  return TrainFromStatistics(feature_rows, scores, test_score_, rng);
+}
+
+common::Status PerformancePredictor::TrainFromStatistics(
+    const std::vector<std::vector<double>>& statistics,
+    const std::vector<double>& scores, double test_score, common::Rng& rng) {
+  if (statistics.size() != scores.size()) {
+    return common::Status::InvalidArgument(
+        "statistics and scores disagree on the number of examples");
+  }
+  if (statistics.empty()) {
+    return common::Status::InvalidArgument("no meta-training examples");
+  }
+  test_score_ = test_score;
+  const linalg::Matrix features = linalg::Matrix::FromRows(statistics);
+  num_training_examples_ = scores.size();
+
+  // Grid search over the number of trees with k-fold CV on MAE (line 13;
+  // paper §4 trains a RandomForestRegressor with five-fold CV).
+  BBV_CHECK(!options_.tree_count_grid.empty());
+  int best_trees = options_.tree_count_grid.front();
+  double best_mae = -1.0;
+  if (options_.tree_count_grid.size() > 1 &&
+      scores.size() >= static_cast<size_t>(options_.cv_folds)) {
+    for (int tree_count : options_.tree_count_grid) {
+      auto factory = [tree_count]() {
+        ml::RandomForestRegressor::Options forest_options;
+        forest_options.num_trees = tree_count;
+        return ml::RandomForestRegressor(forest_options);
+      };
+      BBV_ASSIGN_OR_RETURN(
+          double mae,
+          ml::CrossValRegressionMae(factory, features, scores,
+                                    options_.cv_folds, rng));
+      if (best_mae < 0.0 || mae < best_mae) {
+        best_mae = mae;
+        best_trees = tree_count;
+      }
+    }
+  }
+  selected_tree_count_ = best_trees;
+
+  ml::RandomForestRegressor::Options forest_options;
+  forest_options.num_trees = best_trees;
+  regressor_ = ml::RandomForestRegressor(forest_options);
+  BBV_RETURN_NOT_OK(regressor_.Fit(features, scores, rng));
+  trained_ = true;
+  return common::Status::OK();
+}
+
+namespace {
+constexpr char kPredictorMagic[] = "BBVPP";
+constexpr uint32_t kPredictorVersion = 1;
+}  // namespace
+
+common::Status PerformancePredictor::Save(std::ostream& out) const {
+  if (!trained_) {
+    return common::Status::FailedPrecondition("Save before Train");
+  }
+  common::BinaryWriter writer(out);
+  writer.WriteMagic(kPredictorMagic, kPredictorVersion);
+  writer.WriteInt32(static_cast<int32_t>(options_.metric));
+  writer.WriteDouble(test_score_);
+  writer.WriteDoubleVector(options_.percentile_points);
+  writer.WriteInt32(static_cast<int32_t>(selected_tree_count_));
+  writer.WriteUint64(num_training_examples_);
+  BBV_RETURN_NOT_OK(writer.status());
+  return regressor_.Save(out);
+}
+
+common::Result<PerformancePredictor> PerformancePredictor::Load(
+    std::istream& in) {
+  common::BinaryReader reader(in);
+  BBV_RETURN_NOT_OK(reader.ExpectMagic(kPredictorMagic, kPredictorVersion));
+  BBV_ASSIGN_OR_RETURN(int32_t metric, reader.ReadInt32());
+  if (metric < 0 || metric > static_cast<int32_t>(ScoreMetric::kRocAuc)) {
+    return common::Status::InvalidArgument("corrupt score metric");
+  }
+  Options options;
+  options.metric = static_cast<ScoreMetric>(metric);
+  PerformancePredictor predictor(options);
+  BBV_ASSIGN_OR_RETURN(predictor.test_score_, reader.ReadDouble());
+  BBV_ASSIGN_OR_RETURN(predictor.options_.percentile_points,
+                       reader.ReadDoubleVector());
+  if (predictor.options_.percentile_points.empty()) {
+    return common::Status::InvalidArgument("corrupt percentile grid");
+  }
+  BBV_ASSIGN_OR_RETURN(int32_t tree_count, reader.ReadInt32());
+  predictor.selected_tree_count_ = tree_count;
+  BBV_ASSIGN_OR_RETURN(uint64_t examples, reader.ReadUint64());
+  predictor.num_training_examples_ = examples;
+  BBV_ASSIGN_OR_RETURN(predictor.regressor_,
+                       ml::RandomForestRegressor::Load(in));
+  predictor.trained_ = true;
+  return predictor;
+}
+
+common::Result<double> PerformancePredictor::EstimateScore(
+    const ml::BlackBox& model, const data::DataFrame& serving) const {
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model.PredictProba(serving));
+  return EstimateScoreFromProba(probabilities);
+}
+
+common::Result<double> PerformancePredictor::EstimateScoreFromProba(
+    const linalg::Matrix& probabilities) const {
+  if (!trained_) {
+    return common::Status::FailedPrecondition("EstimateScore before Train");
+  }
+  const std::vector<double> statistics =
+      PredictionStatistics(probabilities, options_.percentile_points);
+  return regressor_.PredictRow(statistics.data());
+}
+
+}  // namespace bbv::core

@@ -1,0 +1,114 @@
+#ifndef BBV_CORE_PERFORMANCE_PREDICTOR_H_
+#define BBV_CORE_PERFORMANCE_PREDICTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "errors/error_gen.h"
+#include "linalg/matrix.h"
+#include "ml/black_box.h"
+#include "ml/random_forest.h"
+
+namespace bbv::core {
+
+/// Which prediction-quality score L the predictor estimates.
+enum class ScoreMetric {
+  kAccuracy,
+  kRocAuc,
+};
+
+/// Computes the chosen score of `probabilities` against `labels`.
+double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
+                    const std::vector<int>& labels);
+
+/// The paper's core contribution (Algorithms 1 & 2): a regression model that
+/// estimates a black box classifier's prediction quality on unseen,
+/// unlabeled serving data from percentiles of the model's output
+/// distribution. Trained on synthetically corrupted copies of the held-out
+/// test set produced by user-specified error generators.
+class PerformancePredictor {
+ public:
+  struct Options {
+    /// Corrupted copies of D_test generated per error generator
+    /// (the paper repeats corruption ~100 times per column/error combo).
+    int corruptions_per_generator = 100;
+    /// Clean (uncorrupted) copies mixed into the training set, covering the
+    /// paper's p_err = 0 case.
+    int clean_copies = 5;
+    /// Percentile grid for the output statistics.
+    std::vector<double> percentile_points;
+    /// Score to predict.
+    ScoreMetric metric = ScoreMetric::kAccuracy;
+    /// When non-zero, every meta-training example is computed on a random
+    /// row subset of this size instead of the full test set. Set this to
+    /// the expected serving batch size so the output statistics carry the
+    /// same sampling noise at training and serving time.
+    size_t meta_batch_size = 0;
+    /// Grid searched over the random forest's tree count with
+    /// `cv_folds`-fold cross validation minimizing MAE (paper §4).
+    std::vector<int> tree_count_grid = {25, 50, 100};
+    int cv_folds = 5;
+  };
+
+  PerformancePredictor() : PerformancePredictor(Options{}) {}
+  explicit PerformancePredictor(Options options);
+
+  /// Algorithm 1: corrupts `test` with every generator in `generators`,
+  /// records (output percentiles, true score) pairs, and fits the random
+  /// forest regressor. `model` must already be trained; `test` must be
+  /// labeled and disjoint from the model's training data.
+  common::Status Train(
+      const ml::BlackBox& model, const data::Dataset& test,
+      const std::vector<const errors::ErrorGen*>& generators,
+      common::Rng& rng);
+
+  /// Variant of Algorithm 1 for callers that already generated the
+  /// (prediction statistics, score) pairs — e.g. the performance validator,
+  /// which shares one corruption pass between itself and its internal
+  /// predictor. `test_score` is the clean-test reference score l_test.
+  common::Status TrainFromStatistics(
+      const std::vector<std::vector<double>>& statistics,
+      const std::vector<double>& scores, double test_score, common::Rng& rng);
+
+  /// Algorithm 2: estimated score of `model` on the unlabeled serving batch.
+  common::Result<double> EstimateScore(const ml::BlackBox& model,
+                                       const data::DataFrame& serving) const;
+
+  /// Estimated score from precomputed model outputs.
+  common::Result<double> EstimateScoreFromProba(
+      const linalg::Matrix& probabilities) const;
+
+  /// Score the black box achieved on the clean held-out test set
+  /// (the paper's l_test reference value).
+  double test_score() const { return test_score_; }
+
+  /// Number of (statistics, score) training pairs collected.
+  size_t num_training_examples() const { return num_training_examples_; }
+
+  /// Tree count selected by cross-validation.
+  int selected_tree_count() const { return selected_tree_count_; }
+
+  bool trained() const { return trained_; }
+
+  /// Persists the trained predictor (random forest, percentile grid, score
+  /// metric and reference test score) so it can be deployed next to a
+  /// serving system and reloaded without retraining.
+  common::Status Save(std::ostream& out) const;
+  static common::Result<PerformancePredictor> Load(std::istream& in);
+
+ private:
+  Options options_;
+  bool trained_ = false;
+  double test_score_ = 0.0;
+  size_t num_training_examples_ = 0;
+  int selected_tree_count_ = 0;
+  ml::RandomForestRegressor regressor_;
+};
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_PERFORMANCE_PREDICTOR_H_

@@ -1,0 +1,40 @@
+#include "core/prediction_statistics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace bbv::core {
+
+std::vector<double> DefaultPercentilePoints() {
+  // The paper's 0, 5, 10, ..., 100 grid, refined with extra points in both
+  // tails: confident models (e.g. CNNs) concentrate nearly all output mass
+  // at 0/1, so the informative signal lives in the extreme percentiles.
+  std::vector<double> points = {1.0, 2.0, 3.0, 4.0};
+  for (int q = 0; q <= 100; q += 5) {
+    points.push_back(static_cast<double>(q));
+  }
+  points.insert(points.end(), {96.0, 97.0, 98.0, 99.0});
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+std::vector<double> PredictionStatistics(
+    const linalg::Matrix& probabilities,
+    const std::vector<double>& percentile_points) {
+  BBV_CHECK_GT(probabilities.rows(), 0u)
+      << "PredictionStatistics on an empty batch";
+  BBV_CHECK(!percentile_points.empty());
+  std::vector<double> features;
+  features.reserve(probabilities.cols() * percentile_points.size());
+  for (size_t k = 0; k < probabilities.cols(); ++k) {
+    const std::vector<double> column_percentiles =
+        stats::Percentiles(probabilities.Col(k), percentile_points);
+    features.insert(features.end(), column_percentiles.begin(),
+                    column_percentiles.end());
+  }
+  return features;
+}
+
+}  // namespace bbv::core

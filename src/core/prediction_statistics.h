@@ -1,0 +1,26 @@
+#ifndef BBV_CORE_PREDICTION_STATISTICS_H_
+#define BBV_CORE_PREDICTION_STATISTICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bbv::core {
+
+/// Default percentile grid: 0, 5, 10, ..., 100 (the paper collects "the 0th,
+/// 5th, 10th, ... percentile" of the model outputs), plus extra resolution
+/// at 1-4 and 96-99 for models with highly concentrated outputs.
+std::vector<double> DefaultPercentilePoints();
+
+/// The paper's prediction_statistics(Y-hat): a univariate non-parametric
+/// summary of each output dimension of the black box model. Computes the
+/// requested percentiles of every class-probability column and concatenates
+/// them, yielding num_classes * points.size() features for the performance
+/// predictor. Requires a non-empty probability matrix.
+std::vector<double> PredictionStatistics(
+    const linalg::Matrix& probabilities,
+    const std::vector<double>& percentile_points = DefaultPercentilePoints());
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_PREDICTION_STATISTICS_H_

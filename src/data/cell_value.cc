@@ -1,0 +1,20 @@
+#include "data/cell_value.h"
+
+#include <sstream>
+
+namespace bbv::data {
+
+std::string CellValue::ToString() const {
+  if (is_na()) return "NA";
+  if (is_numeric()) {
+    std::ostringstream os;
+    os << AsDouble();
+    return os.str();
+  }
+  if (is_string()) return AsString();
+  std::ostringstream os;
+  os << "<image:" << AsImage().size() << ">";
+  return os.str();
+}
+
+}  // namespace bbv::data

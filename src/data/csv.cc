@@ -1,0 +1,171 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace bbv::data {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+/// Splits one CSV record honoring quoted fields. Assumes the record contains
+/// no embedded newlines (WriteCsv never emits them unquoted; quoted newlines
+/// are not supported by this reader).
+std::vector<std::string> ParseRecord(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+common::Status WriteCsv(const DataFrame& frame, std::ostream& out) {
+  for (size_t col = 0; col < frame.NumCols(); ++col) {
+    if (frame.column(col).type() == ColumnType::kImage) {
+      return common::Status::InvalidArgument(
+          "image column '" + frame.column(col).name() +
+          "' cannot be written as CSV");
+    }
+  }
+  for (size_t col = 0; col < frame.NumCols(); ++col) {
+    if (col > 0) out << ',';
+    out << QuoteField(frame.column(col).name());
+  }
+  out << '\n';
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    for (size_t col = 0; col < frame.NumCols(); ++col) {
+      if (col > 0) out << ',';
+      const CellValue& cell = frame.column(col).cell(row);
+      if (cell.is_na()) continue;
+      if (cell.is_numeric()) {
+        std::ostringstream os;
+        os.precision(17);
+        os << cell.AsDouble();
+        out << os.str();
+      } else {
+        out << QuoteField(cell.AsString());
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return common::Status::IoError("failed writing CSV stream");
+  return common::Status::OK();
+}
+
+common::Status WriteCsvFile(const DataFrame& frame, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return common::Status::IoError("cannot open '" + path + "'");
+  return WriteCsv(frame, out);
+}
+
+common::Result<DataFrame> ReadCsv(
+    std::istream& in,
+    const std::vector<std::pair<std::string, ColumnType>>& schema) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return common::Status::IoError("empty CSV input");
+  }
+  const std::vector<std::string> names = ParseRecord(header);
+  if (names.size() != schema.size()) {
+    std::ostringstream os;
+    os << "CSV has " << names.size() << " columns, schema expects "
+       << schema.size();
+    return common::Status::InvalidArgument(os.str());
+  }
+  std::vector<Column> columns;
+  columns.reserve(schema.size());
+  for (const auto& [name, type] : schema) {
+    if (type == ColumnType::kImage) {
+      return common::Status::InvalidArgument(
+          "image columns cannot be read from CSV");
+    }
+    columns.emplace_back(name, type);
+  }
+  std::string line;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = ParseRecord(line);
+    if (fields.size() != schema.size()) {
+      std::ostringstream os;
+      os << "line " << line_number << " has " << fields.size()
+         << " fields, expected " << schema.size();
+      return common::Status::InvalidArgument(os.str());
+    }
+    for (size_t col = 0; col < fields.size(); ++col) {
+      const std::string& field = fields[col];
+      if (field.empty()) {
+        columns[col].Append(CellValue::Na());
+      } else if (schema[col].second == ColumnType::kNumeric) {
+        double value = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            field.data(), field.data() + field.size(), value);
+        if (ec != std::errc() || ptr != field.data() + field.size()) {
+          std::ostringstream os;
+          os << "line " << line_number << ": '" << field
+             << "' is not numeric in column '" << schema[col].first << "'";
+          return common::Status::InvalidArgument(os.str());
+        }
+        columns[col].Append(CellValue(value));
+      } else {
+        columns[col].Append(CellValue(field));
+      }
+    }
+  }
+  DataFrame frame;
+  for (auto& column : columns) {
+    BBV_RETURN_NOT_OK(frame.AddColumn(std::move(column)));
+  }
+  return frame;
+}
+
+common::Result<DataFrame> ReadCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, ColumnType>>& schema) {
+  std::ifstream in(path);
+  if (!in) return common::Status::IoError("cannot open '" + path + "'");
+  return ReadCsv(in, schema);
+}
+
+}  // namespace bbv::data

@@ -1,0 +1,32 @@
+#ifndef BBV_DATA_CSV_H_
+#define BBV_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "data/dataframe.h"
+
+namespace bbv::data {
+
+/// Writes a frame as RFC-4180-style CSV (header row; NA cells empty; fields
+/// containing commas/quotes/newlines are quoted). Image columns are not
+/// representable and yield an error.
+common::Status WriteCsv(const DataFrame& frame, std::ostream& out);
+common::Status WriteCsvFile(const DataFrame& frame, const std::string& path);
+
+/// Reads CSV produced by WriteCsv. `schema` gives (name, type) for each
+/// column in file order; empty fields become NA.
+common::Result<DataFrame> ReadCsv(
+    std::istream& in,
+    const std::vector<std::pair<std::string, ColumnType>>& schema);
+common::Result<DataFrame> ReadCsvFile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, ColumnType>>& schema);
+
+}  // namespace bbv::data
+
+#endif  // BBV_DATA_CSV_H_

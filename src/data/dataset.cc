@@ -1,0 +1,65 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace bbv::data {
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& row_indices) const {
+  Dataset result;
+  result.features = features.SelectRows(row_indices);
+  result.labels.reserve(row_indices.size());
+  for (size_t row : row_indices) {
+    BBV_CHECK_LT(row, labels.size());
+    result.labels.push_back(labels[row]);
+  }
+  result.num_classes = num_classes;
+  result.class_names = class_names;
+  return result;
+}
+
+DatasetSplit TrainTestSplit(const Dataset& dataset, double fraction,
+                            common::Rng& rng) {
+  BBV_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<size_t> order = rng.Permutation(dataset.NumRows());
+  const size_t cut = static_cast<size_t>(
+      static_cast<double>(order.size()) * fraction);
+  std::vector<size_t> first_rows(order.begin(), order.begin() + cut);
+  std::vector<size_t> second_rows(order.begin() + cut, order.end());
+  return DatasetSplit{dataset.SelectRows(first_rows),
+                      dataset.SelectRows(second_rows)};
+}
+
+Dataset ShuffleRows(const Dataset& dataset, common::Rng& rng) {
+  return dataset.SelectRows(rng.Permutation(dataset.NumRows()));
+}
+
+Dataset BalanceClasses(const Dataset& dataset, common::Rng& rng) {
+  std::vector<std::vector<size_t>> rows_per_class(dataset.num_classes);
+  for (size_t row = 0; row < dataset.labels.size(); ++row) {
+    const int label = dataset.labels[row];
+    BBV_CHECK(label >= 0 && label < dataset.num_classes);
+    rows_per_class[label].push_back(row);
+  }
+  size_t min_count = dataset.NumRows();
+  for (const auto& rows : rows_per_class) {
+    min_count = std::min(min_count, rows.size());
+  }
+  std::vector<size_t> selected;
+  for (auto& rows : rows_per_class) {
+    rng.Shuffle(rows);
+    selected.insert(selected.end(), rows.begin(), rows.begin() + min_count);
+  }
+  rng.Shuffle(selected);
+  return dataset.SelectRows(selected);
+}
+
+std::vector<size_t> ClassCounts(const Dataset& dataset) {
+  std::vector<size_t> counts(dataset.num_classes, 0);
+  for (int label : dataset.labels) {
+    BBV_CHECK(label >= 0 && label < dataset.num_classes);
+    ++counts[label];
+  }
+  return counts;
+}
+
+}  // namespace bbv::data

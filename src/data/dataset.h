@@ -1,0 +1,48 @@
+#ifndef BBV_DATA_DATASET_H_
+#define BBV_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataframe.h"
+
+namespace bbv::data {
+
+/// A labeled relational dataset: a feature frame plus an integer label per
+/// row (labels in [0, num_classes)). Matches the paper's {(t, y)} notation.
+struct Dataset {
+  DataFrame features;
+  std::vector<int> labels;
+  int num_classes = 2;
+  /// Optional human-readable class names (e.g. {"<=50K", ">50K"}).
+  std::vector<std::string> class_names;
+
+  size_t NumRows() const { return labels.size(); }
+
+  /// Subset of the dataset at the given row indices (order kept, repeats ok).
+  Dataset SelectRows(const std::vector<size_t>& row_indices) const;
+};
+
+/// Disjoint random split into (first, second) with `fraction` of the rows in
+/// the first part. Used for D_source / D_serving and D_train / D_test splits.
+struct DatasetSplit {
+  Dataset first;
+  Dataset second;
+};
+DatasetSplit TrainTestSplit(const Dataset& dataset, double fraction,
+                            common::Rng& rng);
+
+/// Random permutation of the rows.
+Dataset ShuffleRows(const Dataset& dataset, common::Rng& rng);
+
+/// Downsamples the majority classes so all classes have equal counts
+/// (the paper resamples to balanced classes so accuracy is interpretable).
+Dataset BalanceClasses(const Dataset& dataset, common::Rng& rng);
+
+/// Per-class row counts (size num_classes).
+std::vector<size_t> ClassCounts(const Dataset& dataset);
+
+}  // namespace bbv::data
+
+#endif  // BBV_DATA_DATASET_H_

@@ -1,0 +1,155 @@
+#include "datasets/images.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bbv::datasets {
+
+namespace {
+
+/// Tiny raster canvas addressed in unit coordinates, with per-image jitter
+/// applied at construction so every rendered stroke shifts coherently.
+class Canvas {
+ public:
+  Canvas(size_t side, common::Rng& rng)
+      : side_(side),
+        pixels_(side * side, 0.0),
+        offset_y_(rng.Uniform(-0.12, 0.12)),
+        offset_x_(rng.Uniform(-0.12, 0.12)),
+        intensity_(rng.Uniform(0.6, 1.0)),
+        thickness_(rng.Uniform(0.04, 0.11)) {}
+
+  /// Fills the axis-aligned rectangle [y0,y1] x [x0,x1] (unit coords).
+  void FillRect(double y0, double y1, double x0, double x1) {
+    const double s = static_cast<double>(side_);
+    const auto row0 = ClampIndex((y0 + offset_y_) * s);
+    const auto row1 = ClampIndex((y1 + offset_y_) * s);
+    const auto col0 = ClampIndex((x0 + offset_x_) * s);
+    const auto col1 = ClampIndex((x1 + offset_x_) * s);
+    for (size_t r = row0; r <= row1; ++r) {
+      for (size_t c = col0; c <= col1; ++c) {
+        pixels_[r * side_ + c] = intensity_;
+      }
+    }
+  }
+
+  /// Horizontal stroke at height y spanning [x0, x1].
+  void HStroke(double y, double x0, double x1) {
+    FillRect(y - thickness_ / 2.0, y + thickness_ / 2.0, x0, x1);
+  }
+
+  /// Vertical stroke at x spanning [y0, y1].
+  void VStroke(double x, double y0, double y1) {
+    FillRect(y0, y1, x - thickness_ / 2.0, x + thickness_ / 2.0);
+  }
+
+  /// Adds gaussian pixel noise and clips to [0, 1].
+  std::vector<double> Finish(common::Rng& rng, double noise_stddev = 0.09) {
+    for (double& p : pixels_) {
+      p = std::clamp(p + rng.Gaussian(0.0, noise_stddev), 0.0, 1.0);
+    }
+    return std::move(pixels_);
+  }
+
+ private:
+  size_t ClampIndex(double value) const {
+    const auto index = static_cast<long>(std::floor(value));
+    return static_cast<size_t>(
+        std::clamp(index, 0L, static_cast<long>(side_) - 1));
+  }
+
+  size_t side_;
+  std::vector<double> pixels_;
+  double offset_y_;
+  double offset_x_;
+  double intensity_;
+  double thickness_;
+};
+
+}  // namespace
+
+std::vector<double> RenderDigit(int digit, size_t side, common::Rng& rng) {
+  BBV_CHECK(digit == 3 || digit == 5) << "only digits 3 and 5 are supported";
+  Canvas canvas(side, rng);
+  if (digit == 3) {
+    // Three horizontal bars connected on the right.
+    canvas.HStroke(0.18, 0.28, 0.72);
+    canvas.HStroke(0.50, 0.34, 0.72);
+    canvas.HStroke(0.82, 0.28, 0.72);
+    canvas.VStroke(0.72, 0.18, 0.82);
+  } else {
+    // Top bar, left upper vertical, middle bar, right lower vertical,
+    // bottom bar.
+    canvas.HStroke(0.18, 0.28, 0.72);
+    canvas.VStroke(0.28, 0.18, 0.50);
+    canvas.HStroke(0.50, 0.28, 0.70);
+    canvas.VStroke(0.70, 0.50, 0.82);
+    canvas.HStroke(0.82, 0.28, 0.70);
+  }
+  return canvas.Finish(rng);
+}
+
+std::vector<double> RenderFashionItem(int category, size_t side,
+                                      common::Rng& rng) {
+  BBV_CHECK(category == 0 || category == 1)
+      << "categories: 0 = sneaker, 1 = ankle boot";
+  Canvas canvas(side, rng);
+  if (category == 0) {
+    // Sneaker: long flat sole with a low body and a toe wedge.
+    canvas.FillRect(0.72, 0.82, 0.10, 0.90);           // sole
+    canvas.FillRect(0.55, 0.72, 0.30, 0.85);           // low body
+    canvas.FillRect(0.62, 0.72, 0.10, 0.30);           // toe
+  } else {
+    // Ankle boot: shorter sole, foot block, and a shaft of variable
+    // height (short shafts approach the sneaker silhouette).
+    const double shaft_top = rng.Uniform(0.18, 0.42);
+    canvas.FillRect(0.74, 0.84, 0.15, 0.80);           // sole
+    canvas.FillRect(0.58, 0.74, 0.25, 0.78);           // foot
+    canvas.FillRect(shaft_top, 0.58, 0.52, 0.78);      // shaft
+  }
+  return canvas.Finish(rng);
+}
+
+namespace {
+
+data::Dataset MakeImageDataset(size_t num_rows, size_t image_side,
+                               common::Rng& rng, bool fashion) {
+  std::vector<std::vector<double>> images(num_rows);
+  std::vector<int> labels(num_rows);
+  // Small label noise keeps the tasks realistically imperfect (fashion
+  // products are more ambiguous than digits).
+  const double label_noise = fashion ? 0.02 : 0.005;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const bool second_class = rng.Bernoulli(0.5);
+    if (fashion) {
+      images[i] = RenderFashionItem(second_class ? 1 : 0, image_side, rng);
+    } else {
+      images[i] = RenderDigit(second_class ? 5 : 3, image_side, rng);
+    }
+    const bool flipped = rng.Bernoulli(label_noise);
+    labels[i] = (second_class != flipped) ? 1 : 0;
+  }
+  data::Dataset dataset;
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Image("image", images)).ok());
+  dataset.labels = std::move(labels);
+  dataset.num_classes = 2;
+  dataset.class_names = fashion
+                            ? std::vector<std::string>{"sneaker", "ankle-boot"}
+                            : std::vector<std::string>{"3", "5"};
+  return dataset;
+}
+
+}  // namespace
+
+data::Dataset MakeDigits(size_t num_rows, size_t image_side,
+                         common::Rng& rng) {
+  return MakeImageDataset(num_rows, image_side, rng, /*fashion=*/false);
+}
+
+data::Dataset MakeFashion(size_t num_rows, size_t image_side,
+                          common::Rng& rng) {
+  return MakeImageDataset(num_rows, image_side, rng, /*fashion=*/true);
+}
+
+}  // namespace bbv::datasets

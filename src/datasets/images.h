@@ -1,0 +1,35 @@
+#ifndef BBV_DATASETS_IMAGES_H_
+#define BBV_DATASETS_IMAGES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace bbv::datasets {
+
+/// Synthetic stand-ins for the paper's two binary image datasets (MNIST
+/// digits 3-vs-5 and Fashion-MNIST sneaker-vs-ankle-boot). Images are
+/// rendered from parametric stroke templates with random translation,
+/// thickness, intensity and pixel noise, so the classes are cleanly but not
+/// trivially separable — the regime where the CNN scores high and noise /
+/// rotation corruptions degrade it smoothly.
+
+/// Renders one digit ('3' or '5') on a side x side canvas.
+std::vector<double> RenderDigit(int digit, size_t side, common::Rng& rng);
+
+/// Renders one fashion item (0 = sneaker, 1 = ankle boot).
+std::vector<double> RenderFashionItem(int category, size_t side,
+                                      common::Rng& rng);
+
+/// MNIST-3-vs-5 analogue; one image column "image", label 0 for '3' and 1
+/// for '5'.
+data::Dataset MakeDigits(size_t num_rows, size_t image_side, common::Rng& rng);
+
+/// Fashion-MNIST analogue; label 0 for sneaker, 1 for ankle boot.
+data::Dataset MakeFashion(size_t num_rows, size_t image_side,
+                          common::Rng& rng);
+
+}  // namespace bbv::datasets
+
+#endif  // BBV_DATASETS_IMAGES_H_

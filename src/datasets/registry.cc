@@ -1,0 +1,29 @@
+#include "datasets/registry.h"
+
+#include "datasets/images.h"
+#include "datasets/tabular.h"
+#include "datasets/text.h"
+
+namespace bbv::datasets {
+
+std::vector<std::string> DatasetNames() {
+  return {"income", "heart", "bank", "tweets", "digits", "fashion"};
+}
+
+common::Result<data::Dataset> MakeByName(const std::string& name,
+                                         const DatasetOptions& options,
+                                         common::Rng& rng) {
+  if (name == "income") return MakeIncome(options.num_rows, rng);
+  if (name == "heart") return MakeHeart(options.num_rows, rng);
+  if (name == "bank") return MakeBank(options.num_rows, rng);
+  if (name == "tweets") return MakeTweets(options.num_rows, rng);
+  if (name == "digits") {
+    return MakeDigits(options.num_rows, options.image_side, rng);
+  }
+  if (name == "fashion") {
+    return MakeFashion(options.num_rows, options.image_side, rng);
+  }
+  return common::Status::InvalidArgument("unknown dataset '" + name + "'");
+}
+
+}  // namespace bbv::datasets

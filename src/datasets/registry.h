@@ -1,0 +1,31 @@
+#ifndef BBV_DATASETS_REGISTRY_H_
+#define BBV_DATASETS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace bbv::datasets {
+
+/// Generation options shared by all dataset factories.
+struct DatasetOptions {
+  size_t num_rows = 4000;
+  /// Side length for the image datasets (digits / fashion).
+  size_t image_side = 16;
+};
+
+/// Names of all bundled datasets: income, heart, bank, tweets, digits,
+/// fashion — matching the paper's evaluation.
+std::vector<std::string> DatasetNames();
+
+/// Generates the named dataset, or InvalidArgument for an unknown name.
+common::Result<data::Dataset> MakeByName(const std::string& name,
+                                         const DatasetOptions& options,
+                                         common::Rng& rng);
+
+}  // namespace bbv::datasets
+
+#endif  // BBV_DATASETS_REGISTRY_H_

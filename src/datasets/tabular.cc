@@ -1,0 +1,283 @@
+#include "datasets/tabular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace bbv::datasets {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double ClippedGaussian(common::Rng& rng, double mean, double stddev,
+                       double low, double high) {
+  return std::clamp(rng.Gaussian(mean, stddev), low, high);
+}
+
+/// Samples an index from unnormalized weights.
+size_t SampleIndex(common::Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double u = rng.Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace
+
+data::Dataset MakeIncome(size_t num_rows, common::Rng& rng) {
+  const std::vector<std::string> kEducation = {
+      "HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate"};
+  const std::vector<double> kEducationWeights = {0.35, 0.25, 0.25, 0.10, 0.05};
+  const std::vector<std::string> kOccupation = {
+      "Service", "Manual", "Admin", "Sales", "Tech", "Exec-managerial"};
+  const std::vector<double> kOccupationWeights = {0.2, 0.2, 0.2, 0.15, 0.15,
+                                                  0.1};
+  const std::vector<double> kOccupationScore = {0.0, 0.0, 0.7, 0.9, 1.6, 2.2};
+  const std::vector<std::string> kWorkclass = {"Private", "Government",
+                                               "Self-employed"};
+  const std::vector<std::string> kMarital = {"Married", "Never-married",
+                                             "Divorced"};
+
+  std::vector<double> age(num_rows);
+  std::vector<double> hours(num_rows);
+  std::vector<double> capital_gain(num_rows);
+  std::vector<double> education_years(num_rows);
+  std::vector<std::string> education(num_rows);
+  std::vector<std::string> relationship(num_rows);
+  std::vector<std::string> occupation(num_rows);
+  std::vector<std::string> workclass(num_rows);
+  std::vector<std::string> marital(num_rows);
+  std::vector<int> labels(num_rows);
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    age[i] = std::round(ClippedGaussian(rng, 40.0, 12.0, 18.0, 80.0));
+    hours[i] = std::round(ClippedGaussian(rng, 42.0, 10.0, 10.0, 80.0));
+    capital_gain[i] =
+        rng.Bernoulli(0.8)
+            ? 0.0
+            : std::round(std::exp(rng.Gaussian(7.0, 1.2)));
+    const size_t edu = SampleIndex(rng, kEducationWeights);
+    const size_t occ = SampleIndex(rng, kOccupationWeights);
+    education[i] = kEducation[edu];
+    // Redundant numeric encoding of education (like adult's education-num).
+    education_years[i] = std::round(
+        ClippedGaussian(rng, 10.0 + 2.0 * static_cast<double>(edu), 0.7, 8.0,
+                        20.0));
+    occupation[i] = kOccupation[occ];
+    workclass[i] = kWorkclass[rng.UniformInt(kWorkclass.size())];
+    // Marital status mildly correlated with age.
+    marital[i] = age[i] > 32.0 && rng.Bernoulli(0.7)
+                     ? kMarital[0]
+                     : kMarital[1 + rng.UniformInt(static_cast<size_t>(2))];
+    // Redundant with marital status (like adult's relationship attribute).
+    relationship[i] = marital[i] == "Married"
+                          ? (rng.Bernoulli(0.6) ? "Husband" : "Wife")
+                          : (rng.Bernoulli(0.7) ? "Not-in-family"
+                                                : "Own-child");
+    const double married_bonus = marital[i] == "Married" ? 0.5 : 0.0;
+    const double score = 0.045 * (age[i] - 40.0) +
+                         0.9 * static_cast<double>(edu) +
+                         kOccupationScore[occ] +
+                         0.05 * (hours[i] - 42.0) +
+                         0.35 * std::log1p(capital_gain[i] / 1000.0) +
+                         married_bonus - 2.1;
+    labels[i] = rng.Bernoulli(Sigmoid(1.1 * score)) ? 1 : 0;
+  }
+
+  data::Dataset dataset;
+  BBV_CHECK(dataset.features.AddColumn(data::Column::Numeric("age", age)).ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Numeric("hours_per_week", hours))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Numeric("capital_gain", capital_gain))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(
+                    data::Column::Numeric("education_years", education_years))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("education", education))
+                .ok());
+  BBV_CHECK(
+      dataset.features
+          .AddColumn(data::Column::Categorical("relationship", relationship))
+          .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("occupation", occupation))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("workclass", workclass))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("marital_status", marital))
+                .ok());
+  dataset.labels = std::move(labels);
+  dataset.num_classes = 2;
+  dataset.class_names = {"<=50K", ">50K"};
+  return dataset;
+}
+
+data::Dataset MakeHeart(size_t num_rows, common::Rng& rng) {
+  const std::vector<std::string> kLevels = {"normal", "above-normal",
+                                            "well-above-normal"};
+
+  std::vector<double> age(num_rows);
+  std::vector<double> height(num_rows);
+  std::vector<double> weight(num_rows);
+  std::vector<double> ap_hi(num_rows);
+  std::vector<double> ap_lo(num_rows);
+  std::vector<std::string> gender(num_rows);
+  std::vector<std::string> cholesterol(num_rows);
+  std::vector<std::string> glucose(num_rows);
+  std::vector<std::string> smoke(num_rows);
+  std::vector<std::string> active(num_rows);
+  std::vector<int> labels(num_rows);
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    // Latent cardiovascular risk drives both features and label.
+    const double risk = rng.Uniform();
+    age[i] = std::round(
+        ClippedGaussian(rng, 45.0 + 18.0 * risk, 7.0, 30.0, 80.0));
+    const bool male = rng.Bernoulli(0.5);
+    gender[i] = male ? "male" : "female";
+    height[i] = std::round(
+        ClippedGaussian(rng, male ? 172.0 : 160.0, 7.0, 140.0, 200.0));
+    weight[i] = std::round(ClippedGaussian(
+        rng, 64.0 + 24.0 * risk + (male ? 8.0 : 0.0), 10.0, 40.0, 160.0));
+    ap_hi[i] = std::round(
+        ClippedGaussian(rng, 112.0 + 38.0 * risk, 12.0, 80.0, 220.0));
+    ap_lo[i] = std::round(
+        ClippedGaussian(rng, 72.0 + 22.0 * risk, 9.0, 50.0, 140.0));
+    const size_t chol_level = SampleIndex(
+        rng, {1.0 - 0.6 * risk + 0.2, 0.4 + 0.3 * risk, 0.1 + 0.6 * risk});
+    cholesterol[i] = kLevels[chol_level];
+    const size_t gluc_level = SampleIndex(
+        rng, {1.2 - 0.5 * risk, 0.3 + 0.2 * risk, 0.1 + 0.4 * risk});
+    glucose[i] = kLevels[gluc_level];
+    smoke[i] = rng.Bernoulli(0.15 + 0.15 * risk) ? "yes" : "no";
+    active[i] = rng.Bernoulli(0.85 - 0.3 * risk) ? "yes" : "no";
+    labels[i] = rng.Bernoulli(Sigmoid(5.0 * (risk - 0.5))) ? 1 : 0;
+  }
+
+  data::Dataset dataset;
+  BBV_CHECK(dataset.features.AddColumn(data::Column::Numeric("age", age)).ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("height", height)).ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("weight", weight)).ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("ap_hi", ap_hi)).ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("ap_lo", ap_lo)).ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("gender", gender))
+                .ok());
+  BBV_CHECK(
+      dataset.features
+          .AddColumn(data::Column::Categorical("cholesterol", cholesterol))
+          .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("glucose", glucose))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("smoke", smoke))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("active", active))
+                .ok());
+  dataset.labels = std::move(labels);
+  dataset.num_classes = 2;
+  dataset.class_names = {"no-disease", "disease"};
+  return dataset;
+}
+
+data::Dataset MakeBank(size_t num_rows, common::Rng& rng) {
+  const std::vector<std::string> kJob = {
+      "admin",   "blue-collar", "entrepreneur", "management",
+      "retired", "services",    "student",      "technician"};
+  const std::vector<std::string> kMarital = {"married", "single", "divorced"};
+  const std::vector<std::string> kEducation = {"primary", "secondary",
+                                               "tertiary"};
+
+  std::vector<double> age(num_rows);
+  std::vector<double> balance(num_rows);
+  std::vector<double> duration(num_rows);
+  std::vector<double> campaign(num_rows);
+  std::vector<double> previous(num_rows);
+  std::vector<std::string> job(num_rows);
+  std::vector<std::string> marital(num_rows);
+  std::vector<std::string> education(num_rows);
+  std::vector<std::string> housing(num_rows);
+  std::vector<std::string> loan(num_rows);
+  std::vector<int> labels(num_rows);
+
+  for (size_t i = 0; i < num_rows; ++i) {
+    // Latent propensity to subscribe drives call duration, balance, history.
+    const double propensity = rng.Uniform();
+    age[i] = std::round(ClippedGaussian(rng, 41.0, 11.0, 18.0, 90.0));
+    balance[i] = std::round(
+        ClippedGaussian(rng, 300.0 + 2200.0 * propensity, 700.0, -800.0,
+                        8000.0));
+    duration[i] = std::round(
+        ClippedGaussian(rng, 90.0 + 420.0 * propensity, 90.0, 5.0, 1200.0));
+    campaign[i] = 1.0 + std::floor(std::exp(
+        rng.Gaussian(0.6 * (1.0 - propensity), 0.6)));
+    previous[i] = rng.Bernoulli(0.2 + 0.4 * propensity)
+                      ? std::round(rng.Uniform(1.0, 6.0))
+                      : 0.0;
+    const size_t job_index = rng.UniformInt(kJob.size());
+    job[i] = kJob[job_index];
+    marital[i] = kMarital[SampleIndex(rng, {0.6, 0.28, 0.12})];
+    education[i] =
+        kEducation[SampleIndex(rng, {0.15, 0.5, 0.35})];
+    housing[i] = rng.Bernoulli(0.55 - 0.2 * propensity) ? "yes" : "no";
+    loan[i] = rng.Bernoulli(0.16 - 0.08 * propensity) ? "yes" : "no";
+    const double retiree_bonus = job[i] == "retired" || job[i] == "student"
+                                     ? 0.5
+                                     : 0.0;
+    const double score = 6.5 * (propensity - 0.5) + retiree_bonus +
+                         (education[i] == "tertiary" ? 0.3 : 0.0);
+    labels[i] = rng.Bernoulli(Sigmoid(score)) ? 1 : 0;
+  }
+
+  data::Dataset dataset;
+  BBV_CHECK(dataset.features.AddColumn(data::Column::Numeric("age", age)).ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("balance", balance))
+          .ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("duration", duration))
+          .ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("campaign", campaign))
+          .ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Numeric("previous", previous))
+          .ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Categorical("job", job)).ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("marital", marital))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("education", education))
+                .ok());
+  BBV_CHECK(dataset.features
+                .AddColumn(data::Column::Categorical("housing", housing))
+                .ok());
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Categorical("loan", loan)).ok());
+  dataset.labels = std::move(labels);
+  dataset.num_classes = 2;
+  dataset.class_names = {"no-subscription", "subscription"};
+  return dataset;
+}
+
+}  // namespace bbv::datasets

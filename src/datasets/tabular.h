@@ -1,0 +1,34 @@
+#ifndef BBV_DATASETS_TABULAR_H_
+#define BBV_DATASETS_TABULAR_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace bbv::datasets {
+
+/// Synthetic stand-ins for the paper's three tabular datasets. No network
+/// access is available for the originals (UCI adult, Kaggle cardio, UCI bank
+/// marketing), so each generator reproduces the original's schema shape
+/// (mixed numeric/categorical attributes, comparable cardinalities) with a
+/// class-conditional generative process and label noise tuned so that the
+/// black box models reach realistic (non-trivial, non-perfect) accuracy.
+/// DESIGN.md documents why this preserves the experiments' behaviour.
+
+/// Adult-income analogue: predict whether a person earns more than $50K.
+/// Columns: age, hours_per_week, capital_gain (numeric); education,
+/// occupation, workclass, marital_status (categorical).
+data::Dataset MakeIncome(size_t num_rows, common::Rng& rng);
+
+/// Cardiovascular-disease analogue: predict the presence of heart disease.
+/// Columns: age, height, weight, ap_hi, ap_lo (numeric); gender,
+/// cholesterol, glucose, smoke, active (categorical).
+data::Dataset MakeHeart(size_t num_rows, common::Rng& rng);
+
+/// Bank-marketing analogue: predict whether a customer subscribes a term
+/// deposit. Columns: age, balance, duration, campaign, previous (numeric);
+/// job, marital, education, housing, loan (categorical).
+data::Dataset MakeBank(size_t num_rows, common::Rng& rng);
+
+}  // namespace bbv::datasets
+
+#endif  // BBV_DATASETS_TABULAR_H_

@@ -1,0 +1,54 @@
+#include "datasets/text.h"
+
+#include <string>
+#include <vector>
+
+namespace bbv::datasets {
+
+data::Dataset MakeTweets(size_t num_rows, common::Rng& rng) {
+  const std::vector<std::string> kTroll = {
+      "idiot",   "stupid", "loser",    "hate",  "dumb",  "shut",
+      "ugly",    "trash",  "moron",    "pathetic", "clown", "garbage",
+      "worst",   "fool",   "disgusting"};
+  const std::vector<std::string> kBenign = {
+      "love",   "great",  "thanks", "happy",  "nice",    "awesome",
+      "friend", "music",  "coffee", "sunny",  "weekend", "excited",
+      "best",   "cool",   "beautiful"};
+  const std::vector<std::string> kFiller = {
+      "you",   "the",  "this",  "that",  "just", "really", "so",
+      "today", "game", "people", "time", "going", "day",   "now",
+      "what",  "lol",  "omg",   "my",    "a",    "is"};
+
+  std::vector<std::string> texts(num_rows);
+  std::vector<int> labels(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const bool troll = rng.Bernoulli(0.5);
+    labels[i] = troll ? 1 : 0;
+    const size_t length = 5 + rng.UniformInt(static_cast<size_t>(8));
+    std::string text;
+    for (size_t t = 0; t < length; ++t) {
+      if (!text.empty()) text += ' ';
+      const double u = rng.Uniform();
+      if (u < 0.35) {
+        // Class-informative token, with a little cross-class leakage so the
+        // problem is not trivially separable.
+        const bool flip = rng.Bernoulli(0.08);
+        const bool use_troll = troll != flip;
+        text += use_troll ? rng.Choice(kTroll) : rng.Choice(kBenign);
+      } else {
+        text += rng.Choice(kFiller);
+      }
+    }
+    texts[i] = text;
+  }
+
+  data::Dataset dataset;
+  BBV_CHECK(
+      dataset.features.AddColumn(data::Column::Text("text", texts)).ok());
+  dataset.labels = std::move(labels);
+  dataset.num_classes = 2;
+  dataset.class_names = {"benign", "troll"};
+  return dataset;
+}
+
+}  // namespace bbv::datasets

@@ -1,0 +1,18 @@
+#ifndef BBV_DATASETS_TEXT_H_
+#define BBV_DATASETS_TEXT_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace bbv::datasets {
+
+/// Cyber-troll tweets analogue (DataTurks dataset in the paper): one text
+/// column "text"; the label marks trolling/insulting tweets. Tweets are
+/// generated from overlapping troll / benign / filler vocabularies so that
+/// an n-gram model reaches high-but-imperfect accuracy and the adversarial
+/// leetspeak corruption destroys the informative tokens.
+data::Dataset MakeTweets(size_t num_rows, common::Rng& rng);
+
+}  // namespace bbv::datasets
+
+#endif  // BBV_DATASETS_TEXT_H_

@@ -1,0 +1,93 @@
+#include "errors/distribution_shift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace bbv::errors {
+
+common::Result<data::Dataset> ResampleLabelShift(const data::Dataset& dataset,
+                                                 double positive_fraction,
+                                                 common::Rng& rng,
+                                                 size_t size) {
+  if (dataset.num_classes != 2) {
+    return common::Status::InvalidArgument(
+        "label shift resampling supports binary datasets only");
+  }
+  if (positive_fraction < 0.0 || positive_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "positive_fraction must be in [0, 1]");
+  }
+  std::vector<size_t> positives;
+  std::vector<size_t> negatives;
+  for (size_t row = 0; row < dataset.NumRows(); ++row) {
+    (dataset.labels[row] == 1 ? positives : negatives).push_back(row);
+  }
+  if (positives.empty() || negatives.empty()) {
+    return common::Status::FailedPrecondition(
+        "both classes must be present to shift the label distribution");
+  }
+  const size_t total = size == 0 ? dataset.NumRows() : size;
+  std::vector<size_t> rows;
+  rows.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const bool positive = rng.Bernoulli(positive_fraction);
+    const std::vector<size_t>& pool = positive ? positives : negatives;
+    rows.push_back(pool[rng.UniformInt(pool.size())]);
+  }
+  return dataset.SelectRows(rows);
+}
+
+common::Result<data::Dataset> ResampleCovariateShift(
+    const data::Dataset& dataset, const std::string& numeric_column,
+    double strength, common::Rng& rng, size_t size) {
+  if (!dataset.features.HasColumn(numeric_column)) {
+    return common::Status::NotFound("no column named '" + numeric_column +
+                                    "'");
+  }
+  const data::Column& column = dataset.features.ColumnByName(numeric_column);
+  if (column.type() != data::ColumnType::kNumeric) {
+    return common::Status::InvalidArgument(
+        "column '" + numeric_column + "' is not numeric");
+  }
+  const std::vector<double> values = column.NumericValues();
+  if (values.size() != dataset.NumRows()) {
+    return common::Status::FailedPrecondition(
+        "covariate-shift column must have no missing values");
+  }
+  const double mean = stats::Mean(values);
+  double stddev = stats::StdDev(values);
+  if (stddev <= 0.0) stddev = 1.0;
+
+  // Sampling weights exp(strength * z), clipped for numerical sanity.
+  std::vector<double> cumulative(values.size());
+  double total_weight = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double z = (values[i] - mean) / stddev;
+    total_weight += std::exp(std::clamp(strength * z, -30.0, 30.0));
+    cumulative[i] = total_weight;
+  }
+  const size_t total = size == 0 ? dataset.NumRows() : size;
+  std::vector<size_t> rows;
+  rows.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    const double u = rng.Uniform() * total_weight;
+    // Binary search the cumulative weights.
+    size_t low = 0;
+    size_t high = cumulative.size() - 1;
+    while (low < high) {
+      const size_t middle = (low + high) / 2;
+      if (cumulative[middle] < u) {
+        low = middle + 1;
+      } else {
+        high = middle;
+      }
+    }
+    rows.push_back(low);
+  }
+  return dataset.SelectRows(rows);
+}
+
+}  // namespace bbv::errors

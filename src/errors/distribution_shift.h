@@ -1,0 +1,38 @@
+#ifndef BBV_ERRORS_DISTRIBUTION_SHIFT_H_
+#define BBV_ERRORS_DISTRIBUTION_SHIFT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace bbv::errors {
+
+/// Statistical dataset shifts, complementing the cell-level corruption
+/// generators. These operate on labeled datasets (they re-sample rows), so
+/// they are utilities rather than ErrorGen implementations: label shift by
+/// definition needs the labels. They power the extension experiment that
+/// evaluates the performance validator in the regimes the BBSE baselines
+/// were designed for (Lipton et al.'s label shift, classic covariate shift).
+
+/// Label shift: resamples `dataset` (with replacement) so that the fraction
+/// of rows with label 1 equals `positive_fraction`, while p(x|y) is
+/// untouched. Binary datasets only. `size` rows are drawn (0 = keep the
+/// input size).
+common::Result<data::Dataset> ResampleLabelShift(const data::Dataset& dataset,
+                                                 double positive_fraction,
+                                                 common::Rng& rng,
+                                                 size_t size = 0);
+
+/// Covariate shift via selection bias: resamples rows (with replacement)
+/// with probability proportional to exp(strength * z) where z is the
+/// standardized value of the named numeric column — p(x) changes while
+/// p(y|x) is untouched. Positive strength over-represents large values.
+common::Result<data::Dataset> ResampleCovariateShift(
+    const data::Dataset& dataset, const std::string& numeric_column,
+    double strength, common::Rng& rng, size_t size = 0);
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_DISTRIBUTION_SHIFT_H_

@@ -1,0 +1,28 @@
+#include "errors/error_gen.h"
+
+#include <algorithm>
+
+namespace bbv::errors {
+
+std::vector<std::string> PickColumns(
+    const data::DataFrame& frame, data::ColumnType type, common::Rng& rng,
+    const std::vector<std::string>& explicit_columns, size_t max_columns) {
+  if (!explicit_columns.empty()) return explicit_columns;
+  std::vector<std::string> candidates = frame.ColumnNamesOfType(type);
+  if (candidates.empty()) return {};
+  size_t pool = candidates.size();
+  if (max_columns > 0) pool = std::min(pool, max_columns);
+  const size_t count = 1 + rng.UniformInt(pool);
+  rng.Shuffle(candidates);
+  candidates.resize(count);
+  return candidates;
+}
+
+std::vector<size_t> PickRows(size_t num_rows, double fraction,
+                             common::Rng& rng) {
+  const size_t count = static_cast<size_t>(
+      std::clamp(fraction, 0.0, 1.0) * static_cast<double>(num_rows));
+  return rng.SampleWithoutReplacement(num_rows, count);
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,55 @@
+#ifndef BBV_ERRORS_ERROR_GEN_H_
+#define BBV_ERRORS_ERROR_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataframe.h"
+
+namespace bbv::errors {
+
+/// Range from which a generator samples the fraction of cells/rows it
+/// corrupts on each invocation. The paper's setting: the *type* of error is
+/// known, its magnitude is not, so every Corrupt call draws a fresh one.
+struct FractionRange {
+  double min = 0.0;
+  double max = 1.0;
+
+  double Sample(common::Rng& rng) const { return rng.Uniform(min, max); }
+};
+
+/// Randomized dataset-corruption operator (the paper's ErrorGen base class).
+/// Implementations copy the input frame and randomly inject one kind of
+/// error with a randomly sampled magnitude; the input is never mutated.
+class ErrorGen {
+ public:
+  virtual ~ErrorGen() = default;
+
+  /// Returns a corrupted copy of `frame`. Which columns/rows are hit and how
+  /// strongly is sampled from `rng` on every call.
+  virtual common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                                  common::Rng& rng) const = 0;
+
+  /// Short identifier, e.g. "missing_values".
+  virtual std::string Name() const = 0;
+};
+
+/// Picks 1..n random distinct columns of the given type (the paper:
+/// "randomly choose 1 to n columns"), where n is the number of such columns
+/// capped at `max_columns` (0 = uncapped). Returns an empty vector if the
+/// frame has no such columns. `explicit_columns` short-circuits the choice.
+std::vector<std::string> PickColumns(const data::DataFrame& frame,
+                                     data::ColumnType type, common::Rng& rng,
+                                     const std::vector<std::string>&
+                                         explicit_columns = {},
+                                     size_t max_columns = 0);
+
+/// Row indices forming a `fraction` sized uniform subsample of `num_rows`.
+std::vector<size_t> PickRows(size_t num_rows, double fraction,
+                             common::Rng& rng);
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_ERROR_GEN_H_

@@ -1,0 +1,83 @@
+#include "errors/image_errors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace bbv::errors {
+
+common::Result<data::DataFrame> GaussianImageNoise::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns =
+      PickColumns(frame, data::ColumnType::kImage, rng, columns_);
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    const double fraction = fraction_.Sample(rng);
+    const double stddev = rng.Uniform(0.0, max_stddev_);
+    for (size_t row = 0; row < column.size(); ++row) {
+      data::CellValue& cell = column.cell(row);
+      if (!cell.is_image() || !rng.Bernoulli(fraction)) continue;
+      for (double& pixel : cell.MutableImage()) {
+        pixel = std::clamp(pixel + rng.Gaussian(0.0, stddev), 0.0, 1.0);
+      }
+    }
+  }
+  return corrupted;
+}
+
+std::vector<double> ImageRotation::Rotate(const std::vector<double>& pixels,
+                                          double angle_degrees) {
+  const size_t side = static_cast<size_t>(
+      std::lround(std::sqrt(static_cast<double>(pixels.size()))));
+  BBV_CHECK_EQ(side * side, pixels.size());
+  const double angle = angle_degrees * std::numbers::pi / 180.0;
+  const double cos_a = std::cos(angle);
+  const double sin_a = std::sin(angle);
+  const double center = (static_cast<double>(side) - 1.0) / 2.0;
+  std::vector<double> rotated(pixels.size(), 0.0);
+  for (size_t r = 0; r < side; ++r) {
+    for (size_t c = 0; c < side; ++c) {
+      // Inverse mapping: sample the source pixel that lands at (r, c).
+      const double dy = static_cast<double>(r) - center;
+      const double dx = static_cast<double>(c) - center;
+      const double source_row = center + cos_a * dy + sin_a * dx;
+      const double source_col = center - sin_a * dy + cos_a * dx;
+      const auto sr = static_cast<long>(std::lround(source_row));
+      const auto sc = static_cast<long>(std::lround(source_col));
+      if (sr >= 0 && sr < static_cast<long>(side) && sc >= 0 &&
+          sc < static_cast<long>(side)) {
+        rotated[r * side + c] =
+            pixels[static_cast<size_t>(sr) * side + static_cast<size_t>(sc)];
+      }
+    }
+  }
+  return rotated;
+}
+
+common::Result<data::DataFrame> ImageRotation::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns =
+      PickColumns(frame, data::ColumnType::kImage, rng, columns_);
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    const double fraction = fraction_.Sample(rng);
+    for (size_t row = 0; row < column.size(); ++row) {
+      data::CellValue& cell = column.cell(row);
+      if (!cell.is_image() || !rng.Bernoulli(fraction)) continue;
+      const double angle =
+          rng.Uniform(-max_angle_degrees_, max_angle_degrees_);
+      cell = data::CellValue(Rotate(cell.AsImage(), angle));
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,62 @@
+#ifndef BBV_ERRORS_IMAGE_ERRORS_H_
+#define BBV_ERRORS_IMAGE_ERRORS_H_
+
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Image noise (paper §6): adds zero-mean gaussian noise to a random
+/// proportion of the images, with the noise standard deviation drawn
+/// uniformly from [0, max_stddev] per invocation. Pixels are clipped back
+/// to [0, 1].
+class GaussianImageNoise : public ErrorGen {
+ public:
+  explicit GaussianImageNoise(std::vector<std::string> columns = {},
+                              FractionRange fraction = {},
+                              double max_stddev = 0.5)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        max_stddev_(max_stddev) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "image_noise"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  double max_stddev_;
+};
+
+/// Image rotation (paper §6): rotates a random proportion of the images by
+/// randomly chosen angles (nearest-neighbor resampling around the center;
+/// out-of-frame pixels become 0).
+class ImageRotation : public ErrorGen {
+ public:
+  explicit ImageRotation(std::vector<std::string> columns = {},
+                         FractionRange fraction = {},
+                         double max_angle_degrees = 180.0)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        max_angle_degrees_(max_angle_degrees) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "image_rotation"; }
+
+  /// Rotates a square image by `angle_degrees` (exposed for tests).
+  static std::vector<double> Rotate(const std::vector<double>& pixels,
+                                    double angle_degrees);
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  double max_angle_degrees_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_IMAGE_ERRORS_H_

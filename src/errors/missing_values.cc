@@ -1,0 +1,58 @@
+#include "errors/missing_values.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bbv::errors {
+
+common::Result<data::DataFrame> MissingValues::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns =
+      PickColumns(frame, column_type_, rng, columns_);
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    const double fraction = fraction_.Sample(rng);
+    for (size_t row = 0; row < column.size(); ++row) {
+      if (rng.Bernoulli(fraction)) {
+        column.cell(row) = data::CellValue::Na();
+      }
+    }
+  }
+  return corrupted;
+}
+
+common::Result<data::DataFrame> EntropyBasedMissing::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model_->PredictProba(frame));
+  // Uncertainty = 1 - p_max; ascending certainty == descending uncertainty.
+  const std::vector<double> p_max = probabilities.MaxPerRow();
+  std::vector<size_t> order(frame.NumRows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return p_max[a] > p_max[b]; });
+
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns = PickColumns(
+      frame, data::ColumnType::kCategorical, rng, columns_);
+  const double fraction = fraction_.Sample(rng);
+  const size_t count = static_cast<size_t>(
+      fraction * static_cast<double>(frame.NumRows()));
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    // Discard values from the rows the model is most certain about.
+    for (size_t i = 0; i < count; ++i) {
+      column.cell(order[i]) = data::CellValue::Na();
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,62 @@
+#ifndef BBV_ERRORS_MISSING_VALUES_H_
+#define BBV_ERRORS_MISSING_VALUES_H_
+
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+#include "ml/black_box.h"
+
+namespace bbv::errors {
+
+/// Introduces missing values (NA) at random into 1..n randomly chosen
+/// categorical columns — the paper's canonical data-integration bug.
+class MissingValues : public ErrorGen {
+ public:
+  /// `columns` empty = choose random categorical columns per call;
+  /// `fraction` is the range of per-column corruption rates.
+  explicit MissingValues(std::vector<std::string> columns = {},
+                         FractionRange fraction = {},
+                         data::ColumnType column_type =
+                             data::ColumnType::kCategorical)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        column_type_(column_type) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "missing_values"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  data::ColumnType column_type_;
+};
+
+/// Active-learning flavored missing values (paper §6: "model-entropy based
+/// missing values"): ranks rows by the black box model's prediction
+/// certainty 1 - p_max and discards values from the *easiest* rows, which
+/// specifically targets the examples the model is most confident about.
+class EntropyBasedMissing : public ErrorGen {
+ public:
+  /// `model` must outlive the generator.
+  EntropyBasedMissing(const ml::BlackBox* model,
+                      std::vector<std::string> columns = {},
+                      FractionRange fraction = {})
+      : model_(model), columns_(std::move(columns)), fraction_(fraction) {
+    BBV_CHECK(model_ != nullptr);
+  }
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "entropy_missing"; }
+
+ private:
+  const ml::BlackBox* model_;
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_MISSING_VALUES_H_

@@ -1,0 +1,41 @@
+#include "errors/mixture.h"
+
+namespace bbv::errors {
+
+common::Result<data::DataFrame> ErrorMixture::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  std::vector<size_t> included;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (rng.Bernoulli(inclusion_probability_)) included.push_back(i);
+  }
+  if (included.empty()) {
+    included.push_back(rng.UniformInt(components_.size()));
+  }
+  data::DataFrame corrupted = frame;
+  for (size_t i : included) {
+    BBV_ASSIGN_OR_RETURN(corrupted, components_[i]->Corrupt(corrupted, rng));
+  }
+  return corrupted;
+}
+
+common::Result<data::DataFrame> RandomSubsetCorruption::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  return BlendCorruption(frame, *inner_, fraction_.Sample(rng), rng);
+}
+
+common::Result<data::DataFrame> BlendCorruption(const data::DataFrame& frame,
+                                                const ErrorGen& generator,
+                                                double fraction,
+                                                common::Rng& rng) {
+  BBV_ASSIGN_OR_RETURN(data::DataFrame fully_corrupted,
+                       generator.Corrupt(frame, rng));
+  data::DataFrame blended = frame;
+  for (size_t row : PickRows(frame.NumRows(), fraction, rng)) {
+    for (size_t col = 0; col < blended.NumCols(); ++col) {
+      blended.column(col).cell(row) = fully_corrupted.column(col).cell(row);
+    }
+  }
+  return blended;
+}
+
+}  // namespace bbv::errors

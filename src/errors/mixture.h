@@ -1,0 +1,70 @@
+#ifndef BBV_ERRORS_MIXTURE_H_
+#define BBV_ERRORS_MIXTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Randomly chosen mixture of error types (paper §6.2): on each Corrupt
+/// call, every component generator is applied independently with the given
+/// inclusion probability (each drawing its own random magnitude); at least
+/// one component is always applied so the mixture never degenerates to the
+/// identity unless it has no components.
+class ErrorMixture : public ErrorGen {
+ public:
+  explicit ErrorMixture(std::vector<std::shared_ptr<ErrorGen>> components,
+                        double inclusion_probability = 0.5)
+      : components_(std::move(components)),
+        inclusion_probability_(inclusion_probability) {
+    BBV_CHECK(!components_.empty()) << "ErrorMixture needs components";
+  }
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "mixture"; }
+
+  size_t NumComponents() const { return components_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<ErrorGen>> components_;
+  double inclusion_probability_;
+};
+
+/// Applies an inner generator to a random subset of the rows, with the
+/// subset fraction drawn from `fraction` on every call. With the default
+/// U(0,1) range this produces the full severity spectrum from benign
+/// (almost no rows corrupted) to catastrophic (all rows corrupted) — how
+/// the paper corrupts serving data "with randomly sampled probabilities".
+class RandomSubsetCorruption : public ErrorGen {
+ public:
+  explicit RandomSubsetCorruption(std::shared_ptr<ErrorGen> inner,
+                                  FractionRange fraction = {})
+      : inner_(std::move(inner)), fraction_(fraction) {
+    BBV_CHECK(inner_ != nullptr);
+  }
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "subset_" + inner_->Name(); }
+
+ private:
+  std::shared_ptr<ErrorGen> inner_;
+  FractionRange fraction_;
+};
+
+/// Blends corrupted rows into clean data (paper §6.1.2): returns a frame
+/// where a `fraction` sized random subset of the rows is replaced by their
+/// corrupted counterparts from `generator` and the rest stay clean. Used to
+/// emulate partially observed / unknown error distributions.
+common::Result<data::DataFrame> BlendCorruption(const data::DataFrame& frame,
+                                                const ErrorGen& generator,
+                                                double fraction,
+                                                common::Rng& rng);
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_MIXTURE_H_

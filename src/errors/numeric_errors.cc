@@ -1,0 +1,105 @@
+#include "errors/numeric_errors.h"
+
+#include "stats/descriptive.h"
+
+namespace bbv::errors {
+
+namespace {
+
+/// Applies `mutate(value, rng)` to a sampled fraction of the non-NA numeric
+/// cells of each chosen column.
+template <typename Mutator>
+common::Result<data::DataFrame> MutateNumericCells(
+    const data::DataFrame& frame, const std::vector<std::string>& explicit_columns,
+    const FractionRange& fraction_range, common::Rng& rng, Mutator mutate,
+    size_t max_columns = 0) {
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns = PickColumns(
+      frame, data::ColumnType::kNumeric, rng, explicit_columns, max_columns);
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    if (column.type() != data::ColumnType::kNumeric) {
+      return common::Status::InvalidArgument(
+          "column '" + name + "' is not numeric");
+    }
+    const double fraction = fraction_range.Sample(rng);
+    mutate.BeginColumn(column, rng);
+    for (size_t row = 0; row < column.size(); ++row) {
+      data::CellValue& cell = column.cell(row);
+      if (!cell.is_numeric() || !rng.Bernoulli(fraction)) continue;
+      cell = data::CellValue(mutate.Apply(cell.AsDouble(), rng));
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace
+
+common::Result<data::DataFrame> NumericOutliers::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  struct Mutator {
+    double min_scale;
+    double max_scale;
+    double noise_stddev = 0.0;
+
+    void BeginColumn(const data::Column& column, common::Rng& rng) {
+      const std::vector<double> values = column.NumericValues();
+      const double column_stddev =
+          values.size() > 1 ? stats::StdDev(values) : 1.0;
+      noise_stddev = rng.Uniform(min_scale, max_scale) *
+                     (column_stddev > 0.0 ? column_stddev : 1.0);
+    }
+    double Apply(double value, common::Rng& rng) const {
+      return rng.Gaussian(value, noise_stddev);
+    }
+  };
+  return MutateNumericCells(frame, columns_, fraction_, rng,
+                            Mutator{min_scale_, max_scale_});
+}
+
+common::Result<data::DataFrame> Scaling::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  struct Mutator {
+    const std::vector<double>* factors;
+    double factor = 1.0;
+
+    void BeginColumn(const data::Column&, common::Rng& rng) {
+      factor = rng.Choice(*factors);
+    }
+    double Apply(double value, common::Rng&) const { return value * factor; }
+  };
+  if (factors_.empty()) {
+    return common::Status::InvalidArgument("Scaling needs at least one factor");
+  }
+  return MutateNumericCells(frame, columns_, fraction_, rng,
+                            Mutator{&factors_, 1.0});
+}
+
+common::Result<data::DataFrame> NumericSmearing::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  struct Mutator {
+    double max_change;
+
+    void BeginColumn(const data::Column&, common::Rng&) {}
+    double Apply(double value, common::Rng& rng) const {
+      return value * (1.0 + rng.Uniform(-max_change, max_change));
+    }
+  };
+  return MutateNumericCells(frame, columns_, fraction_, rng,
+                            Mutator{max_relative_change_}, max_columns_);
+}
+
+common::Result<data::DataFrame> SignFlip::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  struct Mutator {
+    void BeginColumn(const data::Column&, common::Rng&) {}
+    double Apply(double value, common::Rng&) const { return -value; }
+  };
+  return MutateNumericCells(frame, columns_, fraction_, rng, Mutator{},
+                            max_columns_);
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,105 @@
+#ifndef BBV_ERRORS_NUMERIC_ERRORS_H_
+#define BBV_ERRORS_NUMERIC_ERRORS_H_
+
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Outliers in numeric attributes: adds gaussian noise centered at each
+/// corrupted value with a standard deviation of `scale x column stddev`,
+/// where the scale is drawn uniformly from [2, 5] per column (paper §6).
+class NumericOutliers : public ErrorGen {
+ public:
+  explicit NumericOutliers(std::vector<std::string> columns = {},
+                           FractionRange fraction = {},
+                           double min_scale = 2.0, double max_scale = 5.0)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        min_scale_(min_scale),
+        max_scale_(max_scale) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "outliers"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  double min_scale_;
+  double max_scale_;
+};
+
+/// Scaling bugs: multiplies a random subset of a numeric column's values by
+/// 10, 100 or 1000 — the "milliseconds instead of seconds" preprocessing bug.
+class Scaling : public ErrorGen {
+ public:
+  explicit Scaling(std::vector<std::string> columns = {},
+                   FractionRange fraction = {},
+                   std::vector<double> factors = {10.0, 100.0, 1000.0})
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        factors_(std::move(factors)) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "scaling"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  std::vector<double> factors_;
+};
+
+/// "Smearing": perturbs a random proportion of a numeric attribute by a
+/// randomly chosen relative amount in [-10%, +10%] (paper §6.2.2, one of the
+/// error types unknown to the validator at training time).
+class NumericSmearing : public ErrorGen {
+ public:
+  /// `max_columns` caps how many random columns one call may hit (0 = all;
+  /// the paper's §6.2.2 smears a single attribute -> pass 1).
+  explicit NumericSmearing(std::vector<std::string> columns = {},
+                           FractionRange fraction = {},
+                           double max_relative_change = 0.1,
+                           size_t max_columns = 0)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        max_relative_change_(max_relative_change),
+        max_columns_(max_columns) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "smearing"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  double max_relative_change_;
+  size_t max_columns_;
+};
+
+/// Flipped sign: multiplies a random proportion of a numeric attribute by -1
+/// (paper §6.2.2).
+class SignFlip : public ErrorGen {
+ public:
+  explicit SignFlip(std::vector<std::string> columns = {},
+                    FractionRange fraction = {}, size_t max_columns = 0)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        max_columns_(max_columns) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "sign_flip"; }
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  size_t max_columns_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_NUMERIC_ERRORS_H_

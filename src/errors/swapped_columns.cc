@@ -1,0 +1,48 @@
+#include "errors/swapped_columns.h"
+
+#include <algorithm>
+
+namespace bbv::errors {
+
+common::Result<data::DataFrame> SwappedColumns::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  std::string first = pair_.first;
+  std::string second = pair_.second;
+  if (first.empty() || second.empty()) {
+    const std::vector<std::string> categorical =
+        frame.ColumnNamesOfType(data::ColumnType::kCategorical);
+    const std::vector<std::string> numeric =
+        frame.ColumnNamesOfType(data::ColumnType::kNumeric);
+    if (!categorical.empty() && !numeric.empty()) {
+      first = rng.Choice(categorical);
+      second = rng.Choice(numeric);
+    } else if (numeric.size() >= 2) {
+      const std::vector<size_t> pick =
+          rng.SampleWithoutReplacement(numeric.size(), 2);
+      first = numeric[pick[0]];
+      second = numeric[pick[1]];
+    } else if (categorical.size() >= 2) {
+      const std::vector<size_t> pick =
+          rng.SampleWithoutReplacement(categorical.size(), 2);
+      first = categorical[pick[0]];
+      second = categorical[pick[1]];
+    } else {
+      return common::Status::FailedPrecondition(
+          "SwappedColumns needs at least two swappable columns");
+    }
+  }
+  data::DataFrame corrupted = frame;
+  if (!corrupted.HasColumn(first) || !corrupted.HasColumn(second)) {
+    return common::Status::NotFound("swap columns '" + first + "'/'" +
+                                    second + "' not found");
+  }
+  data::Column& column_a = corrupted.ColumnByName(first);
+  data::Column& column_b = corrupted.ColumnByName(second);
+  const double fraction = fraction_.Sample(rng);
+  for (size_t row : PickRows(frame.NumRows(), fraction, rng)) {
+    std::swap(column_a.cell(row), column_b.cell(row));
+  }
+  return corrupted;
+}
+
+}  // namespace bbv::errors

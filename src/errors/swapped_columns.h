@@ -1,0 +1,36 @@
+#ifndef BBV_ERRORS_SWAPPED_COLUMNS_H_
+#define BBV_ERRORS_SWAPPED_COLUMNS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Swapped column values (the paper's buggy-input-form error): picks a pair
+/// of columns — by default one categorical and one numeric — and swaps the
+/// cell contents between them for a random proportion of the rows. After
+/// the swap, a categorical column carries numbers (which one-hot encode to
+/// zero vectors) and a numeric column carries strings (which impute to the
+/// training mean), exactly how a production feature pipeline would react.
+class SwappedColumns : public ErrorGen {
+ public:
+  /// `pair` empty names = choose a random categorical/numeric pair per call.
+  explicit SwappedColumns(std::pair<std::string, std::string> pair = {},
+                          FractionRange fraction = {})
+      : pair_(std::move(pair)), fraction_(fraction) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "swapped_columns"; }
+
+ private:
+  std::pair<std::string, std::string> pair_;
+  FractionRange fraction_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_SWAPPED_COLUMNS_H_

@@ -1,0 +1,118 @@
+#include "errors/text_errors.h"
+
+#include "common/string_util.h"
+
+namespace bbv::errors {
+
+namespace {
+
+/// Corrupts a sampled fraction of the non-NA string cells of each chosen
+/// column of the given type with `rewrite`.
+template <typename Rewrite>
+common::Result<data::DataFrame> MutateStringCells(
+    const data::DataFrame& frame, data::ColumnType type,
+    const std::vector<std::string>& explicit_columns,
+    const FractionRange& fraction_range, common::Rng& rng, Rewrite rewrite,
+    size_t max_columns = 0) {
+  data::DataFrame corrupted = frame;
+  const std::vector<std::string> columns =
+      PickColumns(frame, type, rng, explicit_columns, max_columns);
+  for (const std::string& name : columns) {
+    if (!corrupted.HasColumn(name)) {
+      return common::Status::NotFound("no column named '" + name + "'");
+    }
+    data::Column& column = corrupted.ColumnByName(name);
+    const double fraction = fraction_range.Sample(rng);
+    for (size_t row = 0; row < column.size(); ++row) {
+      data::CellValue& cell = column.cell(row);
+      if (!cell.is_string() || !rng.Bernoulli(fraction)) continue;
+      cell = data::CellValue(rewrite(cell.AsString(), rng));
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace
+
+std::string AdversarialLeetspeak::ToLeetspeak(const std::string& text) {
+  std::string result = common::ToLower(text);
+  for (char& c : result) {
+    switch (c) {
+      case 'e': c = '3'; break;
+      case 'l': c = '1'; break;
+      case 'o': c = '0'; break;
+      case 'a': c = '4'; break;
+      case 't': c = '7'; break;
+      case 's': c = '5'; break;
+      case 'i': c = '1'; break;
+      default: break;
+    }
+  }
+  return result;
+}
+
+common::Result<data::DataFrame> AdversarialLeetspeak::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  return MutateStringCells(
+      frame, data::ColumnType::kText, columns_, fraction_, rng,
+      [](const std::string& text, common::Rng&) { return ToLeetspeak(text); });
+}
+
+std::string CategoricalTypos::IntroduceTypo(const std::string& value,
+                                            common::Rng& rng) {
+  if (value.empty()) return value;
+  std::string result = value;
+  const size_t kind = rng.UniformInt(static_cast<size_t>(3));
+  const size_t position = rng.UniformInt(result.size());
+  switch (kind) {
+    case 0:  // swap adjacent characters
+      if (result.size() >= 2) {
+        const size_t p = std::min(position, result.size() - 2);
+        std::swap(result[p], result[p + 1]);
+        if (result == value && result.size() >= 2) result[0] = '#';
+        break;
+      }
+      [[fallthrough]];
+    case 1: {  // duplicate a character
+      const char duplicated = result[position];
+      result.insert(result.begin() + static_cast<ptrdiff_t>(position),
+                    duplicated);
+      break;
+    }
+    default:  // drop a character (or mark, if single-char)
+      if (result.size() >= 2) {
+        result.erase(result.begin() + static_cast<ptrdiff_t>(position));
+      } else {
+        result = "#" + result;
+      }
+      break;
+  }
+  return result;
+}
+
+common::Result<data::DataFrame> CategoricalTypos::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  return MutateStringCells(
+      frame, data::ColumnType::kCategorical, columns_, fraction_, rng,
+      [](const std::string& value, common::Rng& rng) {
+        return IntroduceTypo(value, rng);
+      },
+      max_columns_);
+}
+
+std::string EncodingErrors::Mangle(const std::string& value) {
+  std::string result = common::ReplaceAll(value, "E", "\xC3\x89");  // É
+  result = common::ReplaceAll(result, "e", "\xC3\xA9");             // é
+  result = common::ReplaceAll(result, "o", "\xC5\x93");             // œ
+  result = common::ReplaceAll(result, "u", "\xC3\xBC");             // ü
+  return result;
+}
+
+common::Result<data::DataFrame> EncodingErrors::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  return MutateStringCells(
+      frame, data::ColumnType::kCategorical, columns_, fraction_, rng,
+      [](const std::string& value, common::Rng&) { return Mangle(value); });
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,84 @@
+#ifndef BBV_ERRORS_TEXT_ERRORS_H_
+#define BBV_ERRORS_TEXT_ERRORS_H_
+
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Adversarial "leetspeak" attack on text columns (paper §6, tweets
+/// dataset): rewrites a random proportion of texts with character
+/// substitutions such as "hello world" -> "h3110 w041d", simulating trolls
+/// who change spelling to evade the classifier.
+class AdversarialLeetspeak : public ErrorGen {
+ public:
+  explicit AdversarialLeetspeak(std::vector<std::string> columns = {},
+                                FractionRange fraction = {})
+      : columns_(std::move(columns)), fraction_(fraction) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "adversarial_leetspeak"; }
+
+  /// The substitution applied to corrupted texts (exposed for tests).
+  static std::string ToLeetspeak(const std::string& text);
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+};
+
+/// Typos in categorical values (paper §6.2.2, unknown at validator-training
+/// time): perturbs a random proportion of a categorical attribute's values
+/// by swapping adjacent characters / duplicating a character, producing
+/// category levels the one-hot vocabulary has never seen.
+class CategoricalTypos : public ErrorGen {
+ public:
+  /// `max_columns` caps how many random columns one call may hit (0 = all;
+  /// the paper's §6.2.2 perturbs a single attribute -> pass 1).
+  explicit CategoricalTypos(std::vector<std::string> columns = {},
+                            FractionRange fraction = {},
+                            size_t max_columns = 0)
+      : columns_(std::move(columns)),
+        fraction_(fraction),
+        max_columns_(max_columns) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "categorical_typos"; }
+
+  /// One random typo applied to `value` (exposed for tests).
+  static std::string IntroduceTypo(const std::string& value,
+                                   common::Rng& rng);
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+  size_t max_columns_ = 0;
+};
+
+/// Encoding errors (from the paper's implementation section): replaces
+/// characters with look-alike characters from a wrong encoding, e.g.
+/// 'E' -> 'É' and 'o' -> 'œ', in a random proportion of categorical values.
+class EncodingErrors : public ErrorGen {
+ public:
+  explicit EncodingErrors(std::vector<std::string> columns = {},
+                          FractionRange fraction = {})
+      : columns_(std::move(columns)), fraction_(fraction) {}
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+  std::string Name() const override { return "encoding_errors"; }
+
+  static std::string Mangle(const std::string& value);
+
+ private:
+  std::vector<std::string> columns_;
+  FractionRange fraction_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_TEXT_ERRORS_H_

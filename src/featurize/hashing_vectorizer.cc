@@ -1,0 +1,80 @@
+#include "featurize/hashing_vectorizer.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace bbv::featurize {
+
+HashingVectorizer::HashingVectorizer(size_t num_buckets, int max_ngram)
+    : num_buckets_(num_buckets), max_ngram_(max_ngram) {
+  BBV_CHECK_GT(num_buckets_, 0u);
+  BBV_CHECK_GE(max_ngram_, 1);
+}
+
+common::Status HashingVectorizer::Fit(const data::Column& column) {
+  if (column.type() != data::ColumnType::kText) {
+    return common::Status::InvalidArgument(
+        "HashingVectorizer requires a text column, got '" + column.name() +
+        "'");
+  }
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+linalg::Matrix HashingVectorizer::Transform(const data::Column& column) const {
+  BBV_CHECK(fitted_) << "HashingVectorizer::Transform before Fit";
+  linalg::Matrix result(column.size(), num_buckets_);
+  for (size_t row = 0; row < column.size(); ++row) {
+    const data::CellValue& cell = column.cell(row);
+    if (!cell.is_string()) continue;  // NA -> zero vector
+    const std::vector<std::string> tokens =
+        common::SplitWhitespace(common::ToLower(cell.AsString()));
+    double* out = result.RowData(row);
+    for (size_t start = 0; start < tokens.size(); ++start) {
+      std::string ngram;
+      for (int length = 1; length <= max_ngram_; ++length) {
+        const size_t end = start + static_cast<size_t>(length);
+        if (end > tokens.size()) break;
+        if (length > 1) ngram += ' ';
+        ngram += tokens[end - 1];
+        const uint64_t hash = common::Fnv1aHash(ngram);
+        // Signed hashing trick reduces collision bias.
+        const double sign = (hash & 1) != 0 ? 1.0 : -1.0;
+        out[(hash >> 1) % num_buckets_] += sign;
+      }
+    }
+    double norm = 0.0;
+    for (size_t j = 0; j < num_buckets_; ++j) norm += out[j] * out[j];
+    if (norm > 0.0) {
+      norm = std::sqrt(norm);
+      for (size_t j = 0; j < num_buckets_; ++j) out[j] /= norm;
+    }
+  }
+  return result;
+}
+
+}  // namespace bbv::featurize
+
+namespace bbv::featurize {
+
+void HashingVectorizer::SaveTo(common::BinaryWriter& writer) const {
+  writer.WriteUint64(num_buckets_);
+  writer.WriteInt32(max_ngram_);
+}
+
+common::Result<HashingVectorizer> HashingVectorizer::LoadFrom(
+    common::BinaryReader& reader) {
+  BBV_ASSIGN_OR_RETURN(uint64_t buckets, reader.ReadUint64());
+  BBV_ASSIGN_OR_RETURN(int32_t max_ngram, reader.ReadInt32());
+  if (buckets == 0 || buckets > (1u << 30) || max_ngram < 1 ||
+      max_ngram > 16) {
+    return common::Status::InvalidArgument("corrupt vectorizer config");
+  }
+  HashingVectorizer vectorizer(buckets, max_ngram);
+  vectorizer.fitted_ = true;
+  return vectorizer;
+}
+
+}  // namespace bbv::featurize

@@ -1,0 +1,34 @@
+#ifndef BBV_FEATURIZE_HASHING_VECTORIZER_H_
+#define BBV_FEATURIZE_HASHING_VECTORIZER_H_
+
+#include "common/serialize.h"
+#include "featurize/transformer.h"
+
+namespace bbv::featurize {
+
+/// Hashes word-level n-grams of a text column into a fixed number of
+/// buckets (the paper: "hash word-level n-grams of textual attributes to a
+/// large sparse vector"). Stateless apart from configuration, so Fit only
+/// validates the column type. Rows are L2-normalized; NA -> zero vector.
+class HashingVectorizer : public Transformer {
+ public:
+  /// `num_buckets` output dimensions; n-grams of length 1..max_ngram words.
+  explicit HashingVectorizer(size_t num_buckets = 512, int max_ngram = 2);
+
+  common::Status Fit(const data::Column& column) override;
+  linalg::Matrix Transform(const data::Column& column) const override;
+  size_t OutputDim() const override { return num_buckets_; }
+
+  void SaveTo(common::BinaryWriter& writer) const;
+  static common::Result<HashingVectorizer> LoadFrom(
+      common::BinaryReader& reader);
+
+ private:
+  size_t num_buckets_;
+  int max_ngram_;
+  bool fitted_ = false;
+};
+
+}  // namespace bbv::featurize
+
+#endif  // BBV_FEATURIZE_HASHING_VECTORIZER_H_

@@ -1,0 +1,61 @@
+#include "featurize/image_flattener.h"
+
+#include <algorithm>
+
+namespace bbv::featurize {
+
+common::Status ImageFlattener::Fit(const data::Column& column) {
+  if (column.type() != data::ColumnType::kImage) {
+    return common::Status::InvalidArgument(
+        "ImageFlattener requires an image column, got '" + column.name() +
+        "'");
+  }
+  num_pixels_ = 0;
+  for (size_t row = 0; row < column.size(); ++row) {
+    if (column.cell(row).is_image()) {
+      num_pixels_ = column.cell(row).AsImage().size();
+      break;
+    }
+  }
+  if (num_pixels_ == 0) {
+    return common::Status::InvalidArgument(
+        "ImageFlattener: column '" + column.name() + "' has no images");
+  }
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+linalg::Matrix ImageFlattener::Transform(const data::Column& column) const {
+  BBV_CHECK(fitted_) << "ImageFlattener::Transform before Fit";
+  linalg::Matrix result(column.size(), num_pixels_);
+  for (size_t row = 0; row < column.size(); ++row) {
+    const data::CellValue& cell = column.cell(row);
+    if (!cell.is_image()) continue;  // NA -> zero row
+    const std::vector<double>& pixels = cell.AsImage();
+    const size_t n = std::min(pixels.size(), num_pixels_);
+    std::copy(pixels.begin(), pixels.begin() + n, result.RowData(row));
+  }
+  return result;
+}
+
+}  // namespace bbv::featurize
+
+namespace bbv::featurize {
+
+void ImageFlattener::SaveTo(common::BinaryWriter& writer) const {
+  writer.WriteUint64(num_pixels_);
+}
+
+common::Result<ImageFlattener> ImageFlattener::LoadFrom(
+    common::BinaryReader& reader) {
+  BBV_ASSIGN_OR_RETURN(uint64_t pixels, reader.ReadUint64());
+  if (pixels == 0 || pixels > (1u << 30)) {
+    return common::Status::InvalidArgument("corrupt flattener config");
+  }
+  ImageFlattener flattener;
+  flattener.num_pixels_ = pixels;
+  flattener.fitted_ = true;
+  return flattener;
+}
+
+}  // namespace bbv::featurize

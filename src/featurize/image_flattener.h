@@ -1,0 +1,27 @@
+#ifndef BBV_FEATURIZE_IMAGE_FLATTENER_H_
+#define BBV_FEATURIZE_IMAGE_FLATTENER_H_
+
+#include "common/serialize.h"
+#include "featurize/transformer.h"
+
+namespace bbv::featurize {
+
+/// Emits an image column's pixels as one row per image. All images in the
+/// column must share the size observed at fit time; NA -> zero row.
+class ImageFlattener : public Transformer {
+ public:
+  common::Status Fit(const data::Column& column) override;
+  linalg::Matrix Transform(const data::Column& column) const override;
+  size_t OutputDim() const override { return num_pixels_; }
+
+  void SaveTo(common::BinaryWriter& writer) const;
+  static common::Result<ImageFlattener> LoadFrom(common::BinaryReader& reader);
+
+ private:
+  bool fitted_ = false;
+  size_t num_pixels_ = 0;
+};
+
+}  // namespace bbv::featurize
+
+#endif  // BBV_FEATURIZE_IMAGE_FLATTENER_H_

@@ -1,0 +1,75 @@
+#include "featurize/one_hot_encoder.h"
+
+namespace bbv::featurize {
+
+common::Status OneHotEncoder::Fit(const data::Column& column) {
+  if (column.type() != data::ColumnType::kCategorical) {
+    return common::Status::InvalidArgument(
+        "OneHotEncoder requires a categorical column, got '" + column.name() +
+        "'");
+  }
+  vocabulary_.clear();
+  for (const std::string& value : column.DistinctStrings()) {
+    vocabulary_.emplace(value, vocabulary_.size());
+  }
+  if (vocabulary_.empty()) {
+    return common::Status::InvalidArgument(
+        "OneHotEncoder: column '" + column.name() + "' has no categories");
+  }
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+linalg::Matrix OneHotEncoder::Transform(const data::Column& column) const {
+  BBV_CHECK(fitted_) << "OneHotEncoder::Transform before Fit";
+  linalg::Matrix result(column.size(), vocabulary_.size());
+  for (size_t row = 0; row < column.size(); ++row) {
+    const data::CellValue& cell = column.cell(row);
+    if (!cell.is_string()) continue;  // NA -> zero vector
+    const auto it = vocabulary_.find(cell.AsString());
+    if (it == vocabulary_.end()) continue;  // unseen category -> zero vector
+    result.At(row, it->second) = 1.0;
+  }
+  return result;
+}
+
+int OneHotEncoder::CategoryIndex(const std::string& value) const {
+  const auto it = vocabulary_.find(value);
+  return it == vocabulary_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace bbv::featurize
+
+namespace bbv::featurize {
+
+void OneHotEncoder::SaveTo(common::BinaryWriter& writer) const {
+  // Persist categories in index order so the encoding is reproduced.
+  std::vector<std::string> categories(vocabulary_.size());
+  for (const auto& [value, index] : vocabulary_) {
+    categories[index] = value;
+  }
+  writer.WriteUint64(categories.size());
+  for (const std::string& value : categories) {
+    writer.WriteString(value);
+  }
+}
+
+common::Result<OneHotEncoder> OneHotEncoder::LoadFrom(
+    common::BinaryReader& reader) {
+  BBV_ASSIGN_OR_RETURN(uint64_t count, reader.ReadUint64());
+  if (count == 0 || count > 10'000'000) {
+    return common::Status::InvalidArgument("corrupt vocabulary size");
+  }
+  OneHotEncoder encoder;
+  for (uint64_t index = 0; index < count; ++index) {
+    BBV_ASSIGN_OR_RETURN(std::string value, reader.ReadString());
+    encoder.vocabulary_.emplace(std::move(value), index);
+  }
+  if (encoder.vocabulary_.size() != count) {
+    return common::Status::InvalidArgument("duplicate vocabulary entries");
+  }
+  encoder.fitted_ = true;
+  return encoder;
+}
+
+}  // namespace bbv::featurize

@@ -1,0 +1,35 @@
+#ifndef BBV_FEATURIZE_ONE_HOT_ENCODER_H_
+#define BBV_FEATURIZE_ONE_HOT_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/serialize.h"
+#include "featurize/transformer.h"
+
+namespace bbv::featurize {
+
+/// One-hot encodes a categorical column over the vocabulary observed at fit
+/// time. Unseen categories and NA cells map to the all-zero vector — the
+/// property the paper leans on when it argues that typos and missing values
+/// have identical effects through the feature map.
+class OneHotEncoder : public Transformer {
+ public:
+  common::Status Fit(const data::Column& column) override;
+  linalg::Matrix Transform(const data::Column& column) const override;
+  size_t OutputDim() const override { return vocabulary_.size(); }
+
+  /// Index of a category in the encoding, or -1 if unseen.
+  int CategoryIndex(const std::string& value) const;
+
+  void SaveTo(common::BinaryWriter& writer) const;
+  static common::Result<OneHotEncoder> LoadFrom(common::BinaryReader& reader);
+
+ private:
+  bool fitted_ = false;
+  std::unordered_map<std::string, size_t> vocabulary_;
+};
+
+}  // namespace bbv::featurize
+
+#endif  // BBV_FEATURIZE_ONE_HOT_ENCODER_H_

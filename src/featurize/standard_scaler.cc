@@ -1,0 +1,59 @@
+#include "featurize/standard_scaler.h"
+
+#include "stats/descriptive.h"
+
+namespace bbv::featurize {
+
+common::Status StandardScaler::Fit(const data::Column& column) {
+  if (column.type() != data::ColumnType::kNumeric) {
+    return common::Status::InvalidArgument(
+        "StandardScaler requires a numeric column, got '" + column.name() +
+        "'");
+  }
+  const std::vector<double> values = column.NumericValues();
+  if (values.empty()) {
+    return common::Status::InvalidArgument(
+        "StandardScaler: column '" + column.name() + "' has no numeric cells");
+  }
+  mean_ = stats::Mean(values);
+  stddev_ = stats::StdDev(values);
+  if (stddev_ <= 0.0) stddev_ = 1.0;  // constant column: center only
+  fitted_ = true;
+  return common::Status::OK();
+}
+
+linalg::Matrix StandardScaler::Transform(const data::Column& column) const {
+  BBV_CHECK(fitted_) << "StandardScaler::Transform before Fit";
+  linalg::Matrix result(column.size(), 1);
+  for (size_t row = 0; row < column.size(); ++row) {
+    const data::CellValue& cell = column.cell(row);
+    if (cell.is_numeric()) {
+      result.At(row, 0) = (cell.AsDouble() - mean_) / stddev_;
+    }
+    // NA stays 0 == mean imputation after centering.
+  }
+  return result;
+}
+
+}  // namespace bbv::featurize
+
+namespace bbv::featurize {
+
+void StandardScaler::SaveTo(common::BinaryWriter& writer) const {
+  writer.WriteDouble(mean_);
+  writer.WriteDouble(stddev_);
+}
+
+common::Result<StandardScaler> StandardScaler::LoadFrom(
+    common::BinaryReader& reader) {
+  StandardScaler scaler;
+  BBV_ASSIGN_OR_RETURN(scaler.mean_, reader.ReadDouble());
+  BBV_ASSIGN_OR_RETURN(scaler.stddev_, reader.ReadDouble());
+  if (scaler.stddev_ <= 0.0) {
+    return common::Status::InvalidArgument("corrupt scaler stddev");
+  }
+  scaler.fitted_ = true;
+  return scaler;
+}
+
+}  // namespace bbv::featurize

@@ -1,0 +1,32 @@
+#ifndef BBV_FEATURIZE_STANDARD_SCALER_H_
+#define BBV_FEATURIZE_STANDARD_SCALER_H_
+
+#include "common/serialize.h"
+#include "featurize/transformer.h"
+
+namespace bbv::featurize {
+
+/// Standardizes a numeric column to zero mean / unit variance using training
+/// statistics. NA cells become 0 (the training mean after centering), which
+/// matches mean imputation.
+class StandardScaler : public Transformer {
+ public:
+  common::Status Fit(const data::Column& column) override;
+  linalg::Matrix Transform(const data::Column& column) const override;
+  size_t OutputDim() const override { return 1; }
+
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+  void SaveTo(common::BinaryWriter& writer) const;
+  static common::Result<StandardScaler> LoadFrom(common::BinaryReader& reader);
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+};
+
+}  // namespace bbv::featurize
+
+#endif  // BBV_FEATURIZE_STANDARD_SCALER_H_

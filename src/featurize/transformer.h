@@ -1,0 +1,34 @@
+#ifndef BBV_FEATURIZE_TRANSFORMER_H_
+#define BBV_FEATURIZE_TRANSFORMER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "data/column.h"
+#include "linalg/matrix.h"
+
+namespace bbv::featurize {
+
+/// Fits on a training column and maps a column to a dense numeric block.
+/// Mirrors scikit-learn's fit/transform contract: statistics are estimated
+/// from training data only and reused verbatim on serving data, which is
+/// exactly the mechanism through which serving-time corruption shows up in
+/// model inputs (e.g. unseen categories one-hot encode to a zero vector).
+class Transformer {
+ public:
+  virtual ~Transformer() = default;
+
+  /// Estimates the transformer's statistics from a training column.
+  virtual common::Status Fit(const data::Column& column) = 0;
+
+  /// Maps a column of length n to an n x OutputDim() block. Must be called
+  /// after Fit. NA cells map to all-zero rows.
+  virtual linalg::Matrix Transform(const data::Column& column) const = 0;
+
+  /// Width of the emitted block (valid after Fit).
+  virtual size_t OutputDim() const = 0;
+};
+
+}  // namespace bbv::featurize
+
+#endif  // BBV_FEATURIZE_TRANSFORMER_H_

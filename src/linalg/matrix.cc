@@ -1,0 +1,184 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace bbv::linalg {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  BBV_CHECK_EQ(data_.size(), rows_ * cols_);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix result(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    BBV_CHECK_EQ(rows[i].size(), result.cols_);
+    std::copy(rows[i].begin(), rows[i].end(), result.RowData(i));
+  }
+  return result;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix result(values.size(), 1);
+  std::copy(values.begin(), values.end(), result.data_.begin());
+  return result;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix result(n, n);
+  for (size_t i = 0; i < n; ++i) result.At(i, i) = 1.0;
+  return result;
+}
+
+std::vector<double> Matrix::Row(size_t row) const {
+  const double* begin = RowData(row);
+  return std::vector<double>(begin, begin + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t col) const {
+  BBV_CHECK_LT(col, cols_);
+  std::vector<double> result(rows_);
+  for (size_t i = 0; i < rows_; ++i) result[i] = At(i, col);
+  return result;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  BBV_CHECK_EQ(cols_, other.rows_);
+  Matrix result(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* lhs_row = RowData(i);
+    double* out_row = result.RowData(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double lhs = lhs_row[k];
+      if (lhs == 0.0) continue;
+      const double* rhs_row = other.RowData(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += lhs * rhs_row[j];
+      }
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix result(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      result.At(j, i) = At(i, j);
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  Matrix result = *this;
+  result.AddInPlace(other, 1.0);
+  return result;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  Matrix result = *this;
+  result.AddInPlace(other, -1.0);
+  return result;
+}
+
+Matrix Matrix::Scaled(double factor) const {
+  Matrix result = *this;
+  for (double& v : result.data_) v *= factor;
+  return result;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double factor) {
+  BBV_CHECK_EQ(rows_, other.rows_);
+  BBV_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& row_indices) const {
+  Matrix result(row_indices.size(), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    BBV_CHECK_LT(row_indices[i], rows_);
+    std::copy(RowData(row_indices[i]), RowData(row_indices[i]) + cols_,
+              result.RowData(i));
+  }
+  return result;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (empty() && rows_ == 0) {
+    *this = other;
+    return;
+  }
+  BBV_CHECK_EQ(cols_, other.cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+std::vector<size_t> Matrix::ArgMaxPerRow() const {
+  std::vector<size_t> result(rows_, 0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    result[i] = static_cast<size_t>(
+        std::max_element(row, row + cols_) - row);
+  }
+  return result;
+}
+
+std::vector<double> Matrix::MaxPerRow() const {
+  std::vector<double> result(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowData(i);
+    result[i] = *std::max_element(row, row + cols_);
+  }
+  return result;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  if (rows_ <= 8 && cols_ <= 8) {
+    os << " [";
+    for (size_t i = 0; i < rows_; ++i) {
+      os << (i == 0 ? "[" : ", [");
+      for (size_t j = 0; j < cols_; ++j) {
+        os << (j == 0 ? "" : ", ") << At(i, j);
+      }
+      os << "]";
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix result(logits.rows(), logits.cols());
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    const double* in = logits.RowData(i);
+    double* out = result.RowData(i);
+    const double max = *std::max_element(in, in + logits.cols());
+    double sum = 0.0;
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      out[j] = std::exp(in[j] - max);
+      sum += out[j];
+    }
+    for (size_t j = 0; j < logits.cols(); ++j) out[j] /= sum;
+  }
+  return result;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  BBV_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace bbv::linalg

@@ -1,0 +1,122 @@
+#ifndef BBV_LINALG_MATRIX_H_
+#define BBV_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bbv::linalg {
+
+/// Dense row-major matrix of doubles. This is the numeric workhorse under the
+/// feature pipelines and models; it favors simplicity and cache-friendly
+/// row-major traversal over BLAS-level tuning.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix wrapping existing row-major data; `data.size()` must equal
+  /// rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  /// Builds a matrix from nested initializer-style rows (all equal length).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Single-column matrix from a vector.
+  static Matrix ColumnVector(const std::vector<double>& values);
+
+  /// Identity matrix of the given size.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t row, size_t col) {
+    BBV_DCHECK(row < rows_ && col < cols_);
+    return data_[row * cols_ + col];
+  }
+  double At(size_t row, size_t col) const {
+    BBV_DCHECK(row < rows_ && col < cols_);
+    return data_[row * cols_ + col];
+  }
+
+  /// Pointer to the start of a row (contiguous, cols() doubles).
+  double* RowData(size_t row) {
+    BBV_DCHECK(row < rows_);
+    return data_.data() + row * cols_;
+  }
+  const double* RowData(size_t row) const {
+    BBV_DCHECK(row < rows_);
+    return data_.data() + row * cols_;
+  }
+
+  /// Copy of row `row` as a vector.
+  std::vector<double> Row(size_t row) const;
+
+  /// Copy of column `col` as a vector.
+  std::vector<double> Col(size_t col) const;
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// this * other; requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Element-wise sum; shapes must match.
+  Matrix Add(const Matrix& other) const;
+
+  /// Element-wise difference; shapes must match.
+  Matrix Sub(const Matrix& other) const;
+
+  /// Copy scaled by `factor`.
+  Matrix Scaled(double factor) const;
+
+  /// In-place: this += factor * other. Shapes must match.
+  void AddInPlace(const Matrix& other, double factor = 1.0);
+
+  /// New matrix containing the given rows of this one, in order.
+  Matrix SelectRows(const std::vector<size_t>& row_indices) const;
+
+  /// Appends the rows of `other` below this matrix (column counts must match,
+  /// unless this matrix is empty).
+  void AppendRows(const Matrix& other);
+
+  /// Index of the maximum entry in each row (first maximum wins).
+  std::vector<size_t> ArgMaxPerRow() const;
+
+  /// Maximum entry in each row.
+  std::vector<double> MaxPerRow() const;
+
+  /// Debug string with shape and (small matrices only) contents.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Row-wise softmax; rows of the result sum to 1 and are computed with the
+/// max-subtraction trick for numerical stability.
+Matrix Softmax(const Matrix& logits);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+}  // namespace bbv::linalg
+
+#endif  // BBV_LINALG_MATRIX_H_

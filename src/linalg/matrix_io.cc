@@ -1,0 +1,22 @@
+#include "linalg/matrix_io.h"
+
+namespace bbv::linalg {
+
+void WriteMatrix(common::BinaryWriter& writer, const Matrix& matrix) {
+  writer.WriteUint64(matrix.rows());
+  writer.WriteUint64(matrix.cols());
+  writer.WriteDoubleVector(matrix.data());
+}
+
+common::Result<Matrix> ReadMatrix(common::BinaryReader& reader) {
+  BBV_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadUint64());
+  BBV_ASSIGN_OR_RETURN(uint64_t cols, reader.ReadUint64());
+  BBV_ASSIGN_OR_RETURN(std::vector<double> values,
+                       reader.ReadDoubleVector());
+  if (values.size() != rows * cols) {
+    return common::Status::InvalidArgument("corrupt matrix payload");
+  }
+  return Matrix(rows, cols, std::move(values));
+}
+
+}  // namespace bbv::linalg

@@ -1,0 +1,18 @@
+#ifndef BBV_LINALG_MATRIX_IO_H_
+#define BBV_LINALG_MATRIX_IO_H_
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "linalg/matrix.h"
+
+namespace bbv::linalg {
+
+/// Writes a matrix (shape + row-major payload) into an open archive.
+void WriteMatrix(common::BinaryWriter& writer, const Matrix& matrix);
+
+/// Reads a matrix written by WriteMatrix; validates shape consistency.
+common::Result<Matrix> ReadMatrix(common::BinaryReader& reader);
+
+}  // namespace bbv::linalg
+
+#endif  // BBV_LINALG_MATRIX_IO_H_

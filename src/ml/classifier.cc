@@ -1,0 +1,16 @@
+#include "ml/classifier.h"
+
+namespace bbv::ml {
+
+std::vector<int> PredictLabels(const Classifier& classifier,
+                               const linalg::Matrix& features) {
+  const linalg::Matrix probabilities = classifier.PredictProba(features);
+  const std::vector<size_t> argmax = probabilities.ArgMaxPerRow();
+  std::vector<int> labels(argmax.size());
+  for (size_t i = 0; i < argmax.size(); ++i) {
+    labels[i] = static_cast<int>(argmax[i]);
+  }
+  return labels;
+}
+
+}  // namespace bbv::ml

@@ -1,0 +1,47 @@
+#ifndef BBV_ML_CLASSIFIER_H_
+#define BBV_ML_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace bbv::ml {
+
+/// A trainable classifier over dense feature vectors. After Fit,
+/// PredictProba returns an (n x num_classes) row-stochastic matrix — the
+/// `predict_proba` surface the paper's approach consumes; everything else
+/// about the model stays opaque to the validation layer.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `features` (n x d) with integer `labels` in
+  /// [0, num_classes). Randomness (initialization, shuffling, bootstrap)
+  /// flows through `rng` for reproducibility.
+  virtual common::Status Fit(const linalg::Matrix& features,
+                             const std::vector<int>& labels, int num_classes,
+                             common::Rng& rng) = 0;
+
+  /// Class probabilities for each row of `features`. Requires a prior Fit.
+  virtual linalg::Matrix PredictProba(const linalg::Matrix& features) const = 0;
+
+  /// Short identifier, e.g. "lr", "dnn", "xgb", "conv".
+  virtual std::string Name() const = 0;
+
+  /// Number of classes seen at fit time (0 before Fit).
+  int num_classes() const { return num_classes_; }
+
+ protected:
+  int num_classes_ = 0;
+};
+
+/// Argmax labels from PredictProba.
+std::vector<int> PredictLabels(const Classifier& classifier,
+                               const linalg::Matrix& features);
+
+}  // namespace bbv::ml
+
+#endif  // BBV_ML_CLASSIFIER_H_

@@ -1,0 +1,106 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+
+#include "ml/metrics.h"
+
+namespace bbv::ml {
+
+std::vector<Fold> KFoldIndices(size_t n, int k, common::Rng& rng) {
+  BBV_CHECK_GE(k, 2);
+  BBV_CHECK_LE(static_cast<size_t>(k), n);
+  const std::vector<size_t> order = rng.Permutation(n);
+  std::vector<Fold> folds(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t fold = i % static_cast<size_t>(k);
+    folds[fold].test_rows.push_back(order[i]);
+  }
+  for (size_t f = 0; f < folds.size(); ++f) {
+    for (size_t g = 0; g < folds.size(); ++g) {
+      if (f == g) continue;
+      folds[f].train_rows.insert(folds[f].train_rows.end(),
+                                 folds[g].test_rows.begin(),
+                                 folds[g].test_rows.end());
+    }
+  }
+  return folds;
+}
+
+common::Result<double> CrossValAccuracy(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const linalg::Matrix& features, const std::vector<int>& labels,
+    int num_classes, int folds, common::Rng& rng) {
+  if (features.rows() != labels.size()) {
+    return common::Status::InvalidArgument(
+        "features and labels disagree on the number of rows");
+  }
+  const std::vector<Fold> splits = KFoldIndices(labels.size(), folds, rng);
+  double total = 0.0;
+  for (const Fold& fold : splits) {
+    const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
+    const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
+    std::vector<int> train_y;
+    std::vector<int> test_y;
+    train_y.reserve(fold.train_rows.size());
+    test_y.reserve(fold.test_rows.size());
+    for (size_t row : fold.train_rows) train_y.push_back(labels[row]);
+    for (size_t row : fold.test_rows) test_y.push_back(labels[row]);
+    std::unique_ptr<Classifier> model = factory();
+    BBV_RETURN_NOT_OK(model->Fit(train_x, train_y, num_classes, rng));
+    total += Accuracy(PredictLabels(*model, test_x), test_y);
+  }
+  return total / static_cast<double>(splits.size());
+}
+
+common::Result<double> CrossValRegressionMae(
+    const std::function<RandomForestRegressor()>& factory,
+    const linalg::Matrix& features, const std::vector<double>& targets,
+    int folds, common::Rng& rng) {
+  if (features.rows() != targets.size()) {
+    return common::Status::InvalidArgument(
+        "features and targets disagree on the number of rows");
+  }
+  const std::vector<Fold> splits = KFoldIndices(targets.size(), folds, rng);
+  double total_error = 0.0;
+  size_t total_count = 0;
+  for (const Fold& fold : splits) {
+    const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
+    const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
+    std::vector<double> train_y;
+    train_y.reserve(fold.train_rows.size());
+    for (size_t row : fold.train_rows) train_y.push_back(targets[row]);
+    RandomForestRegressor model = factory();
+    BBV_RETURN_NOT_OK(model.Fit(train_x, train_y, rng));
+    const std::vector<double> predictions = model.Predict(test_x);
+    for (size_t i = 0; i < fold.test_rows.size(); ++i) {
+      total_error += std::abs(predictions[i] - targets[fold.test_rows[i]]);
+    }
+    total_count += fold.test_rows.size();
+  }
+  return total_error / static_cast<double>(total_count);
+}
+
+common::Result<size_t> GridSearchClassifier(
+    const std::vector<std::function<std::unique_ptr<Classifier>()>>&
+        candidates,
+    const linalg::Matrix& features, const std::vector<int>& labels,
+    int num_classes, int folds, common::Rng& rng) {
+  if (candidates.empty()) {
+    return common::Status::InvalidArgument("no candidates to search over");
+  }
+  size_t best_index = 0;
+  double best_score = -1.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    BBV_ASSIGN_OR_RETURN(
+        double score,
+        CrossValAccuracy(candidates[i], features, labels, num_classes, folds,
+                         rng));
+    if (score > best_score) {
+      best_score = score;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace bbv::ml

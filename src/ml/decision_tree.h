@@ -1,0 +1,111 @@
+#ifndef BBV_ML_DECISION_TREE_H_
+#define BBV_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "ml/classifier.h"
+
+namespace bbv::ml {
+
+/// Shared tree-growing configuration.
+struct TreeOptions {
+  int max_depth = 6;
+  size_t min_samples_leaf = 2;
+  /// Fraction of features examined per split (1.0 = all; random forests use
+  /// a subsample for decorrelation).
+  double feature_fraction = 1.0;
+  /// Minimum impurity decrease to accept a split.
+  double min_impurity_decrease = 1e-9;
+};
+
+/// CART regression tree (variance-reduction splits, mean leaves). Used as
+/// the weak learner inside the random-forest regressor and the
+/// gradient-boosted classifier.
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// Fits the tree on rows `rows` of `features` against `targets` (full
+  /// column, indexed by row id).
+  common::Status Fit(const linalg::Matrix& features,
+                     const std::vector<double>& targets,
+                     const std::vector<size_t>& rows, common::Rng& rng);
+
+  /// Convenience: fit on all rows.
+  common::Status Fit(const linalg::Matrix& features,
+                     const std::vector<double>& targets, common::Rng& rng);
+
+  /// Prediction for one feature row.
+  double PredictRow(const double* row) const;
+
+  /// Predictions for every row of `features`.
+  std::vector<double> Predict(const linalg::Matrix& features) const;
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Persists the fitted tree structure (not the training options).
+  void Save(common::BinaryWriter& writer) const;
+
+  /// Restores a tree persisted with Save.
+  static common::Result<RegressionTree> Load(common::BinaryReader& reader);
+
+ private:
+  struct Node {
+    int32_t feature = -1;     // -1 marks a leaf
+    double threshold = 0.0;   // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;       // leaf prediction
+  };
+
+  int32_t Grow(const linalg::Matrix& features,
+               const std::vector<double>& targets, std::vector<size_t>& rows,
+               size_t begin, size_t end, int depth, common::Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+/// CART classification tree (Gini splits, class-frequency leaves). Included
+/// as one of the model families the AutoML search explores.
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(TreeOptions options = {})
+      : options_(options) {}
+
+  common::Status Fit(const linalg::Matrix& features,
+                     const std::vector<int>& labels, int num_classes,
+                     common::Rng& rng) override;
+  linalg::Matrix PredictProba(const linalg::Matrix& features) const override;
+  std::string Name() const override { return "cart"; }
+
+  /// Persists the fitted tree; Load restores bit-identical inference.
+  common::Status Save(std::ostream& out) const;
+  static common::Result<DecisionTreeClassifier> Load(std::istream& in);
+
+ private:
+  struct Node {
+    int32_t feature = -1;
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<double> class_probabilities;  // leaf payload
+  };
+
+  int32_t Grow(const linalg::Matrix& features, const std::vector<int>& labels,
+               std::vector<size_t>& rows, size_t begin, size_t end, int depth,
+               common::Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace bbv::ml
+
+#endif  // BBV_ML_DECISION_TREE_H_

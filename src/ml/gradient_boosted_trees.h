@@ -1,0 +1,62 @@
+#ifndef BBV_ML_GRADIENT_BOOSTED_TREES_H_
+#define BBV_ML_GRADIENT_BOOSTED_TREES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace bbv::ml {
+
+/// Gradient-boosted decision-tree classifier (xgboost-style softmax
+/// boosting): each round fits one regression tree per class to the negative
+/// log-loss gradient, with shrinkage and optional row subsampling. This is
+/// the paper's `xgb` black box model and also the prediction model inside
+/// the performance validator.
+class GradientBoostedTrees : public Classifier {
+ public:
+  struct Options {
+    int num_rounds = 50;
+    double learning_rate = 0.2;
+    /// Fraction of rows sampled (without replacement) per round.
+    double subsample = 0.8;
+    TreeOptions tree;
+
+    Options() {
+      tree.max_depth = 3;
+      tree.min_samples_leaf = 5;
+    }
+  };
+
+  GradientBoostedTrees() : GradientBoostedTrees(Options{}) {}
+  explicit GradientBoostedTrees(Options options) : options_(options) {}
+
+  common::Status Fit(const linalg::Matrix& features,
+                     const std::vector<int>& labels, int num_classes,
+                     common::Rng& rng) override;
+  linalg::Matrix PredictProba(const linalg::Matrix& features) const override;
+  std::string Name() const override { return "xgb"; }
+
+  /// Persists the fitted ensemble; Load restores bit-identical inference.
+  common::Status Save(std::ostream& out) const;
+  static common::Result<GradientBoostedTrees> Load(std::istream& in);
+
+  int num_rounds_fitted() const {
+    return num_classes_ == 0
+               ? 0
+               : static_cast<int>(trees_.size()) / num_classes_;
+  }
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  /// trees_[round * num_classes + k] boosts the score of class k.
+  std::vector<RegressionTree> trees_;
+  std::vector<double> base_scores_;  // log-prior per class
+};
+
+}  // namespace bbv::ml
+
+#endif  // BBV_ML_GRADIENT_BOOSTED_TREES_H_

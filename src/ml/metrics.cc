@@ -1,0 +1,142 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bbv::ml {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth) {
+  BBV_CHECK_EQ(predicted.size(), truth.size());
+  BBV_CHECK(!truth.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double AccuracyFromProba(const linalg::Matrix& probabilities,
+                         const std::vector<int>& truth) {
+  BBV_CHECK_EQ(probabilities.rows(), truth.size());
+  const std::vector<size_t> argmax = probabilities.ArgMaxPerRow();
+  std::vector<int> predicted(argmax.size());
+  for (size_t i = 0; i < argmax.size(); ++i) {
+    predicted[i] = static_cast<int>(argmax[i]);
+  }
+  return Accuracy(predicted, truth);
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& truth) {
+  BBV_CHECK_EQ(scores.size(), truth.size());
+  BBV_CHECK(!truth.empty());
+  // Rank-based Mann-Whitney statistic with average ranks for ties.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(scores.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double average_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average_rank;
+    i = j + 1;
+  }
+  double positive_rank_sum = 0.0;
+  size_t num_positive = 0;
+  for (size_t k = 0; k < truth.size(); ++k) {
+    if (truth[k] == 1) {
+      positive_rank_sum += ranks[k];
+      ++num_positive;
+    }
+  }
+  const size_t num_negative = truth.size() - num_positive;
+  BBV_CHECK(num_positive > 0 && num_negative > 0)
+      << "RocAuc requires both classes present";
+  const double np = static_cast<double>(num_positive);
+  const double nn = static_cast<double>(num_negative);
+  return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double RocAucFromProba(const linalg::Matrix& probabilities,
+                       const std::vector<int>& truth) {
+  BBV_CHECK_GE(probabilities.cols(), 2u);
+  return RocAuc(probabilities.Col(1), truth);
+}
+
+BinaryConfusion ConfusionCounts(const std::vector<int>& predicted,
+                                const std::vector<int>& truth,
+                                int positive_class) {
+  BBV_CHECK_EQ(predicted.size(), truth.size());
+  BinaryConfusion confusion;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const bool predicted_positive = predicted[i] == positive_class;
+    const bool actually_positive = truth[i] == positive_class;
+    if (predicted_positive && actually_positive) {
+      ++confusion.true_positives;
+    } else if (predicted_positive && !actually_positive) {
+      ++confusion.false_positives;
+    } else if (!predicted_positive && actually_positive) {
+      ++confusion.false_negatives;
+    } else {
+      ++confusion.true_negatives;
+    }
+  }
+  return confusion;
+}
+
+double Precision(const BinaryConfusion& confusion) {
+  const size_t denominator =
+      confusion.true_positives + confusion.false_positives;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(confusion.true_positives) /
+         static_cast<double>(denominator);
+}
+
+double Recall(const BinaryConfusion& confusion) {
+  const size_t denominator =
+      confusion.true_positives + confusion.false_negatives;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(confusion.true_positives) /
+         static_cast<double>(denominator);
+}
+
+double F1Score(const BinaryConfusion& confusion) {
+  const double precision = Precision(confusion);
+  const double recall = Recall(confusion);
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double F1Score(const std::vector<int>& predicted, const std::vector<int>& truth,
+               int positive_class) {
+  return F1Score(ConfusionCounts(predicted, truth, positive_class));
+}
+
+double LogLoss(const linalg::Matrix& probabilities,
+               const std::vector<int>& truth) {
+  BBV_CHECK_EQ(probabilities.rows(), truth.size());
+  BBV_CHECK(!truth.empty());
+  constexpr double kEpsilon = 1e-12;
+  double total = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const int label = truth[i];
+    BBV_CHECK(label >= 0 &&
+              static_cast<size_t>(label) < probabilities.cols());
+    total -= std::log(
+        std::max(probabilities.At(i, static_cast<size_t>(label)), kEpsilon));
+  }
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace bbv::ml

@@ -1,0 +1,53 @@
+#ifndef BBV_ML_METRICS_H_
+#define BBV_ML_METRICS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace bbv::ml {
+
+/// Fraction of predictions equal to the true labels.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth);
+
+/// Accuracy of argmax predictions from class probabilities (n x m).
+double AccuracyFromProba(const linalg::Matrix& probabilities,
+                         const std::vector<int>& truth);
+
+/// Area under the ROC curve for binary labels (positive class = 1) from
+/// scores for the positive class. Ties receive average rank
+/// (Mann-Whitney formulation). Requires both classes present.
+double RocAuc(const std::vector<double>& scores, const std::vector<int>& truth);
+
+/// AUC from a probability matrix: uses column 1 (binary tasks).
+double RocAucFromProba(const linalg::Matrix& probabilities,
+                       const std::vector<int>& truth);
+
+/// Confusion counts for binary decisions.
+struct BinaryConfusion {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+};
+BinaryConfusion ConfusionCounts(const std::vector<int>& predicted,
+                                const std::vector<int>& truth,
+                                int positive_class = 1);
+
+/// Precision / recall / F1 for a binary decision problem; all return 0 when
+/// their denominator is 0.
+double Precision(const BinaryConfusion& confusion);
+double Recall(const BinaryConfusion& confusion);
+double F1Score(const BinaryConfusion& confusion);
+double F1Score(const std::vector<int>& predicted, const std::vector<int>& truth,
+               int positive_class = 1);
+
+/// Multiclass log-loss (cross-entropy) of probabilities against labels,
+/// clipped away from 0 for stability.
+double LogLoss(const linalg::Matrix& probabilities,
+               const std::vector<int>& truth);
+
+}  // namespace bbv::ml
+
+#endif  // BBV_ML_METRICS_H_

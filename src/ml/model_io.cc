@@ -1,0 +1,83 @@
+#include "ml/model_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.h"
+#include "ml/conv_net.h"
+#include "ml/decision_tree.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::ml {
+
+namespace {
+constexpr char kEnvelopeMagic[] = "BBVMD";
+constexpr uint32_t kEnvelopeVersion = 1;
+}  // namespace
+
+common::Status SaveClassifier(const Classifier& classifier,
+                              std::ostream& out) {
+  common::BinaryWriter writer(out);
+  writer.WriteMagic(kEnvelopeMagic, kEnvelopeVersion);
+  const std::string tag = classifier.Name();
+  writer.WriteString(tag);
+  BBV_RETURN_NOT_OK(writer.status());
+  if (tag == "lr") {
+    return static_cast<const SgdLogisticRegression&>(classifier).Save(out);
+  }
+  if (tag == "dnn") {
+    return static_cast<const FeedForwardNetwork&>(classifier).Save(out);
+  }
+  if (tag == "xgb") {
+    return static_cast<const GradientBoostedTrees&>(classifier).Save(out);
+  }
+  if (tag == "cart") {
+    return static_cast<const DecisionTreeClassifier&>(classifier).Save(out);
+  }
+  if (tag == "conv") {
+    return static_cast<const ConvNet&>(classifier).Save(out);
+  }
+  return common::Status::NotImplemented("no serializer for classifier '" +
+                                        tag + "'");
+}
+
+common::Result<std::unique_ptr<Classifier>> LoadClassifier(std::istream& in) {
+  common::BinaryReader reader(in);
+  BBV_RETURN_NOT_OK(reader.ExpectMagic(kEnvelopeMagic, kEnvelopeVersion));
+  BBV_ASSIGN_OR_RETURN(std::string tag, reader.ReadString());
+  if (tag == "lr") {
+    BBV_ASSIGN_OR_RETURN(SgdLogisticRegression model,
+                         SgdLogisticRegression::Load(in));
+    return std::unique_ptr<Classifier>(
+        std::make_unique<SgdLogisticRegression>(std::move(model)));
+  }
+  if (tag == "dnn") {
+    BBV_ASSIGN_OR_RETURN(FeedForwardNetwork model,
+                         FeedForwardNetwork::Load(in));
+    return std::unique_ptr<Classifier>(
+        std::make_unique<FeedForwardNetwork>(std::move(model)));
+  }
+  if (tag == "xgb") {
+    BBV_ASSIGN_OR_RETURN(GradientBoostedTrees model,
+                         GradientBoostedTrees::Load(in));
+    return std::unique_ptr<Classifier>(
+        std::make_unique<GradientBoostedTrees>(std::move(model)));
+  }
+  if (tag == "cart") {
+    BBV_ASSIGN_OR_RETURN(DecisionTreeClassifier model,
+                         DecisionTreeClassifier::Load(in));
+    return std::unique_ptr<Classifier>(
+        std::make_unique<DecisionTreeClassifier>(std::move(model)));
+  }
+  if (tag == "conv") {
+    BBV_ASSIGN_OR_RETURN(ConvNet model, ConvNet::Load(in));
+    return std::unique_ptr<Classifier>(
+        std::make_unique<ConvNet>(std::move(model)));
+  }
+  return common::Status::InvalidArgument("unknown classifier tag '" + tag +
+                                         "'");
+}
+
+}  // namespace bbv::ml

@@ -1,0 +1,99 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+namespace bbv::ml {
+
+common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
+                                          const std::vector<double>& targets,
+                                          common::Rng& rng) {
+  if (features.rows() != targets.size()) {
+    return common::Status::InvalidArgument(
+        "features and targets disagree on the number of rows");
+  }
+  if (features.rows() == 0) {
+    return common::Status::InvalidArgument("cannot fit on an empty matrix");
+  }
+  if (options_.num_trees <= 0) {
+    return common::Status::InvalidArgument("num_trees must be positive");
+  }
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  const size_t n = features.rows();
+  const size_t bootstrap_size = std::max<size_t>(
+      1, static_cast<size_t>(options_.bootstrap_fraction *
+                             static_cast<double>(n)));
+  std::vector<size_t> rows(bootstrap_size);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    for (size_t i = 0; i < bootstrap_size; ++i) {
+      rows[i] = rng.UniformInt(n);
+    }
+    RegressionTree tree(options_.tree);
+    BBV_RETURN_NOT_OK(tree.Fit(features, targets, rows, rng));
+    trees_.push_back(std::move(tree));
+  }
+  return common::Status::OK();
+}
+
+double RandomForestRegressor::PredictRow(const double* row) const {
+  BBV_CHECK(fitted()) << "Predict before Fit";
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    sum += tree.PredictRow(row);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::Predict(
+    const linalg::Matrix& features) const {
+  std::vector<double> result(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    result[i] = PredictRow(features.RowData(i));
+  }
+  return result;
+}
+
+}  // namespace bbv::ml
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace bbv::ml {
+
+namespace {
+constexpr char kForestMagic[] = "BBVRF";
+constexpr uint32_t kForestVersion = 1;
+}  // namespace
+
+common::Status RandomForestRegressor::Save(std::ostream& out) const {
+  if (!fitted()) {
+    return common::Status::FailedPrecondition("Save before Fit");
+  }
+  common::BinaryWriter writer(out);
+  writer.WriteMagic(kForestMagic, kForestVersion);
+  writer.WriteUint64(trees_.size());
+  for (const RegressionTree& tree : trees_) {
+    tree.Save(writer);
+  }
+  return writer.status();
+}
+
+common::Result<RandomForestRegressor> RandomForestRegressor::Load(
+    std::istream& in) {
+  common::BinaryReader reader(in);
+  BBV_RETURN_NOT_OK(reader.ExpectMagic(kForestMagic, kForestVersion));
+  BBV_ASSIGN_OR_RETURN(uint64_t count, reader.ReadUint64());
+  if (count == 0 || count > 1'000'000) {
+    return common::Status::InvalidArgument("implausible tree count");
+  }
+  RandomForestRegressor forest;
+  forest.trees_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BBV_ASSIGN_OR_RETURN(RegressionTree tree, RegressionTree::Load(reader));
+    forest.trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+}  // namespace bbv::ml

@@ -1,0 +1,60 @@
+#ifndef BBV_ML_RANDOM_FOREST_H_
+#define BBV_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "ml/decision_tree.h"
+
+namespace bbv::ml {
+
+/// Random-forest regressor: bootstrap-bagged CART regression trees with
+/// per-split feature subsampling. This is the regression model behind the
+/// paper's performance predictor (scikit-learn RandomForestRegressor,
+/// grid-searched over the number of trees).
+class RandomForestRegressor {
+ public:
+  struct Options {
+    int num_trees = 100;
+    TreeOptions tree;
+    /// Bootstrap sample size as a fraction of the training set.
+    double bootstrap_fraction = 1.0;
+
+    Options() {
+      tree.max_depth = 10;
+      tree.min_samples_leaf = 2;
+      tree.feature_fraction = 0.33;  // ~ one third of features per split
+    }
+  };
+
+  RandomForestRegressor() : RandomForestRegressor(Options{}) {}
+  explicit RandomForestRegressor(Options options) : options_(options) {}
+
+  /// Trains the ensemble; targets are arbitrary reals (scores in [0,1] for
+  /// the performance-prediction task).
+  common::Status Fit(const linalg::Matrix& features,
+                     const std::vector<double>& targets, common::Rng& rng);
+
+  /// Mean prediction across trees for each row.
+  std::vector<double> Predict(const linalg::Matrix& features) const;
+  double PredictRow(const double* row) const;
+
+  bool fitted() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+  /// Persists the fitted ensemble to a stream; Load restores it so that
+  /// Predict produces bit-identical results without retraining.
+  common::Status Save(std::ostream& out) const;
+  static common::Result<RandomForestRegressor> Load(std::istream& in);
+
+ private:
+  Options options_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace bbv::ml
+
+#endif  // BBV_ML_RANDOM_FOREST_H_

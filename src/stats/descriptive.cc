@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bbv::stats {
+
+double Mean(const std::vector<double>& values) {
+  BBV_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_squares = 0.0;
+  for (double v : values) {
+    const double centered = v - mean;
+    sum_squares += centered * centered;
+  }
+  return sum_squares / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Min(const std::vector<double>& values) {
+  BBV_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(const std::vector<double>& values) {
+  BBV_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+namespace {
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  BBV_CHECK(q >= 0.0 && q <= 100.0);
+  const double position =
+      (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lower = static_cast<size_t>(std::floor(position));
+  const size_t upper = static_cast<size_t>(std::ceil(position));
+  if (lower == upper) return sorted[lower];
+  const double weight = position - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - weight) + sorted[upper] * weight;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double q) {
+  BBV_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, q);
+}
+
+std::vector<double> Percentiles(std::vector<double> values,
+                                const std::vector<double>& qs) {
+  BBV_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  std::vector<double> result;
+  result.reserve(qs.size());
+  for (double q : qs) result.push_back(PercentileSorted(values, q));
+  return result;
+}
+
+double Median(const std::vector<double>& values) {
+  return Percentile(values, 50.0);
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  BBV_CHECK_EQ(a.size(), b.size());
+  BBV_CHECK(!a.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace bbv::stats

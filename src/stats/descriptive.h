@@ -1,0 +1,38 @@
+#ifndef BBV_STATS_DESCRIPTIVE_H_
+#define BBV_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace bbv::stats {
+
+/// Arithmetic mean; requires a non-empty input.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+double Variance(const std::vector<double>& values);
+
+/// Square root of Variance().
+double StdDev(const std::vector<double>& values);
+
+/// Smallest / largest element; require non-empty input.
+double Min(const std::vector<double>& values);
+double Max(const std::vector<double>& values);
+
+/// q-th percentile (q in [0, 100]) with linear interpolation between order
+/// statistics, matching numpy.percentile's default. Requires non-empty input.
+double Percentile(std::vector<double> values, double q);
+
+/// Percentiles at several points, sharing one sort. Requires non-empty input.
+std::vector<double> Percentiles(std::vector<double> values,
+                                const std::vector<double>& qs);
+
+/// 50th percentile.
+double Median(const std::vector<double>& values);
+
+/// Mean of absolute values of (a[i] - b[i]); the evaluation's headline metric.
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace bbv::stats
+
+#endif  // BBV_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,94 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/special_functions.h"
+
+namespace bbv::stats {
+
+TestResult TwoSampleKsTest(std::vector<double> a, std::vector<double> b) {
+  BBV_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0;
+  size_t ib = 0;
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double va = a[ia];
+    const double vb = b[ib];
+    const double value = std::min(va, vb);
+    while (ia < a.size() && a[ia] <= value) ++ia;
+    while (ib < b.size() && b[ib] <= value) ++ib;
+    cdf_a = static_cast<double>(ia) / na;
+    cdf_b = static_cast<double>(ib) / nb;
+    d = std::max(d, std::abs(cdf_a - cdf_b));
+  }
+  const double effective_n = na * nb / (na + nb);
+  // Asymptotic p-value with the standard small-sample correction term.
+  const double lambda =
+      (std::sqrt(effective_n) + 0.12 + 0.11 / std::sqrt(effective_n)) * d;
+  return TestResult{d, KolmogorovSurvival(lambda)};
+}
+
+TestResult ChiSquaredHomogeneityTest(const std::vector<double>& counts_a,
+                                     const std::vector<double>& counts_b) {
+  BBV_CHECK_EQ(counts_a.size(), counts_b.size());
+  BBV_CHECK(!counts_a.empty());
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (size_t k = 0; k < counts_a.size(); ++k) {
+    BBV_CHECK_GE(counts_a[k], 0.0);
+    BBV_CHECK_GE(counts_b[k], 0.0);
+    total_a += counts_a[k];
+    total_b += counts_b[k];
+  }
+  BBV_CHECK(total_a > 0.0 && total_b > 0.0)
+      << "chi-squared test needs non-empty samples";
+  const double grand_total = total_a + total_b;
+  double statistic = 0.0;
+  size_t used_categories = 0;
+  for (size_t k = 0; k < counts_a.size(); ++k) {
+    const double column_total = counts_a[k] + counts_b[k];
+    if (column_total == 0.0) continue;  // category absent from both samples
+    ++used_categories;
+    const double expected_a = total_a * column_total / grand_total;
+    const double expected_b = total_b * column_total / grand_total;
+    statistic += (counts_a[k] - expected_a) * (counts_a[k] - expected_a) /
+                 expected_a;
+    statistic += (counts_b[k] - expected_b) * (counts_b[k] - expected_b) /
+                 expected_b;
+  }
+  if (used_categories < 2) {
+    // Degenerate table: both samples concentrated in one category.
+    return TestResult{0.0, 1.0};
+  }
+  const double dof = static_cast<double>(used_categories - 1);
+  return TestResult{statistic, ChiSquaredSurvival(statistic, dof)};
+}
+
+TestResult ChiSquaredGoodnessOfFit(const std::vector<double>& observed,
+                                   const std::vector<double>& expected) {
+  BBV_CHECK_EQ(observed.size(), expected.size());
+  BBV_CHECK_GE(observed.size(), 2u);
+  double statistic = 0.0;
+  for (size_t k = 0; k < observed.size(); ++k) {
+    BBV_CHECK_GT(expected[k], 0.0);
+    const double diff = observed[k] - expected[k];
+    statistic += diff * diff / expected[k];
+  }
+  const double dof = static_cast<double>(observed.size() - 1);
+  return TestResult{statistic, ChiSquaredSurvival(statistic, dof)};
+}
+
+double BonferroniAlpha(double alpha, size_t num_tests) {
+  BBV_CHECK_GT(num_tests, 0u);
+  return alpha / static_cast<double>(num_tests);
+}
+
+}  // namespace bbv::stats

@@ -1,0 +1,26 @@
+#ifndef BBV_STATS_SPECIAL_FUNCTIONS_H_
+#define BBV_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace bbv::stats {
+
+/// Natural log of the gamma function (Lanczos approximation), x > 0.
+double LnGamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom: P(X >= x).
+double ChiSquaredSurvival(double x, double dof);
+
+/// Complementary CDF of the Kolmogorov distribution,
+/// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+/// This is the asymptotic p-value of the two-sample KS statistic.
+double KolmogorovSurvival(double lambda);
+
+}  // namespace bbv::stats
+
+#endif  // BBV_STATS_SPECIAL_FUNCTIONS_H_

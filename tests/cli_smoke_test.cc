@@ -1,0 +1,91 @@
+// End-to-end smoke test of the bbv_cli binary: runs the full CSV workflow
+// (generate data -> train model -> train predictor -> estimate clean batch
+// -> corrupt batch -> estimate again) in a temporary directory and checks
+// the exit codes, including the documented "2 = alarm" contract.
+//
+// The test locates the CLI relative to the ctest working directory
+// (build/tests); it is skipped when the binary is not present (e.g. when
+// the tools/ directory was disabled).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace bbv {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliSmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli_ = fs::absolute("../tools/bbv_cli");
+    if (!fs::exists(cli_)) {
+      GTEST_SKIP() << "bbv_cli not found at " << cli_;
+    }
+    work_dir_ = fs::temp_directory_path() / "bbv_cli_smoke_test";
+    fs::remove_all(work_dir_);
+    fs::create_directories(work_dir_);
+  }
+
+  void TearDown() override { fs::remove_all(work_dir_); }
+
+  /// Runs the CLI with the given arguments; returns the exit code.
+  int Run(const std::string& arguments) {
+    const std::string command = "cd " + work_dir_.string() + " && " +
+                                cli_.string() + " " + arguments +
+                                " > /dev/null 2>&1";
+    const int status = std::system(command.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  fs::path cli_;
+  fs::path work_dir_;
+};
+
+TEST_F(CliSmokeTest, FullWorkflowIncludingAlarm) {
+  ASSERT_EQ(Run("gen-data --dataset bank --rows 4000 --train train.csv "
+                "--test test.csv --serving serving.csv --seed 5"),
+            0);
+  EXPECT_TRUE(fs::exists(work_dir_ / "train.csv"));
+  EXPECT_TRUE(fs::exists(work_dir_ / "serving.csv"));
+
+  ASSERT_EQ(Run("train --dataset bank --train train.csv --model xgb "
+                "--out model.bbv --seed 5"),
+            0);
+  EXPECT_TRUE(fs::exists(work_dir_ / "model.bbv"));
+
+  ASSERT_EQ(Run("train-predictor --dataset bank --model-file model.bbv "
+                "--test test.csv --errors missing,outliers,scaling "
+                "--corruptions 30 --out predictor.bbv --seed 5"),
+            0);
+  EXPECT_TRUE(fs::exists(work_dir_ / "predictor.bbv"));
+
+  // Clean serving batch: exit 0 (accept).
+  EXPECT_EQ(Run("estimate --dataset bank --model-file model.bbv "
+                "--predictor-file predictor.bbv --batch serving.csv"),
+            0);
+
+  // Catastrophic scaling incident: exit 2 (alarm).
+  ASSERT_EQ(Run("corrupt --dataset bank --in serving.csv --out incident.csv "
+                "--error scaling --seed 6"),
+            0);
+  EXPECT_EQ(Run("estimate --dataset bank --model-file model.bbv "
+                "--predictor-file predictor.bbv --batch incident.csv"),
+            2);
+}
+
+TEST_F(CliSmokeTest, BadInvocationsFailCleanly) {
+  EXPECT_EQ(Run(""), 1);                                  // no command
+  EXPECT_EQ(Run("help"), 0);                              // usage
+  EXPECT_EQ(Run("no-such-command --x 1"), 1);             // unknown command
+  EXPECT_EQ(Run("train --dataset bank"), 1);              // missing flags
+  EXPECT_EQ(Run("gen-data --dataset nope --rows 10 --train a --test b "
+                "--serving c"),
+            1);                                           // unknown dataset
+}
+
+}  // namespace
+}  // namespace bbv

@@ -1,0 +1,118 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result.h"
+
+namespace bbv::common {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::OutOfRange("b"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::NotFound("c"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::NotImplemented("f"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+      {Status::IoError("g"), StatusCode::kIoError, "IoError"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  const Status status = Status::NotFound("missing column 'age'");
+  EXPECT_EQ(status.ToString(), "NotFound: missing column 'age'");
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Caller(int x) {
+  BBV_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesErrors) {
+  EXPECT_TRUE(Caller(1).ok());
+  const Status failed = Caller(-1);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("hello"));
+  std::string value = std::move(result).ValueOrDie();
+  EXPECT_EQ(value, "hello");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  BBV_ASSIGN_OR_RETURN(int half, Half(x));
+  BBV_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnChainsAndPropagates) {
+  ASSERT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace bbv::common

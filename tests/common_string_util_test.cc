@@ -1,0 +1,84 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bbv::common {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyTokens) {
+  const std::vector<std::string> parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  const std::vector<std::string> parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyTokens) {
+  const std::vector<std::string> parts =
+      SplitWhitespace("  hello   world\t\nfoo  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+  EXPECT_EQ(parts[2], "foo");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndBlankInputs) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   \t ").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(ToLowerTest, AsciiLowering) {
+  EXPECT_EQ(ToLower("Hello World 123"), "hello world 123");
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("hello world", "o", "0"), "hell0 w0rld");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+}
+
+TEST(ReplaceAllTest, EmptyPatternIsIdentity) {
+  EXPECT_EQ(ReplaceAll("abc", "", "y"), "abc");
+}
+
+TEST(StripTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Strip("  hi  "), "hi");
+  EXPECT_EQ(Strip("\t\nhi"), "hi");
+  EXPECT_EQ(Strip(""), "");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StartsWithTest, PrefixChecks) {
+  EXPECT_TRUE(StartsWith("--seed=1", "--seed="));
+  EXPECT_FALSE(StartsWith("-seed", "--seed"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(Fnv1aHashTest, StableAndDistinct) {
+  EXPECT_EQ(Fnv1aHash("abc"), Fnv1aHash("abc"));
+  EXPECT_NE(Fnv1aHash("abc"), Fnv1aHash("abd"));
+  EXPECT_NE(Fnv1aHash(""), Fnv1aHash("a"));
+}
+
+}  // namespace
+}  // namespace bbv::common

@@ -1,0 +1,173 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "errors/text_errors.h"
+#include "ml/black_box.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::core {
+namespace {
+
+struct Fixture {
+  data::Dataset train;
+  data::Dataset test;
+  data::Dataset serving;
+  std::unique_ptr<ml::BlackBoxModel> model;
+};
+
+Fixture MakeFixture(common::Rng& rng) {
+  data::Dataset dataset = datasets::MakeIncome(4000, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  Fixture fixture;
+  fixture.train = std::move(train);
+  fixture.test = std::move(test);
+  fixture.serving = std::move(serving);
+  fixture.model = std::make_unique<ml::BlackBoxModel>(
+      std::make_unique<ml::SgdLogisticRegression>());
+  BBV_CHECK(fixture.model->Train(fixture.train, rng).ok());
+  return fixture;
+}
+
+// ---------------------------------------------------------------------------
+// REL
+// ---------------------------------------------------------------------------
+
+TEST(RelShiftDetectorTest, NoShiftOnIdenticalDistribution) {
+  common::Rng rng(1);
+  Fixture fixture = MakeFixture(rng);
+  RelShiftDetector rel;
+  ASSERT_TRUE(rel.Fit(fixture.train.features).ok());
+  const auto detected = rel.DetectsShift(fixture.serving.features);
+  ASSERT_TRUE(detected.ok());
+  EXPECT_FALSE(*detected);
+}
+
+TEST(RelShiftDetectorTest, DetectsScaledNumericColumn) {
+  common::Rng rng(2);
+  Fixture fixture = MakeFixture(rng);
+  RelShiftDetector rel;
+  ASSERT_TRUE(rel.Fit(fixture.train.features).ok());
+  const errors::Scaling scaling({"age"}, errors::FractionRange{0.9, 1.0});
+  const auto corrupted = scaling.Corrupt(fixture.serving.features, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_TRUE(rel.DetectsShift(*corrupted).ValueOrDie());
+}
+
+TEST(RelShiftDetectorTest, DetectsUnseenCategories) {
+  common::Rng rng(3);
+  Fixture fixture = MakeFixture(rng);
+  RelShiftDetector rel;
+  ASSERT_TRUE(rel.Fit(fixture.train.features).ok());
+  const errors::CategoricalTypos typos({"education"},
+                                       errors::FractionRange{0.8, 1.0});
+  const auto corrupted = typos.Corrupt(fixture.serving.features, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_TRUE(rel.DetectsShift(*corrupted).ValueOrDie());
+}
+
+TEST(RelShiftDetectorTest, DetectsFullyMissingColumn) {
+  common::Rng rng(4);
+  Fixture fixture = MakeFixture(rng);
+  RelShiftDetector rel;
+  ASSERT_TRUE(rel.Fit(fixture.train.features).ok());
+  const errors::MissingValues missing({"education"},
+                                      errors::FractionRange{1.0, 1.0});
+  const auto corrupted = missing.Corrupt(fixture.serving.features, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_TRUE(rel.DetectsShift(*corrupted).ValueOrDie());
+}
+
+TEST(RelShiftDetectorTest, FitRequiresTestableColumns) {
+  RelShiftDetector rel;
+  data::DataFrame text_only;
+  BBV_CHECK(text_only.AddColumn(data::Column::Text("t", {"a", "b"})).ok());
+  EXPECT_FALSE(rel.Fit(text_only).ok());
+}
+
+TEST(RelShiftDetectorTest, DetectBeforeFitFails) {
+  RelShiftDetector rel;
+  EXPECT_FALSE(rel.DetectsShift(data::DataFrame()).ok());
+}
+
+TEST(RelShiftDetectorTest, MissingServingColumnIsError) {
+  common::Rng rng(5);
+  Fixture fixture = MakeFixture(rng);
+  RelShiftDetector rel;
+  ASSERT_TRUE(rel.Fit(fixture.train.features).ok());
+  EXPECT_FALSE(rel.DetectsShift(data::DataFrame()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// BBSE / BBSE-h
+// ---------------------------------------------------------------------------
+
+TEST(BbseDetectorTest, NoShiftOnCleanServingData) {
+  common::Rng rng(6);
+  Fixture fixture = MakeFixture(rng);
+  BbseDetector bbse(fixture.model.get());
+  ASSERT_TRUE(bbse.Fit(fixture.test.features).ok());
+  EXPECT_FALSE(bbse.DetectsShift(fixture.serving.features).ValueOrDie());
+}
+
+TEST(BbseDetectorTest, DetectsOutputDistributionShift) {
+  common::Rng rng(7);
+  Fixture fixture = MakeFixture(rng);
+  BbseDetector bbse(fixture.model.get());
+  ASSERT_TRUE(bbse.Fit(fixture.test.features).ok());
+  // Severe outliers everywhere shift the model's output distribution.
+  const errors::NumericOutliers severe({}, errors::FractionRange{1.0, 1.0},
+                                       8.0, 10.0);
+  const auto corrupted = severe.Corrupt(fixture.serving.features, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_TRUE(bbse.DetectsShift(*corrupted).ValueOrDie());
+}
+
+TEST(BbseDetectorTest, FromProbaMatchesFrameVariant) {
+  common::Rng rng(8);
+  Fixture fixture = MakeFixture(rng);
+  BbseDetector bbse(fixture.model.get());
+  ASSERT_TRUE(bbse.Fit(fixture.test.features).ok());
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  EXPECT_EQ(bbse.DetectsShift(fixture.serving.features).ValueOrDie(),
+            bbse.DetectsShiftFromProba(proba).ValueOrDie());
+}
+
+TEST(BbsehDetectorTest, NoShiftOnCleanServingData) {
+  common::Rng rng(9);
+  Fixture fixture = MakeFixture(rng);
+  BbsehDetector bbseh(fixture.model.get());
+  ASSERT_TRUE(bbseh.Fit(fixture.test.features).ok());
+  EXPECT_FALSE(bbseh.DetectsShift(fixture.serving.features).ValueOrDie());
+}
+
+TEST(BbsehDetectorTest, DetectsPredictedClassImbalance) {
+  common::Rng rng(10);
+  Fixture fixture = MakeFixture(rng);
+  BbsehDetector bbseh(fixture.model.get());
+  ASSERT_TRUE(bbseh.Fit(fixture.test.features).ok());
+  // Blanking the most important columns pushes predictions toward one
+  // class, changing the predicted-class counts.
+  const errors::MissingValues missing({"education", "occupation"},
+                                      errors::FractionRange{1.0, 1.0});
+  const auto corrupted = missing.Corrupt(fixture.serving.features, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_TRUE(bbseh.DetectsShift(*corrupted).ValueOrDie());
+}
+
+TEST(BbsehDetectorTest, DetectBeforeFitFails) {
+  common::Rng rng(11);
+  Fixture fixture = MakeFixture(rng);
+  BbsehDetector bbseh(fixture.model.get());
+  EXPECT_FALSE(bbseh.DetectsShift(fixture.serving.features).ok());
+}
+
+}  // namespace
+}  // namespace bbv::core

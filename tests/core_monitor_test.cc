@@ -1,0 +1,110 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/tabular.h"
+#include "errors/numeric_errors.h"
+#include "ml/black_box.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::core {
+namespace {
+
+struct Fixture {
+  data::Dataset serving;
+  std::unique_ptr<ml::BlackBoxModel> model;
+  PerformancePredictor predictor;
+};
+
+Fixture MakeFixture(common::Rng& rng) {
+  data::Dataset dataset = datasets::MakeIncome(2500, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  Fixture fixture;
+  fixture.serving = std::move(serving);
+  fixture.model = std::make_unique<ml::BlackBoxModel>(
+      std::make_unique<ml::SgdLogisticRegression>());
+  BBV_CHECK(fixture.model->Train(train, rng).ok());
+  PerformancePredictor::Options options;
+  options.corruptions_per_generator = 25;
+  options.tree_count_grid = {25};
+  fixture.predictor = PerformancePredictor(options);
+  static const errors::NumericOutliers kOutliers;
+  static const errors::Scaling kScaling;
+  std::vector<const errors::ErrorGen*> generators = {&kOutliers, &kScaling};
+  BBV_CHECK(fixture.predictor.Train(*fixture.model, test, generators, rng)
+                .ok());
+  return fixture;
+}
+
+TEST(ModelMonitorTest, CleanBatchesDoNotAlarm) {
+  common::Rng rng(1);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  const auto report = monitor.Observe(fixture.serving.features);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->alarm);
+  EXPECT_EQ(report->rows, fixture.serving.NumRows());
+  EXPECT_EQ(report->batch_id, 0u);
+  EXPECT_NEAR(report->estimated_score, report->reference_score, 0.06);
+}
+
+TEST(ModelMonitorTest, CatastrophicBatchesAlarm) {
+  common::Rng rng(2);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.alarm_threshold = 0.05;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+  const errors::Scaling severe({}, errors::FractionRange{0.95, 1.0},
+                               {1000.0});
+  int alarms = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto corrupted =
+        severe.Corrupt(fixture.serving.features, rng).ValueOrDie();
+    const auto report = monitor.Observe(corrupted);
+    ASSERT_TRUE(report.ok());
+    if (report->alarm) ++alarms;
+  }
+  EXPECT_GE(alarms, 4);
+  EXPECT_EQ(monitor.alarms_raised(), static_cast<size_t>(alarms));
+}
+
+TEST(ModelMonitorTest, HistoryIsBounded) {
+  common::Rng rng(3);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.history_limit = 3;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+  }
+  EXPECT_EQ(monitor.history().size(), 3u);
+  EXPECT_EQ(monitor.batches_observed(), 7u);
+  // Oldest entries were dropped; the last report has id 6.
+  EXPECT_EQ(monitor.history().back().batch_id, 6u);
+  EXPECT_EQ(monitor.history().front().batch_id, 4u);
+}
+
+TEST(ModelMonitorTest, EmptyBatchRejected) {
+  common::Rng rng(4);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  EXPECT_FALSE(monitor.ObserveFromProba(linalg::Matrix()).ok());
+}
+
+TEST(ModelMonitorTest, SummaryMentionsCounts) {
+  common::Rng rng(5);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  ASSERT_TRUE(monitor.Observe(fixture.serving.features).ok());
+  const std::string summary = monitor.Summary();
+  EXPECT_NE(summary.find("1 batches observed"), std::string::npos);
+  EXPECT_NE(summary.find("median="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbv::core

@@ -1,0 +1,181 @@
+#include "core/performance_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "ml/black_box.h"
+#include "ml/gradient_boosted_trees.h"
+
+namespace bbv::core {
+namespace {
+
+struct Fixture {
+  data::Dataset train;
+  data::Dataset test;
+  data::Dataset serving;
+  std::unique_ptr<ml::BlackBoxModel> model;
+};
+
+Fixture MakeFixture(common::Rng& rng) {
+  data::Dataset dataset = datasets::MakeHeart(4000, rng);
+  dataset = data::BalanceClasses(dataset, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  Fixture fixture;
+  fixture.train = std::move(train);
+  fixture.test = std::move(test);
+  fixture.serving = std::move(serving);
+  fixture.model = std::make_unique<ml::BlackBoxModel>(
+      std::make_unique<ml::GradientBoostedTrees>());
+  BBV_CHECK(fixture.model->Train(fixture.train, rng).ok());
+  return fixture;
+}
+
+PerformanceValidator::Options FastOptions(double threshold = 0.05) {
+  PerformanceValidator::Options options;
+  options.threshold = threshold;
+  options.corruptions_per_generator = 60;
+  return options;
+}
+
+TEST(PerformanceValidatorTest, ValidatesCleanServingData) {
+  common::Rng rng(1);
+  Fixture fixture = MakeFixture(rng);
+  PerformanceValidator validator(FastOptions());
+  const errors::ErrorMixture mixture(
+      {std::make_shared<errors::MissingValues>(),
+       std::make_shared<errors::NumericOutliers>()});
+  std::vector<const errors::ErrorGen*> generators = {&mixture};
+  ASSERT_TRUE(
+      validator.Train(*fixture.model, fixture.test, generators, rng).ok());
+  EXPECT_TRUE(validator.trained());
+  const auto decision =
+      validator.Validate(*fixture.model, fixture.serving.features);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(*decision);
+}
+
+TEST(PerformanceValidatorTest, AlarmsOnCatastrophicCorruption) {
+  common::Rng rng(2);
+  Fixture fixture = MakeFixture(rng);
+  PerformanceValidator validator(FastOptions(0.05));
+  const errors::ErrorMixture mixture(
+      {std::make_shared<errors::MissingValues>(),
+       std::make_shared<errors::NumericOutliers>()});
+  std::vector<const errors::ErrorGen*> generators = {&mixture};
+  ASSERT_TRUE(
+      validator.Train(*fixture.model, fixture.test, generators, rng).ok());
+  // Destroy every numeric column with massive outliers.
+  const errors::NumericOutliers severe({}, errors::FractionRange{1.0, 1.0},
+                                       10.0, 12.0);
+  int alarms = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto corrupted = severe.Corrupt(fixture.serving.features, rng);
+    ASSERT_TRUE(corrupted.ok());
+    const auto decision = validator.Validate(*fixture.model, *corrupted);
+    ASSERT_TRUE(decision.ok());
+    if (!*decision) ++alarms;
+  }
+  EXPECT_GE(alarms, 4);
+}
+
+TEST(PerformanceValidatorTest, ValidateBeforeTrainFails) {
+  PerformanceValidator validator;
+  EXPECT_FALSE(validator.ValidateFromProba(linalg::Matrix(5, 2)).ok());
+}
+
+TEST(PerformanceValidatorTest, TrainValidation) {
+  common::Rng rng(3);
+  Fixture fixture = MakeFixture(rng);
+  PerformanceValidator validator(FastOptions());
+  EXPECT_FALSE(
+      validator.Train(*fixture.model, data::Dataset(), {}, rng).ok());
+  const errors::MissingValues missing;
+  std::vector<const errors::ErrorGen*> generators = {&missing};
+  EXPECT_FALSE(
+      validator.Train(*fixture.model, data::Dataset(), generators, rng).ok());
+}
+
+TEST(PerformanceValidatorTest, ThresholdIsExposed) {
+  PerformanceValidator validator(FastOptions(0.1));
+  EXPECT_DOUBLE_EQ(validator.threshold(), 0.1);
+}
+
+TEST(PerformanceValidatorTest, DegenerateTrainingFallsBackToPredictor) {
+  // A generator whose corruption never moves the score (fraction 0) makes
+  // every meta-label "ok"; the validator must fall back gracefully instead
+  // of fitting a one-class GBDT.
+  common::Rng rng(4);
+  Fixture fixture = MakeFixture(rng);
+  PerformanceValidator::Options options = FastOptions();
+  options.corruptions_per_generator = 20;
+  PerformanceValidator validator(options);
+  const errors::MissingValues noop({}, errors::FractionRange{0.0, 0.0});
+  std::vector<const errors::ErrorGen*> generators = {&noop};
+  ASSERT_TRUE(
+      validator.Train(*fixture.model, fixture.test, generators, rng).ok());
+  const auto decision =
+      validator.Validate(*fixture.model, fixture.serving.features);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_TRUE(*decision);
+}
+
+TEST(PerformanceValidatorTest, HigherThresholdAlarmsLessOften) {
+  common::Rng rng(5);
+  Fixture fixture = MakeFixture(rng);
+  const errors::ErrorMixture mixture(
+      {std::make_shared<errors::MissingValues>(),
+       std::make_shared<errors::NumericOutliers>(),
+       std::make_shared<errors::Scaling>()});
+  std::vector<const errors::ErrorGen*> generators = {&mixture};
+
+  auto alarm_count = [&](double threshold) {
+    common::Rng local_rng(99);
+    PerformanceValidator validator(FastOptions(threshold));
+    BBV_CHECK(
+        validator.Train(*fixture.model, fixture.test, generators, local_rng)
+            .ok());
+    int alarms = 0;
+    for (int i = 0; i < 20; ++i) {
+      const auto corrupted =
+          mixture.Corrupt(fixture.serving.features, local_rng);
+      BBV_CHECK(corrupted.ok());
+      const auto decision = validator.Validate(*fixture.model, *corrupted);
+      BBV_CHECK(decision.ok());
+      if (!*decision) ++alarms;
+    }
+    return alarms;
+  };
+  // A 2% budget should alarm at least as often as a 25% budget.
+  EXPECT_GE(alarm_count(0.02), alarm_count(0.25));
+}
+
+TEST(PerformanceValidatorTest, AblationOptionsStillWork) {
+  common::Rng rng(6);
+  Fixture fixture = MakeFixture(rng);
+  for (const bool use_ks : {true, false}) {
+    for (const bool use_predictor : {true, false}) {
+      PerformanceValidator::Options options = FastOptions();
+      options.corruptions_per_generator = 30;
+      options.use_ks_features = use_ks;
+      options.use_predictor_feature = use_predictor;
+      PerformanceValidator validator(options);
+      const errors::NumericOutliers outliers;
+      std::vector<const errors::ErrorGen*> generators = {&outliers};
+      ASSERT_TRUE(
+          validator.Train(*fixture.model, fixture.test, generators, rng)
+              .ok());
+      const auto decision =
+          validator.Validate(*fixture.model, fixture.serving.features);
+      ASSERT_TRUE(decision.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbv::core

@@ -1,0 +1,165 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "data/csv.h"
+
+namespace bbv::data {
+namespace {
+
+Dataset MakeToyDataset(size_t n, int num_classes = 2) {
+  Dataset dataset;
+  std::vector<double> x(n);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = static_cast<int>(i) % num_classes;
+  }
+  BBV_CHECK(dataset.features.AddColumn(Column::Numeric("x", x)).ok());
+  dataset.labels = y;
+  dataset.num_classes = num_classes;
+  return dataset;
+}
+
+TEST(DatasetTest, SelectRowsAlignsFeaturesAndLabels) {
+  const Dataset dataset = MakeToyDataset(10);
+  const Dataset subset = dataset.SelectRows({3, 7});
+  EXPECT_EQ(subset.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(subset.features.ColumnByName("x").cell(0).AsDouble(), 3.0);
+  EXPECT_EQ(subset.labels[0], 1);
+  EXPECT_EQ(subset.labels[1], 1);
+}
+
+TEST(TrainTestSplitTest, SplitsAreDisjointAndCover) {
+  common::Rng rng(1);
+  const Dataset dataset = MakeToyDataset(100);
+  const DatasetSplit split = TrainTestSplit(dataset, 0.7, rng);
+  EXPECT_EQ(split.first.NumRows(), 70u);
+  EXPECT_EQ(split.second.NumRows(), 30u);
+  std::set<double> first_values;
+  std::set<double> second_values;
+  for (size_t i = 0; i < 70; ++i) {
+    first_values.insert(
+        split.first.features.ColumnByName("x").cell(i).AsDouble());
+  }
+  for (size_t i = 0; i < 30; ++i) {
+    second_values.insert(
+        split.second.features.ColumnByName("x").cell(i).AsDouble());
+  }
+  // Disjoint and jointly exhaustive.
+  EXPECT_EQ(first_values.size(), 70u);
+  EXPECT_EQ(second_values.size(), 30u);
+  for (double v : second_values) {
+    EXPECT_EQ(first_values.count(v), 0u);
+  }
+}
+
+TEST(TrainTestSplitTest, ExtremeFractions) {
+  common::Rng rng(2);
+  const Dataset dataset = MakeToyDataset(10);
+  EXPECT_EQ(TrainTestSplit(dataset, 0.0, rng).first.NumRows(), 0u);
+  EXPECT_EQ(TrainTestSplit(dataset, 1.0, rng).second.NumRows(), 0u);
+}
+
+TEST(ShuffleRowsTest, PreservesMultisetOfLabels) {
+  common::Rng rng(3);
+  const Dataset dataset = MakeToyDataset(50);
+  const Dataset shuffled = ShuffleRows(dataset, rng);
+  EXPECT_EQ(shuffled.NumRows(), 50u);
+  std::vector<int> sorted_labels = shuffled.labels;
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+  std::vector<int> expected = dataset.labels;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sorted_labels, expected);
+}
+
+TEST(BalanceClassesTest, ProducesEqualCounts) {
+  common::Rng rng(4);
+  Dataset dataset = MakeToyDataset(30);
+  // Imbalance it: drop most of class 1.
+  std::vector<size_t> keep;
+  int ones_kept = 0;
+  for (size_t i = 0; i < dataset.NumRows(); ++i) {
+    if (dataset.labels[i] == 0 || ones_kept++ < 5) keep.push_back(i);
+  }
+  dataset = dataset.SelectRows(keep);
+  const Dataset balanced = BalanceClasses(dataset, rng);
+  const std::vector<size_t> counts = ClassCounts(balanced);
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(counts[0], 5u);
+}
+
+TEST(ClassCountsTest, CountsPerClass) {
+  const Dataset dataset = MakeToyDataset(9, 3);
+  const std::vector<size_t> counts = ClassCounts(dataset);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// CSV round trips
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTripWithNaAndQuoting) {
+  DataFrame frame;
+  Column name("name", ColumnType::kCategorical);
+  name.Append(CellValue("plain"));
+  name.Append(CellValue("has,comma"));
+  name.Append(CellValue("has\"quote"));
+  name.Append(CellValue::Na());
+  BBV_CHECK(frame.AddColumn(std::move(name)).ok());
+  Column value("value", ColumnType::kNumeric);
+  value.Append(CellValue(1.5));
+  value.Append(CellValue::Na());
+  value.Append(CellValue(-3.25));
+  value.Append(CellValue(1e6));
+  BBV_CHECK(frame.AddColumn(std::move(value)).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteCsv(frame, buffer).ok());
+  const auto parsed = ReadCsv(
+      buffer, {{"name", ColumnType::kCategorical},
+               {"value", ColumnType::kNumeric}});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumRows(), 4u);
+  EXPECT_EQ(parsed->ColumnByName("name").cell(1).AsString(), "has,comma");
+  EXPECT_EQ(parsed->ColumnByName("name").cell(2).AsString(), "has\"quote");
+  EXPECT_TRUE(parsed->ColumnByName("name").cell(3).is_na());
+  EXPECT_TRUE(parsed->ColumnByName("value").cell(1).is_na());
+  EXPECT_DOUBLE_EQ(parsed->ColumnByName("value").cell(2).AsDouble(), -3.25);
+}
+
+TEST(CsvTest, RejectsImageColumns) {
+  DataFrame frame;
+  BBV_CHECK(frame.AddColumn(Column::Image("img", {{0.1, 0.2}})).ok());
+  std::stringstream buffer;
+  EXPECT_FALSE(WriteCsv(frame, buffer).ok());
+}
+
+TEST(CsvTest, RejectsBadNumericField) {
+  std::stringstream buffer("x\nnot_a_number\n");
+  const auto parsed = ReadCsv(buffer, {{"x", ColumnType::kNumeric}});
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, RejectsColumnCountMismatch) {
+  std::stringstream buffer("a,b\n1\n");
+  const auto parsed = ReadCsv(
+      buffer,
+      {{"a", ColumnType::kNumeric}, {"b", ColumnType::kNumeric}});
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  std::stringstream buffer("");
+  EXPECT_FALSE(ReadCsv(buffer, {{"a", ColumnType::kNumeric}}).ok());
+}
+
+}  // namespace
+}  // namespace bbv::data

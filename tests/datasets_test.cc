@@ -1,0 +1,217 @@
+// Tests for the synthetic dataset generators: schema fidelity, learnability
+// in the realistic (non-trivial, non-perfect) band, class balance, and
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "datasets/images.h"
+#include "datasets/registry.h"
+#include "datasets/tabular.h"
+#include "datasets/text.h"
+#include "ml/black_box.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::datasets {
+namespace {
+
+TEST(RegistryTest, AllNamesResolve) {
+  common::Rng rng(1);
+  DatasetOptions options;
+  options.num_rows = 200;
+  options.image_side = 12;
+  for (const std::string& name : DatasetNames()) {
+    const auto dataset = MakeByName(name, options, rng);
+    ASSERT_TRUE(dataset.ok()) << name;
+    EXPECT_EQ(dataset->NumRows(), 200u) << name;
+    EXPECT_EQ(dataset->num_classes, 2) << name;
+    EXPECT_EQ(dataset->class_names.size(), 2u) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsError) {
+  common::Rng rng(2);
+  EXPECT_FALSE(MakeByName("mnist", DatasetOptions{}, rng).ok());
+}
+
+TEST(TabularDatasetsTest, IncomeSchemaMatchesAdultShape) {
+  common::Rng rng(3);
+  const data::Dataset dataset = MakeIncome(100, rng);
+  const auto& frame = dataset.features;
+  EXPECT_EQ(frame.ColumnNamesOfType(data::ColumnType::kNumeric).size(), 4u);
+  EXPECT_EQ(frame.ColumnNamesOfType(data::ColumnType::kCategorical).size(),
+            5u);
+  EXPECT_TRUE(frame.HasColumn("age"));
+  EXPECT_TRUE(frame.HasColumn("education"));
+  EXPECT_TRUE(frame.HasColumn("occupation"));
+}
+
+TEST(TabularDatasetsTest, HeartSchema) {
+  common::Rng rng(4);
+  const data::Dataset dataset = MakeHeart(100, rng);
+  EXPECT_EQ(
+      dataset.features.ColumnNamesOfType(data::ColumnType::kNumeric).size(),
+      5u);
+  EXPECT_EQ(dataset.features.ColumnNamesOfType(data::ColumnType::kCategorical)
+                .size(),
+            5u);
+}
+
+TEST(TabularDatasetsTest, BankSchema) {
+  common::Rng rng(5);
+  const data::Dataset dataset = MakeBank(100, rng);
+  EXPECT_EQ(
+      dataset.features.ColumnNamesOfType(data::ColumnType::kNumeric).size(),
+      5u);
+  EXPECT_EQ(dataset.features.ColumnNamesOfType(data::ColumnType::kCategorical)
+                .size(),
+            5u);
+}
+
+TEST(TabularDatasetsTest, ValuesAreInPlausibleRanges) {
+  common::Rng rng(6);
+  const data::Dataset dataset = MakeHeart(500, rng);
+  for (double age : dataset.features.ColumnByName("age").NumericValues()) {
+    EXPECT_GE(age, 30.0);
+    EXPECT_LE(age, 80.0);
+  }
+  for (double ap :
+       dataset.features.ColumnByName("ap_hi").NumericValues()) {
+    EXPECT_GE(ap, 80.0);
+    EXPECT_LE(ap, 220.0);
+  }
+}
+
+TEST(TabularDatasetsTest, RoughClassBalance) {
+  common::Rng rng(7);
+  for (const auto& dataset :
+       {MakeIncome(4000, rng), MakeHeart(4000, rng), MakeBank(4000, rng)}) {
+    const std::vector<size_t> counts = data::ClassCounts(dataset);
+    const double ratio = static_cast<double>(counts[0]) /
+                         static_cast<double>(counts[0] + counts[1]);
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 0.75);
+  }
+}
+
+TEST(TabularDatasetsTest, LearnableButNotTrivial) {
+  // A model must beat chance clearly but stay below perfection — the regime
+  // the paper's experiments need.
+  common::Rng rng(8);
+  data::Dataset dataset = MakeIncome(4000, rng);
+  dataset = BalanceClasses(dataset, rng);
+  auto [train, test] = TrainTestSplit(dataset, 0.7, rng);
+  ml::BlackBoxModel model(std::make_unique<ml::SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(train, rng).ok());
+  const double accuracy = model.ScoreAccuracy(test).ValueOrDie();
+  EXPECT_GT(accuracy, 0.65);
+  EXPECT_LT(accuracy, 0.98);
+}
+
+TEST(TabularDatasetsTest, DeterministicGivenSeed) {
+  common::Rng rng_a(9);
+  common::Rng rng_b(9);
+  const data::Dataset a = MakeBank(50, rng_a);
+  const data::Dataset b = MakeBank(50, rng_b);
+  EXPECT_EQ(a.labels, b.labels);
+  for (size_t col = 0; col < a.features.NumCols(); ++col) {
+    for (size_t row = 0; row < 50; ++row) {
+      EXPECT_TRUE(a.features.column(col).cell(row) ==
+                  b.features.column(col).cell(row));
+    }
+  }
+}
+
+TEST(TweetsTest, SingleTextColumn) {
+  common::Rng rng(10);
+  const data::Dataset dataset = MakeTweets(100, rng);
+  EXPECT_EQ(dataset.features.NumCols(), 1u);
+  EXPECT_EQ(dataset.features.column(0).type(), data::ColumnType::kText);
+  // Every tweet is non-empty.
+  for (size_t row = 0; row < 100; ++row) {
+    EXPECT_FALSE(dataset.features.column(0).cell(row).AsString().empty());
+  }
+}
+
+TEST(TweetsTest, TrollVocabularyCorrelatesWithLabel) {
+  common::Rng rng(11);
+  const data::Dataset dataset = MakeTweets(2000, rng);
+  size_t troll_tweets_with_insults = 0;
+  size_t troll_tweets = 0;
+  for (size_t row = 0; row < dataset.NumRows(); ++row) {
+    if (dataset.labels[row] != 1) continue;
+    ++troll_tweets;
+    const std::string& text =
+        dataset.features.column(0).cell(row).AsString();
+    if (text.find("idiot") != std::string::npos ||
+        text.find("stupid") != std::string::npos ||
+        text.find("hate") != std::string::npos ||
+        text.find("dumb") != std::string::npos ||
+        text.find("loser") != std::string::npos ||
+        text.find("trash") != std::string::npos ||
+        text.find("moron") != std::string::npos) {
+      ++troll_tweets_with_insults;
+    }
+  }
+  EXPECT_GT(static_cast<double>(troll_tweets_with_insults) /
+                static_cast<double>(troll_tweets),
+            0.4);
+}
+
+TEST(ImageDatasetsTest, ImagesHaveRequestedSize) {
+  common::Rng rng(12);
+  const data::Dataset dataset = MakeDigits(50, 16, rng);
+  for (size_t row = 0; row < 50; ++row) {
+    EXPECT_EQ(dataset.features.column(0).cell(row).AsImage().size(), 256u);
+  }
+}
+
+TEST(ImageDatasetsTest, PixelsInUnitInterval) {
+  common::Rng rng(13);
+  const data::Dataset dataset = MakeFashion(50, 16, rng);
+  for (size_t row = 0; row < 50; ++row) {
+    for (double pixel : dataset.features.column(0).cell(row).AsImage()) {
+      EXPECT_GE(pixel, 0.0);
+      EXPECT_LE(pixel, 1.0);
+    }
+  }
+}
+
+TEST(ImageDatasetsTest, ClassesAreVisuallyDistinct) {
+  // Mean mass in the upper half of the image separates digits 3 (no mass
+  // difference) from boots (tall shaft) vs sneakers.
+  common::Rng rng(14);
+  const size_t side = 16;
+  const data::Dataset dataset = MakeFashion(400, side, rng);
+  double upper_mass_sneaker = 0.0;
+  double upper_mass_boot = 0.0;
+  size_t sneakers = 0;
+  size_t boots = 0;
+  for (size_t row = 0; row < dataset.NumRows(); ++row) {
+    const auto& image = dataset.features.column(0).cell(row).AsImage();
+    double upper = 0.0;
+    for (size_t p = 0; p < side * side / 2; ++p) upper += image[p];
+    if (dataset.labels[row] == 0) {
+      upper_mass_sneaker += upper;
+      ++sneakers;
+    } else {
+      upper_mass_boot += upper;
+      ++boots;
+    }
+  }
+  EXPECT_GT(upper_mass_boot / static_cast<double>(boots),
+            1.5 * upper_mass_sneaker / static_cast<double>(sneakers));
+}
+
+TEST(ImageDatasetsTest, RenderersRejectUnknownClasses) {
+  common::Rng rng(15);
+  EXPECT_DEATH(RenderDigit(7, 16, rng), "digits 3 and 5");
+  EXPECT_DEATH(RenderFashionItem(2, 16, rng), "sneaker");
+}
+
+}  // namespace
+}  // namespace bbv::datasets

@@ -1,0 +1,100 @@
+#include "errors/distribution_shift.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/tabular.h"
+#include "stats/descriptive.h"
+
+namespace bbv::errors {
+namespace {
+
+TEST(LabelShiftTest, AchievesTargetPositiveFraction) {
+  common::Rng rng(1);
+  const data::Dataset dataset = datasets::MakeIncome(4000, rng);
+  const auto shifted = ResampleLabelShift(dataset, 0.8, rng);
+  ASSERT_TRUE(shifted.ok());
+  const std::vector<size_t> counts = data::ClassCounts(*shifted);
+  const double fraction = static_cast<double>(counts[1]) /
+                          static_cast<double>(shifted->NumRows());
+  EXPECT_NEAR(fraction, 0.8, 0.03);
+  EXPECT_EQ(shifted->NumRows(), dataset.NumRows());
+}
+
+TEST(LabelShiftTest, CustomOutputSize) {
+  common::Rng rng(2);
+  const data::Dataset dataset = datasets::MakeIncome(1000, rng);
+  const auto shifted = ResampleLabelShift(dataset, 0.5, rng, 250);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_EQ(shifted->NumRows(), 250u);
+}
+
+TEST(LabelShiftTest, PreservesConditionalFeatureDistribution) {
+  // p(x|y) is untouched: the mean of a numeric feature among positives
+  // should match before and after the shift.
+  common::Rng rng(3);
+  const data::Dataset dataset = datasets::MakeIncome(6000, rng);
+  auto mean_age_of_positives = [](const data::Dataset& d) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t row = 0; row < d.NumRows(); ++row) {
+      if (d.labels[row] != 1) continue;
+      sum += d.features.ColumnByName("age").cell(row).AsDouble();
+      ++count;
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double before = mean_age_of_positives(dataset);
+  const auto shifted = ResampleLabelShift(dataset, 0.85, rng);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR(mean_age_of_positives(*shifted), before, 1.5);
+}
+
+TEST(LabelShiftTest, InvalidInputs) {
+  common::Rng rng(4);
+  const data::Dataset dataset = datasets::MakeIncome(100, rng);
+  EXPECT_FALSE(ResampleLabelShift(dataset, -0.1, rng).ok());
+  EXPECT_FALSE(ResampleLabelShift(dataset, 1.1, rng).ok());
+  data::Dataset single_class = dataset;
+  for (int& label : single_class.labels) label = 0;
+  EXPECT_FALSE(ResampleLabelShift(single_class, 0.5, rng).ok());
+}
+
+TEST(CovariateShiftTest, ShiftsTheFeatureMean) {
+  common::Rng rng(5);
+  const data::Dataset dataset = datasets::MakeHeart(4000, rng);
+  const double before =
+      stats::Mean(dataset.features.ColumnByName("age").NumericValues());
+  const auto shifted = ResampleCovariateShift(dataset, "age", 1.0, rng);
+  ASSERT_TRUE(shifted.ok());
+  const double after =
+      stats::Mean(shifted->features.ColumnByName("age").NumericValues());
+  EXPECT_GT(after, before + 2.0);
+
+  const auto shifted_down = ResampleCovariateShift(dataset, "age", -1.0, rng);
+  ASSERT_TRUE(shifted_down.ok());
+  EXPECT_LT(
+      stats::Mean(shifted_down->features.ColumnByName("age").NumericValues()),
+      before - 2.0);
+}
+
+TEST(CovariateShiftTest, ZeroStrengthKeepsDistribution) {
+  common::Rng rng(6);
+  const data::Dataset dataset = datasets::MakeHeart(4000, rng);
+  const double before =
+      stats::Mean(dataset.features.ColumnByName("age").NumericValues());
+  const auto shifted = ResampleCovariateShift(dataset, "age", 0.0, rng);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_NEAR(
+      stats::Mean(shifted->features.ColumnByName("age").NumericValues()),
+      before, 1.0);
+}
+
+TEST(CovariateShiftTest, InvalidInputs) {
+  common::Rng rng(7);
+  const data::Dataset dataset = datasets::MakeHeart(100, rng);
+  EXPECT_FALSE(ResampleCovariateShift(dataset, "zzz", 1.0, rng).ok());
+  EXPECT_FALSE(ResampleCovariateShift(dataset, "gender", 1.0, rng).ok());
+}
+
+}  // namespace
+}  // namespace bbv::errors

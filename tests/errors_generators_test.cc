@@ -1,0 +1,385 @@
+// Behaviour and invariant tests for every error generator:
+//   - the input frame is never mutated (corruption returns a copy)
+//   - schema (names/types/row count) is preserved
+//   - the corrupted fraction tracks the configured fraction range
+//   - a fraction of 0 is the identity
+//   - generator-specific semantics (NA cells, scale factors, swaps, ...)
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "errors/error_gen.h"
+#include "errors/image_errors.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+#include "errors/text_errors.h"
+
+namespace bbv::errors {
+namespace {
+
+data::DataFrame MakeTabularFrame(size_t n, common::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<std::string> c(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Gaussian(10.0, 2.0);
+    y[i] = rng.Gaussian(-5.0, 1.0);
+    c[i] = i % 3 == 0 ? "red" : (i % 3 == 1 ? "green" : "blue");
+  }
+  data::DataFrame frame;
+  BBV_CHECK(frame.AddColumn(data::Column::Numeric("x", x)).ok());
+  BBV_CHECK(frame.AddColumn(data::Column::Numeric("y", y)).ok());
+  BBV_CHECK(frame.AddColumn(data::Column::Categorical("color", c)).ok());
+  return frame;
+}
+
+size_t CountDifferingCells(const data::DataFrame& a,
+                           const data::DataFrame& b) {
+  size_t count = 0;
+  for (size_t col = 0; col < a.NumCols(); ++col) {
+    for (size_t row = 0; row < a.NumRows(); ++row) {
+      if (!(a.column(col).cell(row) == b.column(col).cell(row))) ++count;
+    }
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Shared invariants, parameterized over all tabular generators
+// ---------------------------------------------------------------------------
+
+struct GeneratorCase {
+  std::string name;
+  std::shared_ptr<ErrorGen> generator;
+};
+
+std::vector<GeneratorCase> TabularGenerators() {
+  return {
+      {"missing_values", std::make_shared<MissingValues>()},
+      {"outliers", std::make_shared<NumericOutliers>()},
+      {"swapped_columns", std::make_shared<SwappedColumns>()},
+      {"scaling", std::make_shared<Scaling>()},
+      {"smearing", std::make_shared<NumericSmearing>()},
+      {"sign_flip", std::make_shared<SignFlip>()},
+      {"typos", std::make_shared<CategoricalTypos>()},
+      {"encoding", std::make_shared<EncodingErrors>()},
+      {"mixture",
+       std::make_shared<ErrorMixture>(
+           std::vector<std::shared_ptr<ErrorGen>>{
+               std::make_shared<MissingValues>(),
+               std::make_shared<Scaling>()})},
+      {"subset",
+       std::make_shared<RandomSubsetCorruption>(
+           std::make_shared<NumericOutliers>())},
+  };
+}
+
+class GeneratorSuite : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorSuite, DoesNotMutateInput) {
+  common::Rng rng(1);
+  const data::DataFrame frame = MakeTabularFrame(100, rng);
+  const data::DataFrame snapshot = frame;
+  const auto corrupted = GetParam().generator->Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  EXPECT_EQ(CountDifferingCells(frame, snapshot), 0u);
+}
+
+TEST_P(GeneratorSuite, PreservesSchemaAndShape) {
+  common::Rng rng(2);
+  const data::DataFrame frame = MakeTabularFrame(80, rng);
+  const auto corrupted = GetParam().generator->Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(corrupted->NumRows(), frame.NumRows());
+  EXPECT_EQ(corrupted->SchemaString(), frame.SchemaString());
+}
+
+TEST_P(GeneratorSuite, SometimesChangesSomething) {
+  common::Rng rng(3);
+  const data::DataFrame frame = MakeTabularFrame(200, rng);
+  size_t changed_runs = 0;
+  for (int run = 0; run < 10; ++run) {
+    const auto corrupted = GetParam().generator->Corrupt(frame, rng);
+    ASSERT_TRUE(corrupted.ok());
+    if (CountDifferingCells(frame, *corrupted) > 0) ++changed_runs;
+  }
+  EXPECT_GE(changed_runs, 5u) << GetParam().name;
+}
+
+TEST_P(GeneratorSuite, DeterministicGivenSeed) {
+  common::Rng data_rng(4);
+  const data::DataFrame frame = MakeTabularFrame(60, data_rng);
+  common::Rng rng_a(42);
+  common::Rng rng_b(42);
+  const auto a = GetParam().generator->Corrupt(frame, rng_a);
+  const auto b = GetParam().generator->Corrupt(frame, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(CountDifferingCells(*a, *b), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSuite, ::testing::ValuesIn(TabularGenerators()),
+    [](const ::testing::TestParamInfo<GeneratorCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Generator-specific semantics
+// ---------------------------------------------------------------------------
+
+TEST(MissingValuesTest, FractionZeroIsIdentity) {
+  common::Rng rng(5);
+  const data::DataFrame frame = MakeTabularFrame(50, rng);
+  const MissingValues generator({"color"}, FractionRange{0.0, 0.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(CountDifferingCells(frame, *corrupted), 0u);
+}
+
+TEST(MissingValuesTest, FractionOneBlanksTheColumn) {
+  common::Rng rng(6);
+  const data::DataFrame frame = MakeTabularFrame(50, rng);
+  const MissingValues generator({"color"}, FractionRange{1.0, 1.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(corrupted->ColumnByName("color").CountNa(), 50u);
+  // Other columns untouched.
+  EXPECT_EQ(corrupted->ColumnByName("x").CountNa(), 0u);
+}
+
+TEST(MissingValuesTest, FractionTracksConfiguredRange) {
+  common::Rng rng(7);
+  const data::DataFrame frame = MakeTabularFrame(2000, rng);
+  const MissingValues generator({"color"}, FractionRange{0.3, 0.3});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  const double fraction =
+      static_cast<double>(corrupted->ColumnByName("color").CountNa()) / 2000.0;
+  EXPECT_NEAR(fraction, 0.3, 0.05);
+}
+
+TEST(MissingValuesTest, UnknownColumnIsError) {
+  common::Rng rng(8);
+  const data::DataFrame frame = MakeTabularFrame(10, rng);
+  const MissingValues generator({"nope"});
+  EXPECT_FALSE(generator.Corrupt(frame, rng).ok());
+}
+
+TEST(ScalingTest, ScalesByConfiguredFactors) {
+  common::Rng rng(9);
+  const data::DataFrame frame = MakeTabularFrame(100, rng);
+  const Scaling generator({"x"}, FractionRange{1.0, 1.0}, {10.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    EXPECT_NEAR(corrupted->ColumnByName("x").cell(row).AsDouble(),
+                10.0 * frame.ColumnByName("x").cell(row).AsDouble(), 1e-9);
+  }
+}
+
+TEST(SignFlipTest, FlipsSigns) {
+  common::Rng rng(10);
+  const data::DataFrame frame = MakeTabularFrame(50, rng);
+  const SignFlip generator({"y"}, FractionRange{1.0, 1.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    EXPECT_DOUBLE_EQ(corrupted->ColumnByName("y").cell(row).AsDouble(),
+                     -frame.ColumnByName("y").cell(row).AsDouble());
+  }
+}
+
+TEST(SmearingTest, StaysWithinRelativeBound) {
+  common::Rng rng(11);
+  const data::DataFrame frame = MakeTabularFrame(200, rng);
+  const NumericSmearing generator({"x"}, FractionRange{1.0, 1.0}, 0.1);
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    const double original = frame.ColumnByName("x").cell(row).AsDouble();
+    const double smeared = corrupted->ColumnByName("x").cell(row).AsDouble();
+    EXPECT_LE(std::abs(smeared - original),
+              std::abs(original) * 0.1 + 1e-9);
+  }
+}
+
+TEST(OutliersTest, NoiseScalesWithColumnStddev) {
+  common::Rng rng(12);
+  const data::DataFrame frame = MakeTabularFrame(2000, rng);
+  const NumericOutliers generator({"x"}, FractionRange{1.0, 1.0}, 2.0, 5.0);
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  // Mean absolute perturbation must be on the order of several column
+  // standard deviations (column stddev is ~2).
+  double mean_change = 0.0;
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    mean_change += std::abs(corrupted->ColumnByName("x").cell(row).AsDouble() -
+                            frame.ColumnByName("x").cell(row).AsDouble());
+  }
+  mean_change /= 2000.0;
+  EXPECT_GT(mean_change, 2.0);
+  EXPECT_LT(mean_change, 20.0);
+}
+
+TEST(SwappedColumnsTest, SwapsValuesBetweenColumns) {
+  common::Rng rng(13);
+  const data::DataFrame frame = MakeTabularFrame(100, rng);
+  const SwappedColumns generator({"color", "x"}, FractionRange{1.0, 1.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  // After a full swap, the categorical column holds the numeric values.
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    EXPECT_TRUE(corrupted->ColumnByName("color").cell(row).is_numeric());
+    EXPECT_TRUE(corrupted->ColumnByName("x").cell(row).is_string());
+  }
+}
+
+TEST(LeetspeakTest, KnownSubstitutions) {
+  EXPECT_EQ(AdversarialLeetspeak::ToLeetspeak("hello world"), "h3110 w0r1d");
+  EXPECT_EQ(AdversarialLeetspeak::ToLeetspeak("LEET"), "1337");
+}
+
+TEST(LeetspeakTest, CorruptsTextColumn) {
+  common::Rng rng(14);
+  data::DataFrame frame;
+  BBV_CHECK(frame
+                .AddColumn(data::Column::Text(
+                    "text", {"hello there", "all is well", "more text"}))
+                .ok());
+  const AdversarialLeetspeak generator({}, FractionRange{1.0, 1.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_EQ(corrupted->ColumnByName("text").cell(0).AsString(), "h3110 7h3r3");
+}
+
+TEST(TyposTest, ProducesDifferentValue) {
+  common::Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    const std::string typo = CategoricalTypos::IntroduceTypo("category", rng);
+    EXPECT_NE(typo, "category");
+  }
+}
+
+TEST(TyposTest, SingleCharacterValuesStillChange) {
+  common::Rng rng(16);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(CategoricalTypos::IntroduceTypo("a", rng), "a");
+  }
+}
+
+TEST(EncodingErrorsTest, MangleSubstitutions) {
+  EXPECT_EQ(EncodingErrors::Mangle("Exec"), "\xC3\x89x\xC3\xA9""c");
+  EXPECT_EQ(EncodingErrors::Mangle("ou"), "\xC5\x93\xC3\xBC");
+}
+
+// ---------------------------------------------------------------------------
+// Image generators
+// ---------------------------------------------------------------------------
+
+data::DataFrame MakeImageFrame(size_t n, size_t side, common::Rng& rng) {
+  std::vector<std::vector<double>> images(n);
+  for (auto& image : images) {
+    image.resize(side * side);
+    for (double& pixel : image) pixel = rng.Uniform();
+  }
+  data::DataFrame frame;
+  BBV_CHECK(frame.AddColumn(data::Column::Image("image", images)).ok());
+  return frame;
+}
+
+TEST(ImageNoiseTest, PixelsStayInRange) {
+  common::Rng rng(17);
+  const data::DataFrame frame = MakeImageFrame(20, 8, rng);
+  const GaussianImageNoise generator({}, FractionRange{1.0, 1.0}, 0.5);
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  for (size_t row = 0; row < 20; ++row) {
+    for (double pixel :
+         corrupted->ColumnByName("image").cell(row).AsImage()) {
+      EXPECT_GE(pixel, 0.0);
+      EXPECT_LE(pixel, 1.0);
+    }
+  }
+}
+
+TEST(ImageRotationTest, Rotate360IsNearIdentityInCenter) {
+  std::vector<double> image(16 * 16, 0.0);
+  image[8 * 16 + 8] = 1.0;
+  const std::vector<double> rotated = ImageRotation::Rotate(image, 360.0);
+  EXPECT_DOUBLE_EQ(rotated[8 * 16 + 8], 1.0);
+}
+
+TEST(ImageRotationTest, Rotate180MirrorsAroundCenter) {
+  // A pixel at (r, c) lands at (S-1-r, S-1-c) under 180-degree rotation.
+  const size_t side = 9;
+  std::vector<double> image(side * side, 0.0);
+  image[2 * side + 3] = 1.0;
+  const std::vector<double> rotated = ImageRotation::Rotate(image, 180.0);
+  EXPECT_DOUBLE_EQ(rotated[(side - 1 - 2) * side + (side - 1 - 3)], 1.0);
+}
+
+TEST(ImageRotationTest, PreservesImageSize) {
+  common::Rng rng(18);
+  const data::DataFrame frame = MakeImageFrame(5, 12, rng);
+  const ImageRotation generator({}, FractionRange{1.0, 1.0});
+  const auto corrupted = generator.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  for (size_t row = 0; row < 5; ++row) {
+    EXPECT_EQ(corrupted->ColumnByName("image").cell(row).AsImage().size(),
+              144u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mixtures and blending
+// ---------------------------------------------------------------------------
+
+TEST(MixtureTest, AppliesAtLeastOneComponent) {
+  common::Rng rng(19);
+  const data::DataFrame frame = MakeTabularFrame(300, rng);
+  const ErrorMixture mixture(
+      {std::make_shared<MissingValues>(std::vector<std::string>{"color"},
+                                       FractionRange{0.5, 0.9})},
+      /*inclusion_probability=*/0.0);
+  // Even with inclusion probability 0, one component is always applied.
+  const auto corrupted = mixture.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok());
+  EXPECT_GT(corrupted->ColumnByName("color").CountNa(), 0u);
+}
+
+TEST(BlendTest, FractionZeroIsIdentity) {
+  common::Rng rng(20);
+  const data::DataFrame frame = MakeTabularFrame(100, rng);
+  const NumericOutliers generator;
+  const auto blended = BlendCorruption(frame, generator, 0.0, rng);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_EQ(CountDifferingCells(frame, *blended), 0u);
+}
+
+TEST(BlendTest, PartialBlendChangesOnlyAFractionOfRows) {
+  common::Rng rng(21);
+  const data::DataFrame frame = MakeTabularFrame(400, rng);
+  const SignFlip generator({"x", "y"}, FractionRange{1.0, 1.0});
+  const auto blended = BlendCorruption(frame, generator, 0.25, rng);
+  ASSERT_TRUE(blended.ok());
+  size_t changed_rows = 0;
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    bool changed = false;
+    for (size_t col = 0; col < frame.NumCols(); ++col) {
+      if (!(frame.column(col).cell(row) == blended->column(col).cell(row))) {
+        changed = true;
+      }
+    }
+    if (changed) ++changed_rows;
+  }
+  EXPECT_EQ(changed_rows, 100u);
+}
+
+}  // namespace
+}  // namespace bbv::errors

@@ -1,0 +1,261 @@
+#include "featurize/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "featurize/hashing_vectorizer.h"
+#include "featurize/image_flattener.h"
+#include "featurize/one_hot_encoder.h"
+#include "featurize/standard_scaler.h"
+
+namespace bbv::featurize {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StandardScaler
+// ---------------------------------------------------------------------------
+
+TEST(StandardScalerTest, CentersAndScales) {
+  StandardScaler scaler;
+  ASSERT_TRUE(
+      scaler.Fit(data::Column::Numeric("x", {2.0, 4.0, 6.0})).ok());
+  EXPECT_DOUBLE_EQ(scaler.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(scaler.stddev(), 2.0);
+  const linalg::Matrix out =
+      scaler.Transform(data::Column::Numeric("x", {4.0, 8.0}));
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 2.0);
+}
+
+TEST(StandardScalerTest, NaMapsToMean) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data::Column::Numeric("x", {1.0, 3.0})).ok());
+  data::Column column("x", data::ColumnType::kNumeric);
+  column.Append(data::CellValue::Na());
+  const linalg::Matrix out = scaler.Transform(column);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+}
+
+TEST(StandardScalerTest, ConstantColumnCentersOnly) {
+  StandardScaler scaler;
+  ASSERT_TRUE(
+      scaler.Fit(data::Column::Numeric("x", {5.0, 5.0, 5.0})).ok());
+  const linalg::Matrix out =
+      scaler.Transform(data::Column::Numeric("x", {5.0, 7.0}));
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 2.0);
+}
+
+TEST(StandardScalerTest, TrainingStatsAreReusedOnServingData) {
+  StandardScaler scaler;
+  ASSERT_TRUE(scaler.Fit(data::Column::Numeric("x", {0.0, 10.0})).ok());
+  // Serving data with a different distribution still uses the train stats.
+  const linalg::Matrix out =
+      scaler.Transform(data::Column::Numeric("x", {1000.0}));
+  EXPECT_NEAR(out.At(0, 0), (1000.0 - 5.0) / scaler.stddev(), 1e-12);
+}
+
+TEST(StandardScalerTest, RejectsNonNumericColumns) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.Fit(data::Column::Categorical("c", {"a"})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// OneHotEncoder
+// ---------------------------------------------------------------------------
+
+TEST(OneHotEncoderTest, EncodesSeenCategories) {
+  OneHotEncoder encoder;
+  ASSERT_TRUE(
+      encoder.Fit(data::Column::Categorical("c", {"a", "b", "a"})).ok());
+  EXPECT_EQ(encoder.OutputDim(), 2u);
+  const linalg::Matrix out =
+      encoder.Transform(data::Column::Categorical("c", {"b", "a"}));
+  EXPECT_DOUBLE_EQ(out.At(0, static_cast<size_t>(encoder.CategoryIndex("b"))),
+                   1.0);
+  EXPECT_DOUBLE_EQ(out.At(1, static_cast<size_t>(encoder.CategoryIndex("a"))),
+                   1.0);
+  // One-hot rows sum to 1 for seen categories.
+  EXPECT_DOUBLE_EQ(out.At(0, 0) + out.At(0, 1), 1.0);
+}
+
+TEST(OneHotEncoderTest, UnseenCategoryIsZeroVector) {
+  // The property the paper leans on: typos / unseen categories encode to 0,
+  // identically to missing values.
+  OneHotEncoder encoder;
+  ASSERT_TRUE(
+      encoder.Fit(data::Column::Categorical("c", {"a", "b"})).ok());
+  const linalg::Matrix out =
+      encoder.Transform(data::Column::Categorical("c", {"zz"}));
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 0.0);
+  EXPECT_EQ(encoder.CategoryIndex("zz"), -1);
+}
+
+TEST(OneHotEncoderTest, NaIsZeroVector) {
+  OneHotEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data::Column::Categorical("c", {"a"})).ok());
+  data::Column column("c", data::ColumnType::kCategorical);
+  column.Append(data::CellValue::Na());
+  const linalg::Matrix out = encoder.Transform(column);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+}
+
+TEST(OneHotEncoderTest, NumericCellInCategoricalColumnIsZeroVector) {
+  // Swapped-columns corruption puts numbers into categorical columns.
+  OneHotEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(data::Column::Categorical("c", {"a"})).ok());
+  data::Column column("c", data::ColumnType::kCategorical);
+  column.Append(data::CellValue(42.0));
+  const linalg::Matrix out = encoder.Transform(column);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// HashingVectorizer
+// ---------------------------------------------------------------------------
+
+TEST(HashingVectorizerTest, DeterministicAndNormalized) {
+  HashingVectorizer vectorizer(64, 2);
+  ASSERT_TRUE(
+      vectorizer.Fit(data::Column::Text("t", {"hello world"})).ok());
+  const linalg::Matrix a =
+      vectorizer.Transform(data::Column::Text("t", {"hello world"}));
+  const linalg::Matrix b =
+      vectorizer.Transform(data::Column::Text("t", {"hello world"}));
+  double norm = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    EXPECT_DOUBLE_EQ(a.At(0, j), b.At(0, j));
+    norm += a.At(0, j) * a.At(0, j);
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(HashingVectorizerTest, CaseInsensitive) {
+  HashingVectorizer vectorizer(64, 1);
+  ASSERT_TRUE(vectorizer.Fit(data::Column::Text("t", {"x"})).ok());
+  const linalg::Matrix a =
+      vectorizer.Transform(data::Column::Text("t", {"Hello"}));
+  const linalg::Matrix b =
+      vectorizer.Transform(data::Column::Text("t", {"hello"}));
+  for (size_t j = 0; j < a.cols(); ++j) {
+    EXPECT_DOUBLE_EQ(a.At(0, j), b.At(0, j));
+  }
+}
+
+TEST(HashingVectorizerTest, DifferentTextsDiffer) {
+  HashingVectorizer vectorizer(256, 2);
+  ASSERT_TRUE(vectorizer.Fit(data::Column::Text("t", {"x"})).ok());
+  const linalg::Matrix a =
+      vectorizer.Transform(data::Column::Text("t", {"good morning friend"}));
+  const linalg::Matrix b =
+      vectorizer.Transform(data::Column::Text("t", {"terrible awful day"}));
+  double difference = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    difference += std::abs(a.At(0, j) - b.At(0, j));
+  }
+  EXPECT_GT(difference, 0.1);
+}
+
+TEST(HashingVectorizerTest, EmptyTextAndNaAreZero) {
+  HashingVectorizer vectorizer(32, 2);
+  ASSERT_TRUE(vectorizer.Fit(data::Column::Text("t", {"x"})).ok());
+  data::Column column("t", data::ColumnType::kText);
+  column.Append(data::CellValue(""));
+  column.Append(data::CellValue::Na());
+  const linalg::Matrix out = vectorizer.Transform(column);
+  for (size_t i = 0; i < out.rows(); ++i) {
+    for (size_t j = 0; j < out.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(out.At(i, j), 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ImageFlattener
+// ---------------------------------------------------------------------------
+
+TEST(ImageFlattenerTest, EmitsPixels) {
+  ImageFlattener flattener;
+  ASSERT_TRUE(
+      flattener.Fit(data::Column::Image("i", {{0.1, 0.2, 0.3, 0.4}})).ok());
+  EXPECT_EQ(flattener.OutputDim(), 4u);
+  const linalg::Matrix out =
+      flattener.Transform(data::Column::Image("i", {{0.5, 0.6, 0.7, 0.8}}));
+  EXPECT_DOUBLE_EQ(out.At(0, 2), 0.7);
+}
+
+TEST(ImageFlattenerTest, NaImageIsZeroRow) {
+  ImageFlattener flattener;
+  ASSERT_TRUE(flattener.Fit(data::Column::Image("i", {{0.1, 0.2}})).ok());
+  data::Column column("i", data::ColumnType::kImage);
+  column.Append(data::CellValue::Na());
+  const linalg::Matrix out = flattener.Transform(column);
+  EXPECT_DOUBLE_EQ(out.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// FeaturePipeline
+// ---------------------------------------------------------------------------
+
+data::DataFrame MixedFrame() {
+  data::DataFrame frame;
+  BBV_CHECK(frame.AddColumn(data::Column::Numeric("num", {1, 2, 3})).ok());
+  BBV_CHECK(
+      frame.AddColumn(data::Column::Categorical("cat", {"a", "b", "a"}))
+          .ok());
+  BBV_CHECK(
+      frame.AddColumn(data::Column::Text("txt", {"x y", "y z", "z"})).ok());
+  return frame;
+}
+
+TEST(FeaturePipelineTest, ConcatenatesBlocks) {
+  PipelineOptions options;
+  options.text_hash_buckets = 16;
+  FeaturePipeline pipeline(options);
+  ASSERT_TRUE(pipeline.Fit(MixedFrame()).ok());
+  EXPECT_EQ(pipeline.TotalDim(), 1u + 2u + 16u);
+  const auto out = pipeline.Transform(MixedFrame());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows(), 3u);
+  EXPECT_EQ(out->cols(), 19u);
+}
+
+TEST(FeaturePipelineTest, TransformBeforeFitFails) {
+  FeaturePipeline pipeline;
+  EXPECT_FALSE(pipeline.Transform(MixedFrame()).ok());
+}
+
+TEST(FeaturePipelineTest, SchemaMismatchRejected) {
+  FeaturePipeline pipeline;
+  ASSERT_TRUE(pipeline.Fit(MixedFrame()).ok());
+  data::DataFrame other;
+  BBV_CHECK(other.AddColumn(data::Column::Numeric("zzz", {1.0})).ok());
+  EXPECT_FALSE(pipeline.Transform(other).ok());
+}
+
+TEST(FeaturePipelineTest, EmptyFrameRejected) {
+  FeaturePipeline pipeline;
+  EXPECT_FALSE(pipeline.Fit(data::DataFrame()).ok());
+}
+
+TEST(FeaturePipelineTest, FitOnTrainOnlySemantics) {
+  FeaturePipeline pipeline;
+  ASSERT_TRUE(pipeline.Fit(MixedFrame()).ok());
+  // Serving data with an unseen category transforms without refitting:
+  // the unseen category encodes to the zero vector.
+  data::DataFrame serving;
+  BBV_CHECK(serving.AddColumn(data::Column::Numeric("num", {2.0})).ok());
+  BBV_CHECK(
+      serving.AddColumn(data::Column::Categorical("cat", {"unseen"})).ok());
+  BBV_CHECK(serving.AddColumn(data::Column::Text("txt", {"x"})).ok());
+  const auto out = pipeline.Transform(serving);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->At(0, 1), 0.0);  // one-hot slot "a"
+  EXPECT_DOUBLE_EQ(out->At(0, 2), 0.0);  // one-hot slot "b"
+}
+
+}  // namespace
+}  // namespace bbv::featurize

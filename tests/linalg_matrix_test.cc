@@ -1,0 +1,154 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbv::linalg {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m.At(i, j), 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRowsAndAccessors) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_EQ(m.Row(2), (std::vector<double>{5, 6}));
+  EXPECT_EQ(m.Col(1), (std::vector<double>{2, 4, 6}));
+}
+
+TEST(MatrixTest, ColumnVector) {
+  const Matrix m = Matrix::ColumnVector({1, 2, 3});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, IdentityMatMulIsIdentityOperation) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix product = a.MatMul(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(product.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(product.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(product.At(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(product.At(1, 1), 4.0);
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b = Matrix::FromRows({{7, 8}, {9, 10}, {11, 12}});
+  const Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposedSwapsShape) {
+  const Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+}
+
+TEST(MatrixTest, AddSubScale) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  EXPECT_DOUBLE_EQ(a.Add(b).At(1, 1), 44.0);
+  EXPECT_DOUBLE_EQ(b.Sub(a).At(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(a.Scaled(2.0).At(1, 0), 6.0);
+}
+
+TEST(MatrixTest, AddInPlaceWithFactor) {
+  Matrix a = Matrix::FromRows({{1, 1}});
+  a.AddInPlace(Matrix::FromRows({{2, 3}}), -1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), -2.0);
+}
+
+TEST(MatrixTest, SelectRowsKeepsOrderAndAllowsRepeats) {
+  const Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  const Matrix s = a.SelectRows({2, 0, 2});
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, AppendRowsGrowsMatrix) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  a.AppendRows(Matrix::FromRows({{3, 4}, {5, 6}}));
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a.At(2, 1), 6.0);
+}
+
+TEST(MatrixTest, AppendRowsToEmptyAdoptsShape) {
+  Matrix a;
+  a.AppendRows(Matrix::FromRows({{1, 2, 3}}));
+  EXPECT_EQ(a.rows(), 1u);
+  EXPECT_EQ(a.cols(), 3u);
+}
+
+TEST(MatrixTest, ArgMaxAndMaxPerRow) {
+  const Matrix a = Matrix::FromRows({{0.1, 0.9}, {0.8, 0.2}, {0.5, 0.5}});
+  const std::vector<size_t> argmax = a.ArgMaxPerRow();
+  EXPECT_EQ(argmax[0], 1u);
+  EXPECT_EQ(argmax[1], 0u);
+  EXPECT_EQ(argmax[2], 0u);  // first maximum wins on ties
+  const std::vector<double> max = a.MaxPerRow();
+  EXPECT_DOUBLE_EQ(max[0], 0.9);
+  EXPECT_DOUBLE_EQ(max[1], 0.8);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  const Matrix logits = Matrix::FromRows({{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}});
+  const Matrix p = Softmax(logits);
+  for (size_t i = 0; i < p.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GT(p.At(i, j), 0.0);
+      sum += p.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  const Matrix logits = Matrix::FromRows({{1000.0, 1001.0}});
+  const Matrix p = Softmax(logits);
+  EXPECT_FALSE(std::isnan(p.At(0, 0)));
+  EXPECT_NEAR(p.At(0, 1), 1.0 / (1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(SoftmaxTest, ShiftInvariance) {
+  const Matrix a = Softmax(Matrix::FromRows({{1.0, 2.0}}));
+  const Matrix b = Softmax(Matrix::FromRows({{101.0, 102.0}}));
+  EXPECT_NEAR(a.At(0, 0), b.At(0, 0), 1e-12);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+}  // namespace
+}  // namespace bbv::linalg

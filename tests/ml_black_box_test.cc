@@ -1,0 +1,76 @@
+#include "ml/black_box.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datasets/tabular.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::ml {
+namespace {
+
+TEST(BlackBoxModelTest, TrainPredictScoreRoundTrip) {
+  common::Rng rng(1);
+  data::Dataset dataset = datasets::MakeIncome(2000, rng);
+  auto [train, test] = data::TrainTestSplit(dataset, 0.7, rng);
+
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(train, rng).ok());
+  EXPECT_EQ(model.num_classes(), 2);
+  EXPECT_EQ(model.Name(), "lr");
+
+  const auto proba = model.PredictProba(test.features);
+  ASSERT_TRUE(proba.ok());
+  EXPECT_EQ(proba->rows(), test.NumRows());
+  EXPECT_EQ(proba->cols(), 2u);
+
+  const auto accuracy = model.ScoreAccuracy(test);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.6);
+  const auto auc = model.ScoreAuc(test);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(*auc, 0.6);
+}
+
+TEST(BlackBoxModelTest, PredictBeforeTrainFails) {
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  const auto result = model.PredictProba(data::DataFrame());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kFailedPrecondition);
+}
+
+TEST(BlackBoxModelTest, TrainOnEmptyDatasetFails) {
+  common::Rng rng(2);
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  EXPECT_FALSE(model.Train(data::Dataset(), rng).ok());
+}
+
+TEST(BlackBoxModelTest, PredictOnMismatchedSchemaFails) {
+  common::Rng rng(3);
+  data::Dataset dataset = datasets::MakeIncome(500, rng);
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(dataset, rng).ok());
+  data::DataFrame wrong;
+  BBV_CHECK(wrong.AddColumn(data::Column::Numeric("zzz", {1.0})).ok());
+  EXPECT_FALSE(model.PredictProba(wrong).ok());
+}
+
+TEST(BlackBoxModelTest, HandlesCorruptedCellsGracefully) {
+  // The pipeline must tolerate NA / wrong-typed cells at serving time: they
+  // encode to zeros instead of failing, which is exactly how corruption
+  // reaches the model in the paper's experiments.
+  common::Rng rng(4);
+  data::Dataset dataset = datasets::MakeIncome(500, rng);
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(dataset, rng).ok());
+  data::DataFrame corrupted = dataset.features;
+  corrupted.column(0).cell(0) = data::CellValue::Na();
+  corrupted.ColumnByName("education").cell(0) = data::CellValue(123.0);
+  const auto proba = model.PredictProba(corrupted);
+  ASSERT_TRUE(proba.ok());
+  EXPECT_EQ(proba->rows(), corrupted.NumRows());
+}
+
+}  // namespace
+}  // namespace bbv::ml

@@ -1,0 +1,286 @@
+// Parameterized behaviour tests run against every classifier in the zoo,
+// plus model-specific checks. Each classifier must (a) fit a linearly
+// separable task, (b) emit valid probability rows, (c) be deterministic
+// given the same seed, and (d) reject malformed inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/conv_net.h"
+#include "ml/decision_tree.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/metrics.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::ml {
+namespace {
+
+struct ClassifierCase {
+  std::string name;
+  std::function<std::unique_ptr<Classifier>()> factory;
+};
+
+std::vector<ClassifierCase> TabularClassifiers() {
+  return {
+      {"lr", [] { return std::make_unique<SgdLogisticRegression>(); }},
+      {"dnn",
+       [] {
+         FeedForwardNetwork::Options options;
+         options.hidden_sizes = {16, 16};
+         options.epochs = 30;
+         return std::make_unique<FeedForwardNetwork>(options);
+       }},
+      {"xgb",
+       [] {
+         GradientBoostedTrees::Options options;
+         options.num_rounds = 25;
+         return std::make_unique<GradientBoostedTrees>(options);
+       }},
+      {"cart",
+       [] {
+         TreeOptions options;
+         options.max_depth = 6;
+         return std::make_unique<DecisionTreeClassifier>(options);
+       }},
+  };
+}
+
+/// Two gaussian blobs, linearly separable with margin.
+void MakeBlobs(size_t n, linalg::Matrix& features, std::vector<int>& labels,
+               common::Rng& rng) {
+  features = linalg::Matrix(n, 3);
+  labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double center = label == 0 ? -2.0 : 2.0;
+    features.At(i, 0) = rng.Gaussian(center, 0.7);
+    features.At(i, 1) = rng.Gaussian(-center, 0.7);
+    features.At(i, 2) = rng.Gaussian(0.0, 1.0);  // noise dimension
+    labels[i] = label;
+  }
+}
+
+class ClassifierSuite : public ::testing::TestWithParam<ClassifierCase> {};
+
+TEST_P(ClassifierSuite, LearnsSeparableBlobs) {
+  common::Rng rng(11);
+  linalg::Matrix features;
+  std::vector<int> labels;
+  MakeBlobs(400, features, labels, rng);
+  auto model = GetParam().factory();
+  ASSERT_TRUE(model->Fit(features, labels, 2, rng).ok());
+  linalg::Matrix test_features;
+  std::vector<int> test_labels;
+  MakeBlobs(200, test_features, test_labels, rng);
+  EXPECT_GT(Accuracy(PredictLabels(*model, test_features), test_labels),
+            0.95)
+      << GetParam().name;
+}
+
+TEST_P(ClassifierSuite, ProbabilitiesAreValidDistributions) {
+  common::Rng rng(13);
+  linalg::Matrix features;
+  std::vector<int> labels;
+  MakeBlobs(200, features, labels, rng);
+  auto model = GetParam().factory();
+  ASSERT_TRUE(model->Fit(features, labels, 2, rng).ok());
+  const linalg::Matrix proba = model->PredictProba(features);
+  ASSERT_EQ(proba.rows(), features.rows());
+  ASSERT_EQ(proba.cols(), 2u);
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < proba.cols(); ++j) {
+      EXPECT_GE(proba.At(i, j), 0.0);
+      EXPECT_LE(proba.At(i, j), 1.0 + 1e-12);
+      sum += proba.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(ClassifierSuite, DeterministicGivenSeed) {
+  linalg::Matrix features;
+  std::vector<int> labels;
+  {
+    common::Rng data_rng(17);
+    MakeBlobs(150, features, labels, data_rng);
+  }
+  auto run = [&]() {
+    common::Rng rng(99);
+    auto model = GetParam().factory();
+    BBV_CHECK(model->Fit(features, labels, 2, rng).ok());
+    return model->PredictProba(features);
+  };
+  const linalg::Matrix a = run();
+  const linalg::Matrix b = run();
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]) << GetParam().name;
+  }
+}
+
+TEST_P(ClassifierSuite, RejectsMalformedInputs) {
+  common::Rng rng(19);
+  auto model = GetParam().factory();
+  linalg::Matrix features(3, 2);
+  // Mismatched labels.
+  EXPECT_FALSE(model->Fit(features, {0, 1}, 2, rng).ok());
+  // Empty data.
+  EXPECT_FALSE(model->Fit(linalg::Matrix(), {}, 2, rng).ok());
+  // Single class.
+  EXPECT_FALSE(model->Fit(features, {0, 0, 0}, 1, rng).ok());
+}
+
+TEST_P(ClassifierSuite, SupportsThreeClasses) {
+  common::Rng rng(23);
+  const size_t n = 300;
+  linalg::Matrix features(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 3);
+    const double angle = 2.0 * M_PI * label / 3.0;
+    features.At(i, 0) = rng.Gaussian(3.0 * std::cos(angle), 0.5);
+    features.At(i, 1) = rng.Gaussian(3.0 * std::sin(angle), 0.5);
+    labels[i] = label;
+  }
+  auto model = GetParam().factory();
+  ASSERT_TRUE(model->Fit(features, labels, 3, rng).ok());
+  EXPECT_EQ(model->num_classes(), 3);
+  EXPECT_GT(Accuracy(PredictLabels(*model, features), labels), 0.9)
+      << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClassifiers, ClassifierSuite, ::testing::ValuesIn(TabularClassifiers()),
+    [](const ::testing::TestParamInfo<ClassifierCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Model-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(SgdLogisticRegressionTest, L1DrivesNoiseWeightsTowardZero) {
+  common::Rng rng(29);
+  linalg::Matrix features;
+  std::vector<int> labels;
+  MakeBlobs(600, features, labels, rng);
+  SgdLogisticRegression::Options options;
+  options.penalty = Penalty::kL1;
+  options.regularization = 0.05;
+  SgdLogisticRegression model(options);
+  ASSERT_TRUE(model.Fit(features, labels, 2, rng).ok());
+  // The informative weight should dominate the pure-noise weight.
+  const double informative = std::abs(model.weights().At(0, 1));
+  const double noise = std::abs(model.weights().At(2, 1));
+  EXPECT_GT(informative, 4.0 * noise);
+}
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantFunction) {
+  common::Rng rng(31);
+  linalg::Matrix features(200, 1);
+  std::vector<double> targets(200);
+  for (size_t i = 0; i < 200; ++i) {
+    features.At(i, 0) = rng.Uniform(0.0, 1.0);
+    targets[i] = features.At(i, 0) < 0.5 ? 1.0 : 5.0;
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(features, targets, rng).ok());
+  const double left = tree.PredictRow(std::vector<double>{0.25}.data());
+  const double right = tree.PredictRow(std::vector<double>{0.75}.data());
+  EXPECT_NEAR(left, 1.0, 0.05);
+  EXPECT_NEAR(right, 5.0, 0.05);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  common::Rng rng(37);
+  linalg::Matrix features(128, 1);
+  std::vector<double> targets(128);
+  for (size_t i = 0; i < 128; ++i) {
+    features.At(i, 0) = static_cast<double>(i);
+    targets[i] = static_cast<double>(i);
+  }
+  TreeOptions options;
+  options.max_depth = 2;
+  options.min_samples_leaf = 1;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit(features, targets, rng).ok());
+  // Depth 2 allows at most 7 nodes (3 internal + 4 leaves).
+  EXPECT_LE(tree.NumNodes(), 7u);
+}
+
+TEST(RegressionTreeTest, ConstantTargetsYieldSingleLeaf) {
+  common::Rng rng(41);
+  linalg::Matrix features(50, 2);
+  for (size_t i = 0; i < 50; ++i) features.At(i, 0) = static_cast<double>(i);
+  std::vector<double> targets(50, 3.0);
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(features, targets, rng).ok());
+  EXPECT_EQ(tree.NumNodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.PredictRow(features.RowData(10)), 3.0);
+}
+
+TEST(GradientBoostedTreesTest, MoreRoundsFitTrainBetter) {
+  common::Rng rng(43);
+  linalg::Matrix features;
+  std::vector<int> labels;
+  MakeBlobs(300, features, labels, rng);
+  auto train_accuracy = [&](int rounds) {
+    common::Rng fit_rng(7);
+    GradientBoostedTrees::Options options;
+    options.num_rounds = rounds;
+    GradientBoostedTrees model(options);
+    BBV_CHECK(model.Fit(features, labels, 2, fit_rng).ok());
+    return Accuracy(PredictLabels(model, features), labels);
+  };
+  EXPECT_GE(train_accuracy(30), train_accuracy(1));
+}
+
+TEST(ConvNetTest, LearnsBrightVsDarkImages) {
+  common::Rng rng(47);
+  const size_t side = 8;
+  const size_t n = 160;
+  linalg::Matrix features(n, side * side);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    for (size_t p = 0; p < side * side; ++p) {
+      features.At(i, p) =
+          std::clamp((label == 0 ? 0.2 : 0.8) + rng.Gaussian(0.0, 0.1), 0.0,
+                     1.0);
+    }
+    labels[i] = label;
+  }
+  ConvNet::Options options;
+  options.conv1_channels = 4;
+  options.conv2_channels = 4;
+  options.dense_units = 16;
+  options.epochs = 12;
+  options.dropout = 0.0;
+  ConvNet model(options);
+  ASSERT_TRUE(model.Fit(features, labels, 2, rng).ok());
+  EXPECT_GT(Accuracy(PredictLabels(model, features), labels), 0.95);
+}
+
+TEST(ConvNetTest, RejectsNonSquareInput) {
+  common::Rng rng(53);
+  ConvNet model;
+  linalg::Matrix features(4, 10);  // 10 is not a perfect square
+  EXPECT_FALSE(model.Fit(features, {0, 1, 0, 1}, 2, rng).ok());
+}
+
+TEST(ConvNetTest, RejectsTooSmallImages) {
+  common::Rng rng(59);
+  ConvNet model;
+  linalg::Matrix features(4, 16);  // 4x4 images are below the minimum
+  EXPECT_FALSE(model.Fit(features, {0, 1, 0, 1}, 2, rng).ok());
+}
+
+}  // namespace
+}  // namespace bbv::ml

@@ -1,0 +1,101 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bbv::ml {
+namespace {
+
+TEST(AccuracyTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 0, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(AccuracyFromProbaTest, UsesArgmax) {
+  const linalg::Matrix proba =
+      linalg::Matrix::FromRows({{0.9, 0.1}, {0.3, 0.7}, {0.6, 0.4}});
+  EXPECT_DOUBLE_EQ(AccuracyFromProba(proba, {0, 1, 1}), 2.0 / 3.0);
+}
+
+TEST(RocAucTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(RocAucTest, ReversedRankingIsZero) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  // Constant scores: all ties -> AUC exactly 0.5 with average ranks.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(RocAucTest, HandComputedWithTies) {
+  // scores: pos {0.8, 0.5}, neg {0.5, 0.2}. Pairs: (0.8 vs 0.5)=1,
+  // (0.8 vs 0.2)=1, (0.5 vs 0.5)=0.5, (0.5 vs 0.2)=1 -> 3.5/4.
+  EXPECT_DOUBLE_EQ(RocAuc({0.8, 0.5, 0.5, 0.2}, {1, 1, 0, 0}), 3.5 / 4.0);
+}
+
+TEST(RocAucTest, InvariantToMonotoneTransform) {
+  const std::vector<double> scores = {0.1, 0.4, 0.35, 0.8, 0.65};
+  const std::vector<int> labels = {0, 0, 1, 1, 1};
+  std::vector<double> transformed;
+  for (double s : scores) transformed.push_back(std::exp(3.0 * s));
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), RocAuc(transformed, labels));
+}
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const BinaryConfusion c =
+      ConfusionCounts({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+}
+
+TEST(F1Test, KnownValue) {
+  // TP=2, FP=1, FN=1 -> precision 2/3, recall 2/3, F1 = 2/3.
+  EXPECT_NEAR(F1Score({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(F1Test, DegenerateCasesAreZero) {
+  // No predicted positives.
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {1, 1}), 0.0);
+  // No actual positives and no predicted positives.
+  EXPECT_DOUBLE_EQ(F1Score({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(F1Test, PerfectPredictions) {
+  EXPECT_DOUBLE_EQ(F1Score({1, 0, 1}, {1, 0, 1}), 1.0);
+}
+
+TEST(PrecisionRecallTest, Formulas) {
+  BinaryConfusion c;
+  c.true_positives = 3;
+  c.false_positives = 1;
+  c.false_negatives = 2;
+  EXPECT_DOUBLE_EQ(Precision(c), 0.75);
+  EXPECT_DOUBLE_EQ(Recall(c), 0.6);
+}
+
+TEST(LogLossTest, PerfectAndUniform) {
+  const linalg::Matrix perfect =
+      linalg::Matrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  EXPECT_NEAR(LogLoss(perfect, {0, 1}), 0.0, 1e-9);
+  const linalg::Matrix uniform =
+      linalg::Matrix::FromRows({{0.5, 0.5}, {0.5, 0.5}});
+  EXPECT_NEAR(LogLoss(uniform, {0, 1}), std::log(2.0), 1e-12);
+}
+
+TEST(LogLossTest, ClipsZeroProbabilities) {
+  const linalg::Matrix wrong =
+      linalg::Matrix::FromRows({{0.0, 1.0}});
+  const double loss = LogLoss(wrong, {0});
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 10.0);
+}
+
+}  // namespace
+}  // namespace bbv::ml

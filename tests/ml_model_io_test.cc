@@ -1,0 +1,184 @@
+// Round-trip tests for model persistence: every classifier in the zoo must
+// reload through the tagged SaveClassifier/LoadClassifier envelope with
+// bit-identical predictions; the feature pipeline and the full BlackBoxModel
+// must survive a round trip as well.
+
+#include "ml/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+#include "datasets/tabular.h"
+#include "featurize/pipeline.h"
+#include "ml/black_box.h"
+#include "ml/conv_net.h"
+#include "ml/decision_tree.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/metrics.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::ml {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<std::unique_ptr<Classifier>()> factory;
+  bool image_input = false;
+};
+
+std::vector<ModelCase> ModelCases() {
+  return {
+      {"lr", [] { return std::make_unique<SgdLogisticRegression>(); }, false},
+      {"dnn",
+       [] {
+         FeedForwardNetwork::Options options;
+         options.hidden_sizes = {12, 8};
+         options.epochs = 10;
+         return std::make_unique<FeedForwardNetwork>(options);
+       },
+       false},
+      {"xgb",
+       [] {
+         GradientBoostedTrees::Options options;
+         options.num_rounds = 8;
+         return std::make_unique<GradientBoostedTrees>(options);
+       },
+       false},
+      {"cart",
+       [] {
+         TreeOptions options;
+         options.max_depth = 5;
+         return std::make_unique<DecisionTreeClassifier>(options);
+       },
+       false},
+      {"conv",
+       [] {
+         ConvNet::Options options;
+         options.conv1_channels = 3;
+         options.conv2_channels = 4;
+         options.dense_units = 8;
+         options.epochs = 2;
+         return std::make_unique<ConvNet>(options);
+       },
+       true},
+  };
+}
+
+linalg::Matrix MakeFeatures(bool image_input, size_t n, common::Rng& rng) {
+  if (image_input) {
+    linalg::Matrix features(n, 10 * 10);
+    for (double& v : features.data()) {
+      v = std::clamp(rng.Uniform(), 0.0, 1.0);
+    }
+    return features;
+  }
+  linalg::Matrix features(n, 5);
+  for (double& v : features.data()) v = rng.Gaussian();
+  return features;
+}
+
+class ModelIoSuite : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(ModelIoSuite, TaggedEnvelopeRoundTripsExactly) {
+  common::Rng rng(21);
+  const linalg::Matrix features = MakeFeatures(GetParam().image_input, 120, rng);
+  std::vector<int> labels(features.rows());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    // Label correlated with the first feature so every model fits something.
+    labels[i] = features.At(i, 0) > (GetParam().image_input ? 0.5 : 0.0) ? 1
+                                                                         : 0;
+  }
+  auto model = GetParam().factory();
+  ASSERT_TRUE(model->Fit(features, labels, 2, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveClassifier(*model, buffer).ok()) << GetParam().name;
+  const auto restored = LoadClassifier(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Name(), GetParam().name);
+  EXPECT_EQ((*restored)->num_classes(), 2);
+
+  const linalg::Matrix expected = model->PredictProba(features);
+  const linalg::Matrix actual = (*restored)->PredictProba(features);
+  ASSERT_EQ(expected.rows(), actual.rows());
+  ASSERT_EQ(expected.cols(), actual.cols());
+  for (size_t i = 0; i < expected.data().size(); ++i) {
+    ASSERT_DOUBLE_EQ(expected.data()[i], actual.data()[i])
+        << GetParam().name << " differs at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelIoSuite, ::testing::ValuesIn(ModelCases()),
+    [](const ::testing::TestParamInfo<ModelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ModelIoTest, GarbageEnvelopeRejected) {
+  std::stringstream buffer("junk");
+  EXPECT_FALSE(LoadClassifier(buffer).ok());
+}
+
+TEST(PipelineIoTest, TransformSurvivesRoundTrip) {
+  common::Rng rng(22);
+  const data::Dataset dataset = datasets::MakeIncome(300, rng);
+  featurize::FeaturePipeline pipeline;
+  ASSERT_TRUE(pipeline.Fit(dataset.features).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(pipeline.Save(buffer).ok());
+  const auto restored = featurize::FeaturePipeline::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->TotalDim(), pipeline.TotalDim());
+
+  const auto expected = pipeline.Transform(dataset.features);
+  const auto actual = restored->Transform(dataset.features);
+  ASSERT_TRUE(expected.ok() && actual.ok());
+  for (size_t i = 0; i < expected->data().size(); ++i) {
+    ASSERT_DOUBLE_EQ(expected->data()[i], actual->data()[i]);
+  }
+}
+
+TEST(PipelineIoTest, SaveBeforeFitFails) {
+  featurize::FeaturePipeline pipeline;
+  std::stringstream buffer;
+  EXPECT_FALSE(pipeline.Save(buffer).ok());
+}
+
+TEST(BlackBoxIoTest, FullModelRoundTrip) {
+  common::Rng rng(23);
+  data::Dataset dataset = datasets::MakeBank(1500, rng);
+  auto [train, test] = data::TrainTestSplit(dataset, 0.7, rng);
+  BlackBoxModel model(std::make_unique<GradientBoostedTrees>());
+  ASSERT_TRUE(model.Train(train, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(buffer).ok());
+  const auto restored = BlackBoxModel::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->Name(), "xgb");
+
+  // Predictions on relational data (through the pipeline) are identical.
+  const auto expected = model.PredictProba(test.features).ValueOrDie();
+  const auto actual = (*restored)->PredictProba(test.features).ValueOrDie();
+  for (size_t i = 0; i < expected.data().size(); ++i) {
+    ASSERT_DOUBLE_EQ(expected.data()[i], actual.data()[i]);
+  }
+  EXPECT_DOUBLE_EQ(model.ScoreAccuracy(test).ValueOrDie(),
+                   (*restored)->ScoreAccuracy(test).ValueOrDie());
+}
+
+TEST(BlackBoxIoTest, SaveBeforeTrainFails) {
+  BlackBoxModel model(std::make_unique<SgdLogisticRegression>());
+  std::stringstream buffer;
+  EXPECT_FALSE(model.Save(buffer).ok());
+}
+
+}  // namespace
+}  // namespace bbv::ml

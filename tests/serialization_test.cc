@@ -1,0 +1,258 @@
+// Round-trip tests for the binary persistence layer: trained artifacts must
+// reload with bit-identical predictions, and corrupt inputs must fail with
+// readable errors instead of crashing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common/serialize.h"
+#include "core/performance_predictor.h"
+#include "core/performance_validator.h"
+#include "datasets/tabular.h"
+#include "errors/missing_values.h"
+#include "ml/black_box.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/random_forest.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Archive primitives
+// ---------------------------------------------------------------------------
+
+TEST(BinaryArchiveTest, PrimitiveRoundTrip) {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  writer.WriteMagic("TEST", 3);
+  writer.WriteUint32(7);
+  writer.WriteUint64(1ull << 40);
+  writer.WriteInt32(-5);
+  writer.WriteDouble(3.14159);
+  writer.WriteString("hello");
+  writer.WriteDoubleVector({1.0, 2.0, 3.0});
+  writer.WriteInt32Vector({-1, 0, 1});
+  ASSERT_TRUE(writer.status().ok());
+
+  common::BinaryReader reader(buffer);
+  ASSERT_TRUE(reader.ExpectMagic("TEST", 3).ok());
+  EXPECT_EQ(reader.ReadUint32().ValueOrDie(), 7u);
+  EXPECT_EQ(reader.ReadUint64().ValueOrDie(), 1ull << 40);
+  EXPECT_EQ(reader.ReadInt32().ValueOrDie(), -5);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().ValueOrDie(), 3.14159);
+  EXPECT_EQ(reader.ReadString().ValueOrDie(), "hello");
+  EXPECT_EQ(reader.ReadDoubleVector().ValueOrDie(),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(reader.ReadInt32Vector().ValueOrDie(),
+            (std::vector<int32_t>{-1, 0, 1}));
+}
+
+TEST(BinaryArchiveTest, WrongMagicRejected) {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  writer.WriteMagic("AAAA", 1);
+  common::BinaryReader reader(buffer);
+  EXPECT_FALSE(reader.ExpectMagic("BBBB", 1).ok());
+}
+
+TEST(BinaryArchiveTest, WrongVersionRejected) {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  writer.WriteMagic("AAAA", 2);
+  common::BinaryReader reader(buffer);
+  EXPECT_FALSE(reader.ExpectMagic("AAAA", 1).ok());
+}
+
+TEST(BinaryArchiveTest, TruncatedStreamRejected) {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  writer.WriteUint32(1);
+  common::BinaryReader reader(buffer);
+  EXPECT_TRUE(reader.ReadUint32().ok());
+  EXPECT_FALSE(reader.ReadDouble().ok());
+}
+
+TEST(BinaryArchiveTest, ImplausibleVectorLengthRejected) {
+  std::stringstream buffer;
+  common::BinaryWriter writer(buffer);
+  writer.WriteUint64(uint64_t{1} << 60);  // bogus length prefix
+  common::BinaryReader reader(buffer);
+  EXPECT_FALSE(reader.ReadDoubleVector().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Random forest
+// ---------------------------------------------------------------------------
+
+TEST(ForestSerializationTest, PredictionsSurviveRoundTrip) {
+  common::Rng rng(1);
+  linalg::Matrix features(200, 4);
+  std::vector<double> targets(200);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 4; ++j) features.At(i, j) = rng.Uniform();
+    targets[i] = features.At(i, 0) + 0.5 * features.At(i, 2);
+  }
+  ml::RandomForestRegressor::Options options;
+  options.num_trees = 15;
+  ml::RandomForestRegressor forest(options);
+  ASSERT_TRUE(forest.Fit(features, targets, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(forest.Save(buffer).ok());
+  const auto restored = ml::RandomForestRegressor::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_trees(), 15);
+  const std::vector<double> expected = forest.Predict(features);
+  const std::vector<double> actual = restored->Predict(features);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected[i], actual[i]);
+  }
+}
+
+TEST(ForestSerializationTest, SaveBeforeFitFails) {
+  ml::RandomForestRegressor forest;
+  std::stringstream buffer;
+  EXPECT_FALSE(forest.Save(buffer).ok());
+}
+
+TEST(ForestSerializationTest, GarbageInputRejected) {
+  std::stringstream buffer("this is not a forest");
+  EXPECT_FALSE(ml::RandomForestRegressor::Load(buffer).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Gradient-boosted trees
+// ---------------------------------------------------------------------------
+
+TEST(GbdtSerializationTest, ProbabilitiesSurviveRoundTrip) {
+  common::Rng rng(3);
+  linalg::Matrix features(200, 3);
+  std::vector<int> labels(200);
+  for (size_t i = 0; i < 200; ++i) {
+    const int label = static_cast<int>(i % 3);
+    features.At(i, 0) = rng.Gaussian(static_cast<double>(label), 0.4);
+    features.At(i, 1) = rng.Uniform();
+    features.At(i, 2) = rng.Uniform();
+    labels[i] = label;
+  }
+  ml::GradientBoostedTrees::Options options;
+  options.num_rounds = 10;
+  ml::GradientBoostedTrees model(options);
+  ASSERT_TRUE(model.Fit(features, labels, 3, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(buffer).ok());
+  const auto restored = ml::GradientBoostedTrees::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_classes(), 3);
+  const linalg::Matrix expected = model.PredictProba(features);
+  const linalg::Matrix actual = restored->PredictProba(features);
+  for (size_t i = 0; i < expected.data().size(); ++i) {
+    EXPECT_DOUBLE_EQ(expected.data()[i], actual.data()[i]);
+  }
+}
+
+TEST(GbdtSerializationTest, GarbageInputRejected) {
+  std::stringstream buffer("BBVGBxx");
+  EXPECT_FALSE(ml::GradientBoostedTrees::Load(buffer).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Performance predictor
+// ---------------------------------------------------------------------------
+
+TEST(PredictorSerializationTest, EstimatesSurviveRoundTrip) {
+  common::Rng rng(2);
+  data::Dataset dataset = datasets::MakeIncome(2000, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  ml::BlackBoxModel model(std::make_unique<ml::SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(train, rng).ok());
+
+  core::PerformancePredictor::Options options;
+  options.corruptions_per_generator = 20;
+  options.tree_count_grid = {25};
+  core::PerformancePredictor predictor(options);
+  const errors::MissingValues missing;
+  std::vector<const errors::ErrorGen*> generators = {&missing};
+  ASSERT_TRUE(predictor.Train(model, test, generators, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(predictor.Save(buffer).ok());
+  const auto restored = core::PerformancePredictor::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->trained());
+  EXPECT_DOUBLE_EQ(restored->test_score(), predictor.test_score());
+  EXPECT_EQ(restored->num_training_examples(),
+            predictor.num_training_examples());
+
+  const auto proba = model.PredictProba(serving.features).ValueOrDie();
+  EXPECT_DOUBLE_EQ(predictor.EstimateScoreFromProba(proba).ValueOrDie(),
+                   restored->EstimateScoreFromProba(proba).ValueOrDie());
+}
+
+TEST(PredictorSerializationTest, SaveBeforeTrainFails) {
+  core::PerformancePredictor predictor;
+  std::stringstream buffer;
+  EXPECT_FALSE(predictor.Save(buffer).ok());
+}
+
+TEST(PredictorSerializationTest, GarbageInputRejected) {
+  std::stringstream buffer("BBVPPnonsense");
+  EXPECT_FALSE(core::PerformancePredictor::Load(buffer).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Performance validator
+// ---------------------------------------------------------------------------
+
+TEST(ValidatorSerializationTest, DecisionsSurviveRoundTrip) {
+  common::Rng rng(4);
+  data::Dataset dataset = datasets::MakeIncome(2500, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  ml::BlackBoxModel model(std::make_unique<ml::SgdLogisticRegression>());
+  ASSERT_TRUE(model.Train(train, rng).ok());
+
+  core::PerformanceValidator::Options options;
+  options.threshold = 0.05;
+  options.corruptions_per_generator = 40;
+  core::PerformanceValidator validator(options);
+  const errors::MissingValues missing;
+  std::vector<const errors::ErrorGen*> generators = {&missing};
+  ASSERT_TRUE(validator.Train(model, test, generators, rng).ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(validator.Save(buffer).ok());
+  const auto restored = core::PerformanceValidator::Load(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_DOUBLE_EQ(restored->threshold(), validator.threshold());
+  EXPECT_DOUBLE_EQ(restored->test_score(), validator.test_score());
+
+  // Decisions agree on clean and corrupted batches.
+  for (int round = 0; round < 5; ++round) {
+    common::Rng corrupt_rng(100 + round);
+    const auto corrupted =
+        missing.Corrupt(serving.features, corrupt_rng).ValueOrDie();
+    const auto proba = model.PredictProba(corrupted).ValueOrDie();
+    EXPECT_EQ(validator.ValidateFromProba(proba).ValueOrDie(),
+              restored->ValidateFromProba(proba).ValueOrDie());
+  }
+}
+
+TEST(ValidatorSerializationTest, SaveBeforeTrainFails) {
+  core::PerformanceValidator validator;
+  std::stringstream buffer;
+  EXPECT_FALSE(validator.Save(buffer).ok());
+}
+
+TEST(ValidatorSerializationTest, GarbageInputRejected) {
+  std::stringstream buffer("BBVPVgarbage");
+  EXPECT_FALSE(core::PerformanceValidator::Load(buffer).ok());
+}
+
+}  // namespace
+}  // namespace bbv

@@ -1,0 +1,86 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace bbv::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceIsUnbiasedSampleVariance) {
+  // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, ssq 32, 32/7.
+  EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(DescriptiveTest, StdDevIsSqrtVariance) {
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(PercentileTest, MatchesNumpyLinearInterpolation) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50.0), 2.5);
+  // position = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1).
+  EXPECT_DOUBLE_EQ(Percentile(values, 25.0), 1.75);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
+}
+
+TEST(PercentilesTest, MultiplePointsShareOneSort) {
+  const std::vector<double> result =
+      Percentiles({1.0, 2.0, 3.0, 4.0}, {0.0, 50.0, 100.0});
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0], 1.0);
+  EXPECT_DOUBLE_EQ(result[1], 2.5);
+  EXPECT_DOUBLE_EQ(result[2], 4.0);
+}
+
+TEST(PercentilesTest, MonotoneInQ) {
+  common::Rng rng(3);
+  std::vector<double> values(101);
+  for (double& v : values) v = rng.Gaussian();
+  std::vector<double> qs;
+  for (int q = 0; q <= 100; q += 5) qs.push_back(q);
+  const std::vector<double> result = Percentiles(values, qs);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1], result[i]);
+  }
+}
+
+TEST(MedianTest, OddAndEvenCounts) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(MeanAbsoluteErrorTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {1.5, 1.0}), 0.75);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0}, {1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace bbv::stats

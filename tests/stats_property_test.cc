@@ -1,0 +1,193 @@
+// Property-based sweeps for the statistics substrate: percentile results
+// must match a naive reference implementation on every distribution shape,
+// hypothesis tests must respect their symmetry/calibration properties, and
+// ranking metrics must obey their algebraic identities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+
+namespace bbv::stats {
+namespace {
+
+/// Distribution generators the properties are swept over.
+struct DistributionCase {
+  std::string name;
+  double (*sample)(common::Rng&);
+};
+
+double SampleUniform(common::Rng& rng) { return rng.Uniform(); }
+double SampleGaussian(common::Rng& rng) { return rng.Gaussian(); }
+double SampleHeavyTail(common::Rng& rng) {
+  const double u = rng.Uniform(0.02, 1.0);
+  return 1.0 / u;  // Pareto-ish
+}
+double SampleBimodal(common::Rng& rng) {
+  return rng.Bernoulli(0.5) ? rng.Gaussian(-3.0, 0.5) : rng.Gaussian(3.0, 0.5);
+}
+double SampleDiscrete(common::Rng& rng) {
+  return static_cast<double>(rng.UniformInt(size_t{5}));
+}
+double SampleConstant(common::Rng&) { return 7.0; }
+
+std::vector<DistributionCase> Distributions() {
+  return {{"uniform", SampleUniform},   {"gaussian", SampleGaussian},
+          {"heavy_tail", SampleHeavyTail}, {"bimodal", SampleBimodal},
+          {"discrete", SampleDiscrete}, {"constant", SampleConstant}};
+}
+
+/// Naive percentile reference: sort and linearly interpolate.
+double ReferencePercentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double position = q / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lower = static_cast<size_t>(std::floor(position));
+  const size_t upper = static_cast<size_t>(std::ceil(position));
+  const double weight = position - static_cast<double>(lower);
+  return values[lower] * (1.0 - weight) + values[upper] * weight;
+}
+
+class DistributionSuite : public ::testing::TestWithParam<DistributionCase> {
+};
+
+TEST_P(DistributionSuite, PercentilesMatchNaiveReference) {
+  common::Rng rng(101);
+  for (size_t n : {1u, 2u, 3u, 10u, 101u, 1000u}) {
+    std::vector<double> values(n);
+    for (double& v : values) v = GetParam().sample(rng);
+    for (double q : {0.0, 1.0, 33.3, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_NEAR(Percentile(values, q), ReferencePercentile(values, q),
+                  1e-9)
+          << GetParam().name << " n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST_P(DistributionSuite, PercentileBoundsAndMonotonicity) {
+  common::Rng rng(103);
+  std::vector<double> values(257);
+  for (double& v : values) v = GetParam().sample(rng);
+  const double low = *std::min_element(values.begin(), values.end());
+  const double high = *std::max_element(values.begin(), values.end());
+  double previous = low;
+  for (int q = 0; q <= 100; q += 2) {
+    const double p = Percentile(values, q);
+    EXPECT_GE(p, low);
+    EXPECT_LE(p, high);
+    EXPECT_GE(p, previous - 1e-12);
+    previous = p;
+  }
+}
+
+TEST_P(DistributionSuite, KsStatisticIsSymmetric) {
+  common::Rng rng(107);
+  std::vector<double> a(200);
+  std::vector<double> b(150);
+  for (double& v : a) v = GetParam().sample(rng);
+  for (double& v : b) v = GetParam().sample(rng);
+  const TestResult ab = TwoSampleKsTest(a, b);
+  const TestResult ba = TwoSampleKsTest(b, a);
+  EXPECT_NEAR(ab.statistic, ba.statistic, 1e-12) << GetParam().name;
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12) << GetParam().name;
+}
+
+TEST_P(DistributionSuite, KsStatisticInUnitInterval) {
+  common::Rng rng(109);
+  std::vector<double> a(64);
+  std::vector<double> b(48);
+  for (double& v : a) v = GetParam().sample(rng);
+  for (double& v : b) v = GetParam().sample(rng);
+  const TestResult result = TwoSampleKsTest(a, b);
+  EXPECT_GE(result.statistic, 0.0);
+  EXPECT_LE(result.statistic, 1.0);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionSuite,
+    ::testing::ValuesIn(Distributions()),
+    [](const ::testing::TestParamInfo<DistributionCase>& info) {
+      return info.param.name;
+    });
+
+TEST(KsCalibrationTest, NullPValuesAreRoughlyUniform) {
+  // Under H0 (same distribution), p-values should be ~Uniform(0,1):
+  // the fraction below 0.2 should be near 0.2.
+  common::Rng rng(113);
+  int below = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(120);
+    std::vector<double> b(120);
+    for (double& v : a) v = rng.Gaussian();
+    for (double& v : b) v = rng.Gaussian();
+    if (TwoSampleKsTest(a, b).p_value < 0.2) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / trials, 0.2, 0.08);
+}
+
+TEST(ChiSquaredPropertyTest, HomogeneityIsSymmetric) {
+  common::Rng rng(127);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> a(4);
+    std::vector<double> b(4);
+    for (double& v : a) v = static_cast<double>(rng.UniformInt(size_t{50}) + 1);
+    for (double& v : b) v = static_cast<double>(rng.UniformInt(size_t{50}) + 1);
+    const TestResult ab = ChiSquaredHomogeneityTest(a, b);
+    const TestResult ba = ChiSquaredHomogeneityTest(b, a);
+    EXPECT_NEAR(ab.statistic, ba.statistic, 1e-9);
+    EXPECT_NEAR(ab.p_value, ba.p_value, 1e-9);
+  }
+}
+
+TEST(ChiSquaredPropertyTest, StatisticGrowsWithImbalance) {
+  double previous = 0.0;
+  for (double shift : {0.0, 10.0, 20.0, 40.0}) {
+    const TestResult result = ChiSquaredHomogeneityTest(
+        {100.0 + shift, 100.0 - shift}, {100.0, 100.0});
+    EXPECT_GE(result.statistic, previous);
+    previous = result.statistic;
+  }
+}
+
+TEST(AucPropertyTest, NegatedScoresComplementToOne) {
+  common::Rng rng(131);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<double> scores(100);
+    std::vector<int> labels(100);
+    for (size_t i = 0; i < 100; ++i) {
+      scores[i] = rng.Gaussian();
+      labels[i] = static_cast<int>(i % 2);
+    }
+    std::vector<double> negated(100);
+    for (size_t i = 0; i < 100; ++i) negated[i] = -scores[i];
+    EXPECT_NEAR(ml::RocAuc(scores, labels) + ml::RocAuc(negated, labels),
+                1.0, 1e-9);
+  }
+}
+
+TEST(MaePropertyTest, TriangleBound) {
+  // MAE(a, c) <= MAE(a, b) + MAE(b, c).
+  common::Rng rng(137);
+  std::vector<double> a(50);
+  std::vector<double> b(50);
+  std::vector<double> c(50);
+  for (size_t i = 0; i < 50; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+    c[i] = rng.Gaussian();
+  }
+  EXPECT_LE(MeanAbsoluteError(a, c),
+            MeanAbsoluteError(a, b) + MeanAbsoluteError(b, c) + 1e-12);
+}
+
+}  // namespace
+}  // namespace bbv::stats

@@ -1,0 +1,356 @@
+// bbv_cli — drive the black-box validation workflow from the command line,
+// with CSV files as the interchange format. Intended for teams that want to
+// monitor a model without writing C++: generate (or bring) data, train a
+// model, train a performance predictor against the expected error types,
+// then score incoming serving batches.
+//
+//   bbv_cli gen-data  --dataset income --rows 8000 --train train.csv \
+//                     --test test.csv --serving serving.csv
+//   bbv_cli train     --dataset income --train train.csv --model xgb \
+//                     --out model.bbv
+//   bbv_cli train-predictor --dataset income --model-file model.bbv \
+//                     --test test.csv --errors missing,outliers,scaling \
+//                     --out predictor.bbv
+//   bbv_cli estimate  --dataset income --model-file model.bbv \
+//                     --predictor-file predictor.bbv --batch serving.csv \
+//                     [--threshold 0.05]
+//
+// CSV files carry the dataset's feature columns plus a trailing numeric
+// "label" column (estimate ignores it if present). The --dataset name picks
+// the column schema from the bundled registry.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/performance_predictor.h"
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "datasets/registry.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+#include "errors/text_errors.h"
+#include "ml/black_box.h"
+#include "ml/conv_net.h"
+#include "ml/feed_forward_network.h"
+#include "ml/gradient_boosted_trees.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::cli {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(1);
+}
+
+void Usage() {
+  std::printf(
+      "usage: bbv_cli <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  gen-data         generate a synthetic dataset as CSV\n"
+      "                   --dataset NAME --rows N --train F --test F "
+      "--serving F [--seed N]\n"
+      "  train            train a black box model from a labeled CSV\n"
+      "                   --dataset NAME --train F --model lr|dnn|xgb "
+      "--out F [--seed N]\n"
+      "  train-predictor  train a performance predictor for a saved model\n"
+      "                   --dataset NAME --model-file F --test F\n"
+      "                   --errors LIST --out F [--corruptions N] [--seed N]\n"
+      "                   (LIST from: missing,outliers,scaling,swap,typos,"
+      "leetspeak)\n"
+      "  estimate         estimate the model's accuracy on a serving batch\n"
+      "                   --dataset NAME --model-file F --predictor-file F\n"
+      "                   --batch F [--threshold T]\n"
+      "  corrupt          inject an error into a CSV (fire-drill tooling)\n"
+      "                   --dataset NAME --in F --out F --error TYPE "
+      "[--seed N]\n");
+}
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (!common::StartsWith(key, "--")) Die("expected --flag, got " + key);
+    if (i + 1 >= argc) Die("missing value for " + key);
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string Require(const Flags& flags, const std::string& name) {
+  const auto it = flags.find(name);
+  if (it == flags.end()) Die("missing required flag --" + name);
+  return it->second;
+}
+
+std::string Optional(const Flags& flags, const std::string& name,
+                     const std::string& fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+/// Feature schema of a registry dataset (probed from a tiny sample).
+std::vector<std::pair<std::string, data::ColumnType>> SchemaFor(
+    const std::string& dataset_name) {
+  common::Rng rng(1);
+  datasets::DatasetOptions options;
+  options.num_rows = 2;
+  auto sample = datasets::MakeByName(dataset_name, options, rng);
+  if (!sample.ok()) Die(sample.status().ToString());
+  std::vector<std::pair<std::string, data::ColumnType>> schema;
+  for (size_t col = 0; col < sample->features.NumCols(); ++col) {
+    const auto& column = sample->features.column(col);
+    if (column.type() == data::ColumnType::kImage) {
+      Die("dataset '" + dataset_name +
+          "' has image columns; the CSV workflow supports tabular and text "
+          "datasets");
+    }
+    schema.emplace_back(column.name(), column.type());
+  }
+  schema.emplace_back("label", data::ColumnType::kNumeric);
+  return schema;
+}
+
+/// Writes features + label column as CSV.
+void WriteLabeled(const data::Dataset& dataset, const std::string& path) {
+  data::DataFrame with_label = dataset.features;
+  std::vector<double> labels(dataset.labels.begin(), dataset.labels.end());
+  if (auto status =
+          with_label.AddColumn(data::Column::Numeric("label", labels));
+      !status.ok()) {
+    Die(status.ToString());
+  }
+  if (auto status = data::WriteCsvFile(with_label, path); !status.ok()) {
+    Die(status.ToString());
+  }
+}
+
+/// Reads a CSV with the dataset's schema; the label column is optional.
+data::Dataset ReadLabeled(const std::string& dataset_name,
+                          const std::string& path, bool require_labels) {
+  auto schema = SchemaFor(dataset_name);
+  auto frame = data::ReadCsvFile(path, schema);
+  if (!frame.ok()) {
+    // Retry without the label column (unlabeled serving batches).
+    schema.pop_back();
+    frame = data::ReadCsvFile(path, schema);
+    if (!frame.ok()) Die(frame.status().ToString());
+    if (require_labels) Die("'" + path + "' has no label column");
+  }
+  data::Dataset dataset;
+  dataset.num_classes = 2;
+  if (frame->HasColumn("label")) {
+    const data::Column& label_column = frame->ColumnByName("label");
+    for (size_t row = 0; row < label_column.size(); ++row) {
+      if (!label_column.cell(row).is_numeric()) {
+        Die("row " + std::to_string(row) + " has a missing label");
+      }
+      dataset.labels.push_back(
+          static_cast<int>(label_column.cell(row).AsDouble()));
+    }
+    std::vector<std::string> feature_names;
+    for (size_t col = 0; col < frame->NumCols(); ++col) {
+      if (frame->column(col).name() != "label") {
+        feature_names.push_back(frame->column(col).name());
+      }
+    }
+    auto features = frame->SelectColumns(feature_names);
+    if (!features.ok()) Die(features.status().ToString());
+    dataset.features = std::move(*features);
+  } else {
+    dataset.features = std::move(*frame);
+    dataset.labels.assign(dataset.features.NumRows(), 0);
+  }
+  return dataset;
+}
+
+std::unique_ptr<ml::Classifier> MakeClassifier(const std::string& name) {
+  if (name == "lr") return std::make_unique<ml::SgdLogisticRegression>();
+  if (name == "dnn") return std::make_unique<ml::FeedForwardNetwork>();
+  if (name == "xgb") return std::make_unique<ml::GradientBoostedTrees>();
+  Die("unknown model '" + name + "' (expected lr, dnn or xgb)");
+}
+
+std::vector<std::shared_ptr<errors::ErrorGen>> MakeErrors(
+    const std::string& list) {
+  std::vector<std::shared_ptr<errors::ErrorGen>> generators;
+  for (const std::string& name : common::Split(list, ',')) {
+    if (name == "missing") {
+      generators.push_back(std::make_shared<errors::MissingValues>());
+    } else if (name == "outliers") {
+      generators.push_back(std::make_shared<errors::NumericOutliers>());
+    } else if (name == "scaling") {
+      generators.push_back(std::make_shared<errors::Scaling>());
+    } else if (name == "swap") {
+      generators.push_back(std::make_shared<errors::SwappedColumns>());
+    } else if (name == "typos") {
+      generators.push_back(std::make_shared<errors::CategoricalTypos>());
+    } else if (name == "leetspeak") {
+      generators.push_back(std::make_shared<errors::AdversarialLeetspeak>());
+    } else {
+      Die("unknown error type '" + name + "'");
+    }
+  }
+  if (generators.empty()) Die("--errors list is empty");
+  return generators;
+}
+
+int GenData(const Flags& flags) {
+  common::Rng rng(std::strtoull(Optional(flags, "seed", "42").c_str(),
+                                nullptr, 10));
+  datasets::DatasetOptions options;
+  options.num_rows = std::strtoull(Optional(flags, "rows", "8000").c_str(),
+                                   nullptr, 10);
+  auto dataset = datasets::MakeByName(Require(flags, "dataset"), options, rng);
+  if (!dataset.ok()) Die(dataset.status().ToString());
+  data::Dataset balanced = data::BalanceClasses(*dataset, rng);
+  auto [source, serving] = data::TrainTestSplit(balanced, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  WriteLabeled(train, Require(flags, "train"));
+  WriteLabeled(test, Require(flags, "test"));
+  WriteLabeled(serving, Require(flags, "serving"));
+  std::printf("wrote %zu train / %zu test / %zu serving rows\n",
+              train.NumRows(), test.NumRows(), serving.NumRows());
+  return 0;
+}
+
+int Train(const Flags& flags) {
+  common::Rng rng(std::strtoull(Optional(flags, "seed", "42").c_str(),
+                                nullptr, 10));
+  const data::Dataset train = ReadLabeled(Require(flags, "dataset"),
+                                          Require(flags, "train"),
+                                          /*require_labels=*/true);
+  ml::BlackBoxModel model(MakeClassifier(Optional(flags, "model", "xgb")));
+  if (auto status = model.Train(train, rng); !status.ok()) {
+    Die(status.ToString());
+  }
+  const std::string out = Require(flags, "out");
+  std::ofstream stream(out, std::ios::binary);
+  if (!stream) Die("cannot open '" + out + "'");
+  if (auto status = model.Save(stream); !status.ok()) Die(status.ToString());
+  std::printf("trained %s on %zu rows (train accuracy %.3f); saved to %s\n",
+              model.Name().c_str(), train.NumRows(),
+              model.ScoreAccuracy(train).ValueOrDie(), out.c_str());
+  return 0;
+}
+
+std::unique_ptr<ml::BlackBoxModel> LoadModel(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) Die("cannot open '" + path + "'");
+  auto model = ml::BlackBoxModel::Load(stream);
+  if (!model.ok()) Die(model.status().ToString());
+  return std::move(*model);
+}
+
+int TrainPredictor(const Flags& flags) {
+  common::Rng rng(std::strtoull(Optional(flags, "seed", "42").c_str(),
+                                nullptr, 10));
+  const auto model = LoadModel(Require(flags, "model-file"));
+  const data::Dataset test = ReadLabeled(Require(flags, "dataset"),
+                                         Require(flags, "test"),
+                                         /*require_labels=*/true);
+  const auto generators = MakeErrors(Require(flags, "errors"));
+  std::vector<const errors::ErrorGen*> raw;
+  for (const auto& generator : generators) raw.push_back(generator.get());
+
+  core::PerformancePredictor::Options options;
+  options.corruptions_per_generator = static_cast<int>(std::strtol(
+      Optional(flags, "corruptions", "100").c_str(), nullptr, 10));
+  core::PerformancePredictor predictor(options);
+  if (auto status = predictor.Train(*model, test, raw, rng); !status.ok()) {
+    Die(status.ToString());
+  }
+  const std::string out = Require(flags, "out");
+  std::ofstream stream(out, std::ios::binary);
+  if (!stream) Die("cannot open '" + out + "'");
+  if (auto status = predictor.Save(stream); !status.ok()) {
+    Die(status.ToString());
+  }
+  std::printf(
+      "trained predictor on %zu corrupted copies (clean test accuracy "
+      "%.3f); saved to %s\n",
+      predictor.num_training_examples(), predictor.test_score(), out.c_str());
+  return 0;
+}
+
+int Estimate(const Flags& flags) {
+  const auto model = LoadModel(Require(flags, "model-file"));
+  const std::string predictor_path = Require(flags, "predictor-file");
+  std::ifstream stream(predictor_path, std::ios::binary);
+  if (!stream) Die("cannot open '" + predictor_path + "'");
+  auto predictor = core::PerformancePredictor::Load(stream);
+  if (!predictor.ok()) Die(predictor.status().ToString());
+
+  const data::Dataset batch = ReadLabeled(Require(flags, "dataset"),
+                                          Require(flags, "batch"),
+                                          /*require_labels=*/false);
+  auto estimate = predictor->EstimateScore(*model, batch.features);
+  if (!estimate.ok()) Die(estimate.status().ToString());
+  const double threshold = std::strtod(
+      Optional(flags, "threshold", "0.05").c_str(), nullptr);
+  const double floor = (1.0 - threshold) * predictor->test_score();
+  std::printf("rows=%zu estimated_accuracy=%.4f reference=%.4f verdict=%s\n",
+              batch.NumRows(), *estimate, predictor->test_score(),
+              *estimate >= floor ? "ACCEPT" : "ALARM");
+  return *estimate >= floor ? 0 : 2;  // exit code 2 signals an alarm
+}
+
+int Corrupt(const Flags& flags) {
+  common::Rng rng(std::strtoull(Optional(flags, "seed", "42").c_str(),
+                                nullptr, 10));
+  const data::Dataset input = ReadLabeled(Require(flags, "dataset"),
+                                          Require(flags, "in"),
+                                          /*require_labels=*/false);
+  const auto generators = MakeErrors(Require(flags, "error"));
+  data::DataFrame corrupted = input.features;
+  for (const auto& generator : generators) {
+    auto result = generator->Corrupt(corrupted, rng);
+    if (!result.ok()) Die(result.status().ToString());
+    corrupted = std::move(*result);
+  }
+  // Preserve the label column if the input had one.
+  data::Dataset output = input;
+  output.features = std::move(corrupted);
+  WriteLabeled(output, Require(flags, "out"));
+  std::printf("corrupted %zu rows with [%s]; wrote %s\n",
+              output.NumRows(), Require(flags, "error").c_str(),
+              Require(flags, "out").c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    Usage();
+    return 0;
+  }
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "gen-data") return GenData(flags);
+  if (command == "train") return Train(flags);
+  if (command == "train-predictor") return TrainPredictor(flags);
+  if (command == "estimate") return Estimate(flags);
+  if (command == "corrupt") return Corrupt(flags);
+  Usage();
+  Die("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace bbv::cli
+
+int main(int argc, char** argv) { return bbv::cli::Main(argc, argv); }
