@@ -21,7 +21,7 @@ class CheckFailureStream {
   CheckFailureStream& operator=(const CheckFailureStream&) = delete;
 
   [[noreturn]] ~CheckFailureStream() {
-    std::cerr << stream_.str() << std::endl;
+    std::cerr << stream_.str() << "\n" << std::flush;
     std::abort();
   }
 
@@ -35,13 +35,39 @@ class CheckFailureStream {
   std::ostringstream stream_;
 };
 
+/// Swallows the streamed context of a compiled-out BBV_DCHECK. Every
+/// operator<< is a no-op the optimizer deletes entirely.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lowers a stream expression to void so both arms of the check ternary have
+/// type void. operator& binds looser than operator<<, so the streamed message
+/// is fully assembled before the voidification applies.
+struct Voidifier {
+  void operator&(const CheckFailureStream&) const {}
+  void operator&(const NullStream&) const {}
+};
+
 }  // namespace bbv::common::internal
 
-#define BBV_CHECK(condition)                                              \
-  if (condition) {                                                        \
-  } else /* NOLINT */                                                     \
-    ::bbv::common::internal::CheckFailureStream(#condition, __FILE__,     \
-                                                __LINE__)
+// BBV_CHECK(cond) << "context";
+//
+// Aborts with file:line and the streamed context when `cond` is false. The
+// ternary-expression shape (rather than a bare if/else) makes the macro a
+// single expression, so it composes safely under a dangling `if`:
+//
+//   if (flag) BBV_CHECK(x > 0);   // no else-capture hazard
+//   else DoOther();
+#define BBV_CHECK(condition)                                      \
+  (condition) ? static_cast<void>(0)                              \
+              : ::bbv::common::internal::Voidifier() &            \
+                    ::bbv::common::internal::CheckFailureStream(  \
+                        #condition, __FILE__, __LINE__)
 
 #define BBV_CHECK_EQ(a, b) BBV_CHECK((a) == (b))
 #define BBV_CHECK_NE(a, b) BBV_CHECK((a) != (b))
@@ -50,13 +76,27 @@ class CheckFailureStream {
 #define BBV_CHECK_GT(a, b) BBV_CHECK((a) > (b))
 #define BBV_CHECK_GE(a, b) BBV_CHECK((a) >= (b))
 
+// BBV_DCHECK(cond) << "context";
+//
+// Debug-only invariant check for hot paths: identical to BBV_CHECK in debug
+// builds; in NDEBUG builds the condition is parsed and odr-used but never
+// evaluated (short-circuited behind `true ||`), so captured variables do not
+// trigger -Wunused-* warnings and the whole expression folds away to nothing.
 #ifndef NDEBUG
 #define BBV_DCHECK(condition) BBV_CHECK(condition)
 #else
-#define BBV_DCHECK(condition) \
-  if (true) {                 \
-  } else                      \
-    ::bbv::common::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+#define BBV_DCHECK(condition)                            \
+  (true || static_cast<bool>(condition))                 \
+      ? static_cast<void>(0)                             \
+      : ::bbv::common::internal::Voidifier() &           \
+            ::bbv::common::internal::NullStream()
 #endif
+
+#define BBV_DCHECK_EQ(a, b) BBV_DCHECK((a) == (b))
+#define BBV_DCHECK_NE(a, b) BBV_DCHECK((a) != (b))
+#define BBV_DCHECK_LT(a, b) BBV_DCHECK((a) < (b))
+#define BBV_DCHECK_LE(a, b) BBV_DCHECK((a) <= (b))
+#define BBV_DCHECK_GT(a, b) BBV_DCHECK((a) > (b))
+#define BBV_DCHECK_GE(a, b) BBV_DCHECK((a) >= (b))
 
 #endif  // BBV_COMMON_CHECK_H_

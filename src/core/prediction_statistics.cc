@@ -1,6 +1,7 @@
 #include "core/prediction_statistics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "stats/descriptive.h"
@@ -20,12 +21,44 @@ std::vector<double> DefaultPercentilePoints() {
   return points;
 }
 
+namespace {
+
+/// Debug contract: every row of `probabilities` is a probability simplex —
+/// entries in [0, 1] and summing to 1 within tolerance. Scans the whole
+/// matrix, so it runs only under BBV_DCHECK.
+bool RowsAreProbabilitySimplex(const linalg::Matrix& probabilities) {
+  constexpr double kTolerance = 1e-6;
+  for (size_t i = 0; i < probabilities.rows(); ++i) {
+    double row_sum = 0.0;
+    for (size_t k = 0; k < probabilities.cols(); ++k) {
+      const double p = probabilities.At(i, k);
+      if (!(p >= -kTolerance && p <= 1.0 + kTolerance)) return false;
+      row_sum += p;
+    }
+    if (std::abs(row_sum - 1.0) > kTolerance * static_cast<double>(
+                                                  probabilities.cols())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<double> PredictionStatistics(
     const linalg::Matrix& probabilities,
     const std::vector<double>& percentile_points) {
   BBV_CHECK_GT(probabilities.rows(), 0u)
       << "PredictionStatistics on an empty batch";
   BBV_CHECK(!percentile_points.empty());
+  BBV_DCHECK(std::is_sorted(percentile_points.begin(),
+                            percentile_points.end()))
+      << "percentile points must be ascending";
+  BBV_DCHECK(percentile_points.front() >= 0.0 &&
+             percentile_points.back() <= 100.0)
+      << "percentile points must lie in [0, 100]";
+  BBV_DCHECK(RowsAreProbabilitySimplex(probabilities))
+      << "class-probability rows must lie on the probability simplex";
   std::vector<double> features;
   features.reserve(probabilities.cols() * percentile_points.size());
   for (size_t k = 0; k < probabilities.cols(); ++k) {
@@ -34,6 +67,9 @@ std::vector<double> PredictionStatistics(
     features.insert(features.end(), column_percentiles.begin(),
                     column_percentiles.end());
   }
+  BBV_DCHECK(std::all_of(features.begin(), features.end(),
+                         [](double v) { return std::isfinite(v); }))
+      << "percentile feature vector contains NaN/Inf";
   return features;
 }
 

@@ -94,8 +94,8 @@ common::Result<data::DataFrame> CategoricalTypos::Corrupt(
     const data::DataFrame& frame, common::Rng& rng) const {
   return MutateStringCells(
       frame, data::ColumnType::kCategorical, columns_, fraction_, rng,
-      [](const std::string& value, common::Rng& rng) {
-        return IntroduceTypo(value, rng);
+      [](const std::string& value, common::Rng& cell_rng) {
+        return IntroduceTypo(value, cell_rng);
       },
       max_columns_);
 }

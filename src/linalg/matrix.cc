@@ -34,6 +34,7 @@ Matrix Matrix::Identity(size_t n) {
 }
 
 std::vector<double> Matrix::Row(size_t row) const {
+  BBV_CHECK_LT(row, rows_);
   const double* begin = RowData(row);
   return std::vector<double>(begin, begin + cols_);
 }
@@ -121,6 +122,8 @@ void Matrix::AppendRows(const Matrix& other) {
 }
 
 std::vector<size_t> Matrix::ArgMaxPerRow() const {
+  BBV_CHECK(cols_ > 0 || rows_ == 0)
+      << "ArgMaxPerRow on a matrix with rows but no columns";
   std::vector<size_t> result(rows_, 0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* row = RowData(i);
@@ -131,6 +134,8 @@ std::vector<size_t> Matrix::ArgMaxPerRow() const {
 }
 
 std::vector<double> Matrix::MaxPerRow() const {
+  BBV_CHECK(cols_ > 0 || rows_ == 0)
+      << "MaxPerRow on a matrix with rows but no columns";
   std::vector<double> result(rows_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
     const double* row = RowData(i);
@@ -157,6 +162,8 @@ std::string Matrix::ToString() const {
 }
 
 Matrix Softmax(const Matrix& logits) {
+  BBV_CHECK(logits.cols() > 0 || logits.rows() == 0)
+      << "Softmax on a matrix with rows but no columns";
   Matrix result(logits.rows(), logits.cols());
   for (size_t i = 0; i < logits.rows(); ++i) {
     const double* in = logits.RowData(i);
@@ -167,6 +174,8 @@ Matrix Softmax(const Matrix& logits) {
       out[j] = std::exp(in[j] - max);
       sum += out[j];
     }
+    BBV_DCHECK(sum > 0.0 && std::isfinite(sum))
+        << "softmax row " << i << " normalizer " << sum;
     for (size_t j = 0; j < logits.cols(); ++j) out[j] /= sum;
   }
   return result;

@@ -199,6 +199,7 @@ common::Status ConvNet::Fit(const linalg::Matrix& features,
             for (size_t j = 0; j < conv2_out_; ++j) {
               const double g =
                   dconv2[(b * conv2_out_ + i) * conv2_out_ + j];
+              // bbv-lint: allow(float-eq) exact-zero sparsity skip
               if (g == 0.0) continue;
               grad_b2[b] += g;
               for (size_t a = 0; a < c1; ++a) {
@@ -225,6 +226,7 @@ common::Status ConvNet::Fit(const linalg::Matrix& features,
               const size_t idx = (a * conv1_out_ + i) * conv1_out_ + j;
               if (acts.conv1[idx] <= 0.0) continue;
               const double g = dconv1[idx];
+              // bbv-lint: allow(float-eq) exact-zero sparsity skip
               if (g == 0.0) continue;
               grad_b1[a] += g;
               for (size_t di = 0; di < kKernel; ++di) {

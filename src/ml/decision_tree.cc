@@ -138,7 +138,12 @@ int32_t RegressionTree::Grow(const linalg::Matrix& features,
       });
   const size_t split =
       static_cast<size_t>(middle - rows.begin());
-  BBV_DCHECK(split > begin && split < end);
+  if (split == begin || split == end) {
+    // The midpoint of two adjacent feature values can round onto the larger
+    // value, sending every row to one side. Such a split is unusable — the
+    // empty child's mean would be NaN — so keep this node as a leaf.
+    return node_id;
+  }
 
   nodes_[node_id].feature = static_cast<int32_t>(best.feature);
   nodes_[node_id].threshold = best.threshold;

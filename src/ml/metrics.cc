@@ -34,6 +34,9 @@ double RocAuc(const std::vector<double>& scores,
               const std::vector<int>& truth) {
   BBV_CHECK_EQ(scores.size(), truth.size());
   BBV_CHECK(!truth.empty());
+  BBV_DCHECK(std::all_of(scores.begin(), scores.end(),
+                         [](double s) { return !std::isnan(s); }))
+      << "RocAuc scores contain NaN; ranking would be unstable";
   // Rank-based Mann-Whitney statistic with average ranks for ties.
   std::vector<size_t> order(scores.size());
   std::iota(order.begin(), order.end(), 0);
@@ -65,7 +68,9 @@ double RocAuc(const std::vector<double>& scores,
       << "RocAuc requires both classes present";
   const double np = static_cast<double>(num_positive);
   const double nn = static_cast<double>(num_negative);
-  return (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+  const double auc = (positive_rank_sum - np * (np + 1.0) / 2.0) / (np * nn);
+  BBV_DCHECK(auc >= 0.0 && auc <= 1.0) << "AUC " << auc << " outside [0, 1]";
+  return auc;
 }
 
 double RocAucFromProba(const linalg::Matrix& probabilities,
@@ -114,8 +119,12 @@ double Recall(const BinaryConfusion& confusion) {
 double F1Score(const BinaryConfusion& confusion) {
   const double precision = Precision(confusion);
   const double recall = Recall(confusion);
-  if (precision + recall == 0.0) return 0.0;
-  return 2.0 * precision * recall / (precision + recall);
+  // Precision and recall are non-negative by construction, so a non-positive
+  // sum means both are exactly zero and F1 is defined as 0.
+  if (precision + recall <= 0.0) return 0.0;
+  const double f1 = 2.0 * precision * recall / (precision + recall);
+  BBV_DCHECK(f1 >= 0.0 && f1 <= 1.0) << "F1 " << f1 << " outside [0, 1]";
+  return f1;
 }
 
 double F1Score(const std::vector<int>& predicted, const std::vector<int>& truth,
@@ -133,10 +142,15 @@ double LogLoss(const linalg::Matrix& probabilities,
     const int label = truth[i];
     BBV_CHECK(label >= 0 &&
               static_cast<size_t>(label) < probabilities.cols());
-    total -= std::log(
-        std::max(probabilities.At(i, static_cast<size_t>(label)), kEpsilon));
+    const double p = probabilities.At(i, static_cast<size_t>(label));
+    BBV_DCHECK(p >= 0.0 && p <= 1.0 + 1e-9)
+        << "probability " << p << " for row " << i << " outside [0, 1]";
+    total -= std::log(std::max(p, kEpsilon));
   }
-  return total / static_cast<double>(truth.size());
+  const double loss = total / static_cast<double>(truth.size());
+  BBV_DCHECK(std::isfinite(loss) && loss >= 0.0)
+      << "log loss " << loss << " is not a finite non-negative value";
+  return loss;
 }
 
 }  // namespace bbv::ml

@@ -69,6 +69,7 @@ common::Status SgdLogisticRegression::Fit(const linalg::Matrix& features,
               (static_cast<int>(k) == labels[row] ? 1.0 : 0.0);
           grad_b[k] += error;
           for (size_t j = 0; j < d; ++j) {
+            // bbv-lint: allow(float-eq) exact-zero sparsity skip
             if (x[j] != 0.0) grad_w.At(j, k) += error * x[j];
           }
         }

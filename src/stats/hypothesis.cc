@@ -8,10 +8,35 @@
 
 namespace bbv::stats {
 
+namespace {
+
+/// True when every element is finite (no NaN/Inf); used in BBV_DCHECK
+/// contracts, so the scan compiles away in NDEBUG builds.
+bool AllFinite(const std::vector<double>& values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+/// Contract for every test result leaving this module: a finite statistic and
+/// a p-value that is actually a probability.
+TestResult CheckedResult(TestResult result) {
+  BBV_DCHECK(std::isfinite(result.statistic))
+      << "non-finite test statistic " << result.statistic;
+  BBV_DCHECK(result.p_value >= 0.0 && result.p_value <= 1.0)
+      << "p-value " << result.p_value << " outside [0, 1]";
+  return result;
+}
+
+}  // namespace
+
 TestResult TwoSampleKsTest(std::vector<double> a, std::vector<double> b) {
   BBV_CHECK(!a.empty() && !b.empty());
+  BBV_DCHECK(AllFinite(a)) << "KS test input a contains NaN/Inf";
+  BBV_DCHECK(AllFinite(b)) << "KS test input b contains NaN/Inf";
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
+  BBV_DCHECK(std::is_sorted(a.begin(), a.end()));
+  BBV_DCHECK(std::is_sorted(b.begin(), b.end()));
   const double na = static_cast<double>(a.size());
   const double nb = static_cast<double>(b.size());
   size_t ia = 0;
@@ -33,13 +58,16 @@ TestResult TwoSampleKsTest(std::vector<double> a, std::vector<double> b) {
   // Asymptotic p-value with the standard small-sample correction term.
   const double lambda =
       (std::sqrt(effective_n) + 0.12 + 0.11 / std::sqrt(effective_n)) * d;
-  return TestResult{d, KolmogorovSurvival(lambda)};
+  BBV_DCHECK(d >= 0.0 && d <= 1.0) << "KS statistic " << d << " outside [0, 1]";
+  return CheckedResult(TestResult{d, KolmogorovSurvival(lambda)});
 }
 
 TestResult ChiSquaredHomogeneityTest(const std::vector<double>& counts_a,
                                      const std::vector<double>& counts_b) {
   BBV_CHECK_EQ(counts_a.size(), counts_b.size());
   BBV_CHECK(!counts_a.empty());
+  BBV_DCHECK(AllFinite(counts_a)) << "chi-squared counts_a contains NaN/Inf";
+  BBV_DCHECK(AllFinite(counts_b)) << "chi-squared counts_b contains NaN/Inf";
   double total_a = 0.0;
   double total_b = 0.0;
   for (size_t k = 0; k < counts_a.size(); ++k) {
@@ -55,7 +83,9 @@ TestResult ChiSquaredHomogeneityTest(const std::vector<double>& counts_a,
   size_t used_categories = 0;
   for (size_t k = 0; k < counts_a.size(); ++k) {
     const double column_total = counts_a[k] + counts_b[k];
-    if (column_total == 0.0) continue;  // category absent from both samples
+    // Both counts are checked non-negative above, so a non-positive sum means
+    // the category is absent from both samples.
+    if (column_total <= 0.0) continue;
     ++used_categories;
     const double expected_a = total_a * column_total / grand_total;
     const double expected_b = total_b * column_total / grand_total;
@@ -69,13 +99,16 @@ TestResult ChiSquaredHomogeneityTest(const std::vector<double>& counts_a,
     return TestResult{0.0, 1.0};
   }
   const double dof = static_cast<double>(used_categories - 1);
-  return TestResult{statistic, ChiSquaredSurvival(statistic, dof)};
+  BBV_DCHECK_GE(statistic, 0.0);
+  return CheckedResult(TestResult{statistic, ChiSquaredSurvival(statistic, dof)});
 }
 
 TestResult ChiSquaredGoodnessOfFit(const std::vector<double>& observed,
                                    const std::vector<double>& expected) {
   BBV_CHECK_EQ(observed.size(), expected.size());
   BBV_CHECK_GE(observed.size(), 2u);
+  BBV_DCHECK(AllFinite(observed)) << "goodness-of-fit observed has NaN/Inf";
+  BBV_DCHECK(AllFinite(expected)) << "goodness-of-fit expected has NaN/Inf";
   double statistic = 0.0;
   for (size_t k = 0; k < observed.size(); ++k) {
     BBV_CHECK_GT(expected[k], 0.0);
@@ -83,11 +116,13 @@ TestResult ChiSquaredGoodnessOfFit(const std::vector<double>& observed,
     statistic += diff * diff / expected[k];
   }
   const double dof = static_cast<double>(observed.size() - 1);
-  return TestResult{statistic, ChiSquaredSurvival(statistic, dof)};
+  return CheckedResult(TestResult{statistic, ChiSquaredSurvival(statistic, dof)});
 }
 
 double BonferroniAlpha(double alpha, size_t num_tests) {
   BBV_CHECK_GT(num_tests, 0u);
+  BBV_DCHECK(alpha >= 0.0 && alpha <= 1.0)
+      << "significance level " << alpha << " outside [0, 1]";
   return alpha / static_cast<double>(num_tests);
 }
 

@@ -56,6 +56,7 @@ double GammaQContinuedFraction(double a, double x) {
 }  // namespace
 
 double LnGamma(double x) {
+  BBV_CHECK(std::isfinite(x)) << "LnGamma(" << x << ")";
   BBV_CHECK_GT(x, 0.0);
   if (x < 0.5) {
     // Reflection formula keeps precision near 0.
@@ -73,28 +74,43 @@ double LnGamma(double x) {
 }
 
 double RegularizedGammaP(double a, double x) {
+  BBV_CHECK(std::isfinite(a) && std::isfinite(x))
+      << "RegularizedGammaP(" << a << ", " << x << ")";
   BBV_CHECK_GT(a, 0.0);
   BBV_CHECK_GE(x, 0.0);
-  if (x == 0.0) return 0.0;
-  if (x < a + 1.0) return GammaPSeries(a, x);
-  return 1.0 - GammaQContinuedFraction(a, x);
+  // x is checked non-negative, so non-positive means exactly zero.
+  if (x <= 0.0) return 0.0;
+  const double p = x < a + 1.0 ? GammaPSeries(a, x)
+                               : 1.0 - GammaQContinuedFraction(a, x);
+  BBV_DCHECK(p > -1e-12 && p < 1.0 + 1e-12)
+      << "regularized gamma P(" << a << ", " << x << ") = " << p
+      << " outside [0, 1]";
+  return std::clamp(p, 0.0, 1.0);
 }
 
 double RegularizedGammaQ(double a, double x) {
+  BBV_CHECK(std::isfinite(a) && std::isfinite(x))
+      << "RegularizedGammaQ(" << a << ", " << x << ")";
   BBV_CHECK_GT(a, 0.0);
   BBV_CHECK_GE(x, 0.0);
-  if (x == 0.0) return 1.0;
-  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
-  return GammaQContinuedFraction(a, x);
+  if (x <= 0.0) return 1.0;
+  const double q = x < a + 1.0 ? 1.0 - GammaPSeries(a, x)
+                               : GammaQContinuedFraction(a, x);
+  BBV_DCHECK(q > -1e-12 && q < 1.0 + 1e-12)
+      << "regularized gamma Q(" << a << ", " << x << ") = " << q
+      << " outside [0, 1]";
+  return std::clamp(q, 0.0, 1.0);
 }
 
 double ChiSquaredSurvival(double x, double dof) {
+  BBV_CHECK(std::isfinite(x)) << "ChiSquaredSurvival statistic " << x;
   BBV_CHECK_GT(dof, 0.0);
   if (x <= 0.0) return 1.0;
   return RegularizedGammaQ(dof / 2.0, x / 2.0);
 }
 
 double KolmogorovSurvival(double lambda) {
+  BBV_CHECK(!std::isnan(lambda)) << "KolmogorovSurvival(NaN)";
   if (lambda <= 0.0) return 1.0;
   if (lambda > 10.0) return 0.0;
   double sum = 0.0;

@@ -1,0 +1,67 @@
+// Compile-time regression test that BBV_DCHECK compiles away under NDEBUG.
+// This translation unit forces NDEBUG before including check.h — regardless
+// of the build type — so it always exercises the release expansion:
+//
+//  - the condition must NOT be evaluated (no side effects, no abort),
+//  - the condition and streamed operands must still be odr-used, so the
+//    variables below would trigger -Wunused-* / -Werror if the macro dropped
+//    them entirely,
+//  - the whole statement must remain a single expression (dangling-else
+//    safe).
+
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace bbv::common {
+namespace {
+
+int EvaluationCount() {
+  static int count = 0;
+  return ++count;
+}
+
+TEST(DcheckNdebugTest, ConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  BBV_DCHECK(++evaluations > 0) << "never evaluated";
+  BBV_DCHECK(EvaluationCount() < 0);
+  BBV_DCHECK_EQ(EvaluationCount(), -1);
+  EXPECT_EQ(evaluations, 0) << "BBV_DCHECK must not evaluate its condition "
+                               "in NDEBUG builds";
+  EXPECT_EQ(EvaluationCount(), 1) << "helper must only run via this call";
+}
+
+TEST(DcheckNdebugTest, FailingConditionDoesNotAbort) {
+  const bool always_false = false;
+  BBV_DCHECK(always_false) << "a disabled DCHECK must not abort";
+  BBV_DCHECK_EQ(1, 2);
+  BBV_DCHECK_LT(5, 0);
+  SUCCEED();
+}
+
+TEST(DcheckNdebugTest, OperandsAreOdrUsedSoNoUnusedWarnings) {
+  // These locals exist only to feed the disabled DCHECK; the build runs with
+  // -Wall -Wextra (and -Werror in CI), so this test failing to compile IS
+  // the regression signal.
+  const int shape_rows = 3;
+  const int shape_cols = 4;
+  const double tolerance = 1e-9;
+  BBV_DCHECK(shape_rows * shape_cols > 0) << "tolerance " << tolerance;
+  SUCCEED();
+}
+
+TEST(DcheckNdebugTest, ComposesUnderDanglingIf) {
+  bool took_else = false;
+  if (true)
+    BBV_DCHECK(true);
+  else
+    took_else = true;  // NOLINT(readability-misleading-indentation)
+  EXPECT_FALSE(took_else);
+}
+
+}  // namespace
+}  // namespace bbv::common

@@ -1,0 +1,73 @@
+// Death tests for BBV_CHECK*: the failure message must carry the failed
+// condition, the file:line location, and any streamed context. Also guards
+// the macro's expression shape — BBV_CHECK must compose under a dangling
+// `if` without capturing the `else`.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bbv::common {
+namespace {
+
+TEST(CheckDeathTest, FailureMessageNamesConditionAndLocation) {
+  EXPECT_DEATH(BBV_CHECK(1 == 2),
+               "Check failed: 1 == 2 at .*common_check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, StreamedContextIsAppended) {
+  const int actual = 7;
+  EXPECT_DEATH(BBV_CHECK(actual < 0) << "got " << actual << " items",
+               "Check failed: actual < 0 at .*:[0-9]+ got 7 items");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosFail) {
+  EXPECT_DEATH(BBV_CHECK_EQ(2 + 2, 5), "Check failed: \\(2 \\+ 2\\) == \\(5\\)");
+  EXPECT_DEATH(BBV_CHECK_NE(3, 3), "Check failed: \\(3\\) != \\(3\\)");
+  EXPECT_DEATH(BBV_CHECK_LT(2, 1), "Check failed: \\(2\\) < \\(1\\)");
+  EXPECT_DEATH(BBV_CHECK_LE(2, 1), "Check failed: \\(2\\) <= \\(1\\)");
+  EXPECT_DEATH(BBV_CHECK_GT(1, 2), "Check failed: \\(1\\) > \\(2\\)");
+  EXPECT_DEATH(BBV_CHECK_GE(1, 2), "Check failed: \\(1\\) >= \\(2\\)");
+}
+
+TEST(CheckTest, PassingChecksAreSilentAndEvaluateOnce) {
+  int evaluations = 0;
+  BBV_CHECK(++evaluations == 1) << "side effect must run exactly once";
+  EXPECT_EQ(evaluations, 1);
+  BBV_CHECK_EQ(1, 1);
+  BBV_CHECK_NE(1, 2);
+  BBV_CHECK_LT(1, 2);
+  BBV_CHECK_LE(1, 1);
+  BBV_CHECK_GT(2, 1);
+  BBV_CHECK_GE(2, 2);
+}
+
+TEST(CheckTest, ComposesUnderDanglingIfWithoutCapturingElse) {
+  // With the old if/else macro shape, the `else` below would have bound to
+  // the macro's hidden `if` and this test would take the wrong branch.
+  bool took_else = false;
+  if (true)
+    BBV_CHECK(true);
+  else
+    took_else = true;  // NOLINT(readability-misleading-indentation)
+  EXPECT_FALSE(took_else);
+
+  bool took_then = false;
+  if (false)
+    BBV_CHECK(false) << "never evaluated";
+  else
+    took_then = true;  // NOLINT(readability-misleading-indentation)
+  EXPECT_TRUE(took_then);
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebugBuilds) {
+  EXPECT_DEATH(BBV_DCHECK(false) << "debug contract", "debug contract");
+  EXPECT_DEATH(BBV_DCHECK_EQ(1, 2), "Check failed: \\(1\\) == \\(2\\)");
+}
+#endif
+
+}  // namespace
+}  // namespace bbv::common

@@ -32,10 +32,24 @@ TEST(DefaultPercentilePointsTest, SortedUniqueAndCoversRange) {
   }
 }
 
+// Fills each row with a random point on the probability simplex; the
+// PredictionStatistics contract (enforced via BBV_DCHECK) requires genuine
+// class-probability rows.
+void FillSimplexRows(linalg::Matrix& proba, common::Rng& rng) {
+  for (size_t i = 0; i < proba.rows(); ++i) {
+    double row_sum = 0.0;
+    for (size_t k = 0; k < proba.cols(); ++k) {
+      proba.At(i, k) = rng.Uniform() + 1e-6;
+      row_sum += proba.At(i, k);
+    }
+    for (size_t k = 0; k < proba.cols(); ++k) proba.At(i, k) /= row_sum;
+  }
+}
+
 TEST(PredictionStatisticsTest, WidthIsClassesTimesPoints) {
   common::Rng rng(1);
   linalg::Matrix proba(50, 3);
-  for (double& v : proba.data()) v = rng.Uniform();
+  FillSimplexRows(proba, rng);
   const std::vector<double> features = PredictionStatistics(proba);
   EXPECT_EQ(features.size(), 3 * DefaultPercentilePoints().size());
 }
@@ -43,7 +57,7 @@ TEST(PredictionStatisticsTest, WidthIsClassesTimesPoints) {
 TEST(PredictionStatisticsTest, PerClassBlocksAreMonotone) {
   common::Rng rng(2);
   linalg::Matrix proba(100, 2);
-  for (double& v : proba.data()) v = rng.Uniform();
+  FillSimplexRows(proba, rng);
   const size_t points = DefaultPercentilePoints().size();
   const std::vector<double> features = PredictionStatistics(proba);
   for (size_t k = 0; k < 2; ++k) {

@@ -87,8 +87,8 @@ TEST_P(PredictorSweep, TracksTrueAccuracyUnderItsErrorType) {
 
 INSTANTIATE_TEST_SUITE_P(
     TabularCells, PredictorSweep, ::testing::ValuesIn(SweepCases()),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

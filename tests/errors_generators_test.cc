@@ -125,8 +125,8 @@ TEST_P(GeneratorSuite, DeterministicGivenSeed) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllGenerators, GeneratorSuite, ::testing::ValuesIn(TabularGenerators()),
-    [](const ::testing::TestParamInfo<GeneratorCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<GeneratorCase>& param_info) {
+      return param_info.param.name;
     });
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,8 @@
+// Fixture for tools_lint_test: C assert usage. Never compiled.
+
+#include <cassert>
+
+void Guarded(int count) {
+  assert(count > 0);                      // flagged: use BBV_CHECK
+  static_assert(sizeof(int) >= 2, "ok");  // clean: compile-time check
+}

@@ -1,0 +1,9 @@
+// Fixture for tools_lint_test: std::cout in library code, linted as if it
+// lived under src/. Never compiled.
+
+#include <iostream>
+
+void Chatty(int value) {
+  std::cout << "value = " << value << "\n";  // flagged
+  std::cerr << "errors may go to stderr via CheckFailureStream\n";  // clean
+}

@@ -1,0 +1,12 @@
+// Fixture for tools_lint_test: floating-point literal equality, linted as if
+// it lived in src/stats/. Never compiled.
+
+bool Degenerate(double x, double y) {
+  if (x == 0.0) return true;      // flagged: literal on the right
+  if (1e-9 != y) return false;    // flagged: literal on the left
+  return x != 0.5;                // flagged: literal on the right
+}
+
+bool Acceptable(double x, int k) {
+  return x <= 0.0 && k == 1;      // clean: ordered compare + integer literal
+}

@@ -1,0 +1,8 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+// Fixture for tools_lint_test: the guard does not follow the BBV_<PATH>_H_
+// convention, so the include-guard rule must fire.
+inline int FixtureValue() { return 1; }
+
+#endif  // WRONG_GUARD_H

@@ -1,0 +1,13 @@
+// Fixture for tools_lint_test: every banned randomness source in one file.
+// This file is never compiled; the lint engine reads it as text.
+
+#include <ctime>
+#include <random>
+
+int UnseededEverything() {
+  std::mt19937 generator;               // banned: unseeded engine type
+  std::random_device entropy;           // banned: nondeterministic entropy
+  std::srand(static_cast<unsigned>(time(nullptr)));  // banned: wall-clock seed
+  return std::rand() + static_cast<int>(generator()) +
+         static_cast<int>(entropy());
+}

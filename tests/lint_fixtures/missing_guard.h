@@ -1,0 +1,5 @@
+// Fixture for tools_lint_test: no include guard at all; the include-guard
+// rule must report the expected BBV_<PATH>_H_ name.
+#pragma once
+
+inline int FixtureValueTwo() { return 2; }

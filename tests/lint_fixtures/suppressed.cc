@@ -1,0 +1,8 @@
+// Fixture for tools_lint_test: deliberate violations silenced with the
+// documented suppression marker. The lint must report nothing here.
+
+bool SparsitySkip(double g) {
+  // bbv-lint: allow(float-eq) exact-zero sparsity skip
+  if (g == 0.0) return true;
+  return g != 1.0;  // bbv-lint: allow(float-eq) fixture for same-line marker
+}

@@ -158,8 +158,8 @@ TEST_P(ClassifierSuite, SupportsThreeClasses) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllClassifiers, ClassifierSuite, ::testing::ValuesIn(TabularClassifiers()),
-    [](const ::testing::TestParamInfo<ClassifierCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ClassifierCase>& param_info) {
+      return param_info.param.name;
     });
 
 // ---------------------------------------------------------------------------

@@ -116,8 +116,8 @@ TEST_P(ModelIoSuite, TaggedEnvelopeRoundTripsExactly) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllModels, ModelIoSuite, ::testing::ValuesIn(ModelCases()),
-    [](const ::testing::TestParamInfo<ModelCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ModelCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(ModelIoTest, GarbageEnvelopeRejected) {

@@ -114,8 +114,8 @@ TEST_P(DistributionSuite, KsStatisticInUnitInterval) {
 INSTANTIATE_TEST_SUITE_P(
     AllDistributions, DistributionSuite,
     ::testing::ValuesIn(Distributions()),
-    [](const ::testing::TestParamInfo<DistributionCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<DistributionCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(KsCalibrationTest, NullPValuesAreRoughlyUniform) {

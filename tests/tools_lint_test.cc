@@ -1,0 +1,150 @@
+// Unit tests for the bbv_lint rule engine: each enforced invariant must fire
+// on its fixture file (tests/lint_fixtures/) and stay silent on clean and
+// suppressed code. The repo-wide gate itself runs as the bbv_lint_repo ctest
+// test; here we additionally assert the live tree is clean through the
+// library API so a violation fails fast in unit tests too.
+
+#include "tools/lint_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bbv::tools {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(BBV_TEST_SOURCE_DIR) + "/lint_fixtures/" + name;
+}
+
+size_t CountRule(const std::vector<LintFinding>& findings,
+                 const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const LintFinding& f) { return f.rule == rule; }));
+}
+
+TEST(LintRulesTest, FlagsWrongIncludeGuard) {
+  const auto findings =
+      LintFile("src/fixture/bad_guard.h", FixturePath("bad_guard.h"));
+  ASSERT_EQ(CountRule(findings, "include-guard"), 1u);
+  EXPECT_NE(findings[0].message.find("BBV_FIXTURE_BAD_GUARD_H_"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, FlagsMissingIncludeGuard) {
+  const auto findings =
+      LintFile("src/fixture/missing_guard.h", FixturePath("missing_guard.h"));
+  ASSERT_EQ(CountRule(findings, "include-guard"), 1u);
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("BBV_FIXTURE_MISSING_GUARD_H_"),
+            std::string::npos);
+}
+
+TEST(LintRulesTest, AcceptsPathDerivedGuard) {
+  const auto findings = LintFileContents(
+      "src/fixture/clean.h",
+      "#ifndef BBV_FIXTURE_CLEAN_H_\n#define BBV_FIXTURE_CLEAN_H_\n"
+      "#endif  // BBV_FIXTURE_CLEAN_H_\n");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 0u);
+}
+
+TEST(LintRulesTest, ToolsAndBenchHeadersKeepFullPathInGuard) {
+  // Only the src/ prefix is stripped: tools/foo.h guards as BBV_TOOLS_FOO_H_.
+  const auto findings = LintFileContents(
+      "tools/fixture.h",
+      "#ifndef BBV_TOOLS_FIXTURE_H_\n#define BBV_TOOLS_FIXTURE_H_\n#endif\n");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 0u);
+}
+
+TEST(LintRulesTest, FlagsEveryBannedRandomnessSource) {
+  const auto findings =
+      LintFile("src/fixture/bad_rng.cc", FixturePath("bad_rng.cc"));
+  // mt19937, random_device, srand, rand, plus the time(nullptr) seed.
+  EXPECT_GE(CountRule(findings, "rng"), 5u);
+}
+
+TEST(LintRulesTest, RngHomeFilesAreExempt) {
+  const auto findings = LintFileContents(
+      "src/common/rng.cc", "uint64_t x = std::mt19937(seed)();\n");
+  EXPECT_EQ(CountRule(findings, "rng"), 0u);
+}
+
+TEST(LintRulesTest, MentionsInCommentsAndStringsAreClean) {
+  const auto findings = LintFileContents(
+      "src/fixture/comments.cc",
+      "// std::rand and time(nullptr) discussed in prose\n"
+      "const char* kDoc = \"std::mt19937 is banned\";\n");
+  EXPECT_EQ(CountRule(findings, "rng"), 0u);
+}
+
+TEST(LintRulesTest, FlagsFloatLiteralEqualityInStatsAndMl) {
+  const auto findings =
+      LintFile("src/stats/bad_float_eq.cc", FixturePath("bad_float_eq.cc"));
+  EXPECT_EQ(CountRule(findings, "float-eq"), 3u);
+}
+
+TEST(LintRulesTest, FloatEqualityRuleScopedToStatsAndMl) {
+  // The same contents under src/linalg/ (sparsity skips are idiomatic there)
+  // must not be flagged.
+  std::ifstream input(FixturePath("bad_float_eq.cc"));
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  const auto findings =
+      LintFileContents("src/linalg/bad_float_eq.cc", buffer.str());
+  EXPECT_EQ(CountRule(findings, "float-eq"), 0u);
+}
+
+TEST(LintRulesTest, FlagsStdoutInLibraryCode) {
+  const auto findings =
+      LintFile("src/fixture/bad_cout.cc", FixturePath("bad_cout.cc"));
+  EXPECT_EQ(CountRule(findings, "stdout"), 1u);
+}
+
+TEST(LintRulesTest, StdoutAllowedOutsideLibraryCode) {
+  std::ifstream input(FixturePath("bad_cout.cc"));
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  const auto findings =
+      LintFileContents("tools/bad_cout.cc", buffer.str());
+  EXPECT_EQ(CountRule(findings, "stdout"), 0u);
+}
+
+TEST(LintRulesTest, FlagsAssertButNotStaticAssert) {
+  const auto findings =
+      LintFile("src/fixture/bad_assert.cc", FixturePath("bad_assert.cc"));
+  // One for <cassert>, one for the assert() call; static_assert is clean.
+  EXPECT_EQ(CountRule(findings, "assert"), 2u);
+  for (const LintFinding& finding : findings) {
+    EXPECT_NE(finding.line, 7u) << "static_assert must not be flagged";
+  }
+}
+
+TEST(LintRulesTest, SuppressionMarkerSilencesFindings) {
+  const auto findings =
+      LintFile("src/ml/suppressed.cc", FixturePath("suppressed.cc"));
+  EXPECT_TRUE(findings.empty())
+      << "unexpected: " << FormatFinding(findings.front());
+}
+
+TEST(LintRulesTest, FormatIsPathLineRuleMessage) {
+  const LintFinding finding{"src/a.cc", 12, "rng", "banned"};
+  EXPECT_EQ(FormatFinding(finding), "src/a.cc:12: [rng] banned");
+}
+
+TEST(LintRulesTest, LiveRepositoryIsClean) {
+  const std::filesystem::path repo_root =
+      std::filesystem::path(BBV_TEST_SOURCE_DIR).parent_path();
+  const auto findings = LintTree(repo_root.string());
+  for (const LintFinding& finding : findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+}
+
+}  // namespace
+}  // namespace bbv::tools

@@ -4,15 +4,15 @@
 // model, train a performance predictor against the expected error types,
 // then score incoming serving batches.
 //
-//   bbv_cli gen-data  --dataset income --rows 8000 --train train.csv \
+//   bbv_cli gen-data  --dataset income --rows 8000 --train train.csv
 //                     --test test.csv --serving serving.csv
-//   bbv_cli train     --dataset income --train train.csv --model xgb \
+//   bbv_cli train     --dataset income --train train.csv --model xgb
 //                     --out model.bbv
-//   bbv_cli train-predictor --dataset income --model-file model.bbv \
-//                     --test test.csv --errors missing,outliers,scaling \
+//   bbv_cli train-predictor --dataset income --model-file model.bbv
+//                     --test test.csv --errors missing,outliers,scaling
 //                     --out predictor.bbv
-//   bbv_cli estimate  --dataset income --model-file model.bbv \
-//                     --predictor-file predictor.bbv --batch serving.csv \
+//   bbv_cli estimate  --dataset income --model-file model.bbv
+//                     --predictor-file predictor.bbv --batch serving.csv
 //                     [--threshold 0.05]
 //
 // CSV files carry the dataset's feature columns plus a trailing numeric

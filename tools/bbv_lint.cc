@@ -1,0 +1,36 @@
+// Repo-specific lint gate. Walks src/, tools/ and bench/ under the given
+// repo root (default: current directory) and enforces the invariants
+// documented in tools/lint_rules.h. Exits non-zero when any finding remains
+// unsuppressed, so it runs as a ctest test and as a CI job.
+//
+// Usage: bbv_lint [repo_root]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+int main(int argc, char** argv) {
+  const std::string root = argc > 1 ? argv[1] : ".";
+  size_t num_files_scanned = 0;
+  const std::vector<bbv::tools::LintFinding> findings =
+      bbv::tools::LintTree(root, &num_files_scanned);
+  if (num_files_scanned == 0) {
+    std::cerr << "bbv_lint: no .h/.cc files found under " << root
+              << "/{src,tools,bench} — wrong repo root?\n";
+    return 2;
+  }
+  for (const bbv::tools::LintFinding& finding : findings) {
+    std::cerr << bbv::tools::FormatFinding(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << findings.size() << " lint finding(s) in " << root << "\n"
+              << "Suppress a deliberate violation with a trailing or "
+                 "preceding comment: // bbv-lint: allow(<rule>) <reason>\n";
+    return 1;
+  }
+  std::cout << "bbv_lint: clean (" << num_files_scanned << " file"
+            << (num_files_scanned == 1 ? "" : "s") << ")\n";
+  return 0;
+}

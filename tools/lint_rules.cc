@@ -1,0 +1,359 @@
+#include "tools/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bbv::tools {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& contents) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : contents) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Blanks out comments and string/char literal contents so token scans do not
+/// trip on prose or test data. Tracks /* */ state across lines; raw string
+/// literals are not handled (none of the enforced tokens appear in them).
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> stripped;
+  stripped.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string out(line.size(), ' ');
+    size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // rest of the line is a comment
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        out[i] = quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            out[i] = quote;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      out[i] = c;
+      ++i;
+    }
+    stripped.push_back(std::move(out));
+  }
+  return stripped;
+}
+
+/// Position of `token` in `line` at word boundaries, or npos. When
+/// `require_call` is set the token must be followed by '(' (after optional
+/// spaces), which keeps identifiers like `operand` from matching `rand`.
+size_t FindToken(const std::string& line, const std::string& token,
+                 bool require_call = false) {
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    size_t after = pos + token.size();
+    const bool right_ok = after >= line.size() || !IsWordChar(line[after]);
+    bool call_ok = true;
+    if (require_call) {
+      while (after < line.size() && line[after] == ' ') ++after;
+      call_ok = after < line.size() && line[after] == '(';
+    }
+    if (left_ok && right_ok && call_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// True when the (unstripped) source suppresses `rule` for a finding on
+/// 0-based line `index`: the marker may sit on the flagged line or the one
+/// above it.
+bool IsSuppressed(const std::vector<std::string>& lines, size_t index,
+                  const std::string& rule) {
+  const std::string marker = "bbv-lint: allow(" + rule + ")";
+  if (lines[index].find(marker) != std::string::npos) return true;
+  return index > 0 && lines[index - 1].find(marker) != std::string::npos;
+}
+
+std::string ExpectedGuard(const std::string& path_from_root) {
+  std::string trimmed = path_from_root;
+  if (StartsWith(trimmed, "src/")) trimmed = trimmed.substr(4);
+  std::string guard = "BBV_";
+  for (char c : trimmed) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void CheckIncludeGuard(const std::string& path,
+                       const std::vector<std::string>& lines,
+                       std::vector<LintFinding>& findings) {
+  const std::string expected = ExpectedGuard(path);
+  const std::string rule = "include-guard";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::istringstream tokens(lines[i]);
+    std::string directive;
+    tokens >> directive;
+    if (directive != "#ifndef") continue;
+    std::string guard;
+    tokens >> guard;
+    if (guard != expected) {
+      if (!IsSuppressed(lines, i, rule)) {
+        findings.push_back({path, i + 1, rule,
+                            "include guard '" + guard + "' should be '" +
+                                expected + "'"});
+      }
+      return;
+    }
+    const std::string define = "#define " + expected;
+    if (i + 1 >= lines.size() ||
+        lines[i + 1].find(define) == std::string::npos) {
+      if (!IsSuppressed(lines, i, rule)) {
+        findings.push_back({path, i + 1, rule,
+                            "#ifndef " + expected +
+                                " is not followed by '" + define + "'"});
+      }
+    }
+    return;
+  }
+  if (!lines.empty() && IsSuppressed(lines, 0, rule)) return;
+  findings.push_back(
+      {path, 1, rule, "header is missing include guard " + expected});
+}
+
+void CheckBannedRandomness(const std::string& path,
+                           const std::vector<std::string>& lines,
+                           const std::vector<std::string>& stripped,
+                           std::vector<LintFinding>& findings) {
+  const std::string rule = "rng";
+  struct Ban {
+    const char* token;
+    bool require_call;
+    const char* why;
+  };
+  static const Ban kBans[] = {
+      {"rand", true, "use common::Rng (seeded, reproducible)"},
+      {"srand", true, "use common::Rng (seeded, reproducible)"},
+      {"mt19937", false, "use common::Rng instead of std::mt19937"},
+      {"mt19937_64", false, "use common::Rng instead of std::mt19937_64"},
+      {"random_device", false,
+       "nondeterministic entropy breaks reproducibility; seed common::Rng"},
+  };
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    for (const Ban& ban : kBans) {
+      if (FindToken(stripped[i], ban.token, ban.require_call) !=
+              std::string::npos &&
+          !IsSuppressed(lines, i, rule)) {
+        findings.push_back({path, i + 1, rule,
+                            std::string("banned '") + ban.token + "': " +
+                                ban.why});
+        break;  // one rng finding per line is enough
+      }
+    }
+    // time(nullptr) / time(0) seeds are wall-clock dependent.
+    const size_t time_pos = FindToken(stripped[i], "time", true);
+    if (time_pos != std::string::npos) {
+      static const std::regex kTimeSeed(R"(\btime\s*\(\s*(nullptr|0|NULL)\s*\))");
+      if (std::regex_search(stripped[i], kTimeSeed) &&
+          !IsSuppressed(lines, i, rule)) {
+        findings.push_back({path, i + 1, rule,
+                            "banned wall-clock seed time(...); use an "
+                            "explicit common::Rng seed"});
+      }
+    }
+  }
+}
+
+void CheckFloatEquality(const std::string& path,
+                        const std::vector<std::string>& lines,
+                        const std::vector<std::string>& stripped,
+                        std::vector<LintFinding>& findings) {
+  const std::string rule = "float-eq";
+  // A floating literal on either side of ==/!=.
+  static const std::regex kLitThenEq(
+      R"(((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)\s*(==|!=))");
+  static const std::regex kEqThenLit(
+      R"((==|!=)\s*[-+]?((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+))");
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (std::regex_search(stripped[i], kLitThenEq) ||
+        std::regex_search(stripped[i], kEqThenLit)) {
+      if (!IsSuppressed(lines, i, rule)) {
+        findings.push_back({path, i + 1, rule,
+                            "==/!= against a floating-point literal; compare "
+                            "with a tolerance or restructure the guard"});
+      }
+    }
+  }
+}
+
+void CheckNoStdout(const std::string& path,
+                   const std::vector<std::string>& lines,
+                   const std::vector<std::string>& stripped,
+                   std::vector<LintFinding>& findings) {
+  const std::string rule = "stdout";
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    if (stripped[i].find("std::cout") != std::string::npos &&
+        !IsSuppressed(lines, i, rule)) {
+      findings.push_back({path, i + 1, rule,
+                          "std::cout in library code; report through Status "
+                          "or return values"});
+    }
+  }
+}
+
+void CheckNoAssert(const std::string& path,
+                   const std::vector<std::string>& lines,
+                   const std::vector<std::string>& stripped,
+                   std::vector<LintFinding>& findings) {
+  const std::string rule = "assert";
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const bool include_hit =
+        stripped[i].find("<cassert>") != std::string::npos ||
+        stripped[i].find("<assert.h>") != std::string::npos;
+    // Word-boundary match keeps static_assert (preceded by '_') clean.
+    const bool call_hit =
+        FindToken(stripped[i], "assert", true) != std::string::npos;
+    if ((include_hit || call_hit) && !IsSuppressed(lines, i, rule)) {
+      findings.push_back({path, i + 1, rule,
+                          "C assert(); use BBV_CHECK/BBV_DCHECK for "
+                          "file:line context and streamed diagnostics"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
+                                          const std::string& contents) {
+  std::vector<LintFinding> findings;
+  const std::vector<std::string> lines = SplitLines(contents);
+  const std::vector<std::string> stripped = StripCommentsAndStrings(lines);
+
+  if (EndsWith(path_from_root, ".h")) {
+    CheckIncludeGuard(path_from_root, lines, findings);
+  }
+  const bool is_rng_home = path_from_root == "src/common/rng.h" ||
+                           path_from_root == "src/common/rng.cc";
+  if (!is_rng_home) {
+    CheckBannedRandomness(path_from_root, lines, stripped, findings);
+  }
+  if (StartsWith(path_from_root, "src/stats/") ||
+      StartsWith(path_from_root, "src/ml/")) {
+    CheckFloatEquality(path_from_root, lines, stripped, findings);
+  }
+  if (StartsWith(path_from_root, "src/")) {
+    CheckNoStdout(path_from_root, lines, stripped, findings);
+  }
+  CheckNoAssert(path_from_root, lines, stripped, findings);
+  return findings;
+}
+
+std::vector<LintFinding> LintFile(const std::string& path_from_root,
+                                  const std::string& disk_path) {
+  std::ifstream input(disk_path, std::ios::binary);
+  if (!input) {
+    return {{path_from_root, 0, "io", "could not read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return LintFileContents(path_from_root, buffer.str());
+}
+
+std::vector<LintFinding> LintTree(const std::string& repo_root,
+                                  size_t* num_files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<LintFinding> findings;
+  size_t scanned = 0;
+  const fs::path root(repo_root);
+  for (const char* subdir : {"src", "tools", "bench"}) {
+    const fs::path base = root / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string extension = entry.path().extension().string();
+      if (extension != ".h" && extension != ".cc") continue;
+      const std::string relative =
+          fs::relative(entry.path(), root).generic_string();
+      ++scanned;
+      std::vector<LintFinding> file_findings =
+          LintFile(relative, entry.path().string());
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+  if (num_files_scanned != nullptr) *num_files_scanned = scanned;
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::string FormatFinding(const LintFinding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace bbv::tools

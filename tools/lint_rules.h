@@ -1,0 +1,58 @@
+#ifndef BBV_TOOLS_LINT_RULES_H_
+#define BBV_TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace bbv::tools {
+
+/// One violation of a repo-specific invariant.
+struct LintFinding {
+  std::string file;     ///< Path relative to the repo root.
+  size_t line = 0;      ///< 1-based line number.
+  std::string rule;     ///< Rule id, e.g. "include-guard" or "float-eq".
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Repo-specific invariants that clang-tidy cannot express. Rule ids:
+///
+///  - "include-guard": every header under src/, tools/ and bench/ carries the
+///    path-derived guard BBV_<PATH>_H_ (src/ prefix stripped), with a
+///    matching #define on the following line.
+///  - "rng": no std::rand/srand, time(nullptr)/time(0), std::mt19937 or
+///    std::random_device outside src/common/rng.* — all randomness flows
+///    through explicitly seeded common::Rng so reproductions stay
+///    deterministic.
+///  - "float-eq": no ==/!= against floating-point literals in src/stats and
+///    src/ml, where silent precision loss corrupts statistics.
+///  - "stdout": no std::cout in library code under src/ — libraries report
+///    through Status or return values; printing belongs to tools/examples.
+///  - "assert": no C assert() or <cassert> include — invariants use
+///    BBV_CHECK/BBV_DCHECK, which log file:line and streamed context.
+///
+/// A finding on line N is suppressed when line N or line N-1 contains the
+/// marker "bbv-lint: allow(<rule>)"; add a short justification after it.
+///
+/// `path_from_root` selects the applicable rules (forward slashes); the file
+/// does not need to exist on disk.
+std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
+                                          const std::string& contents);
+
+/// Reads and lints one file on disk. `path_from_root` is the rule-selection
+/// path; `disk_path` is where to read the bytes.
+std::vector<LintFinding> LintFile(const std::string& path_from_root,
+                                  const std::string& disk_path);
+
+/// Walks src/, tools/ and bench/ under `repo_root` and lints every .h/.cc
+/// file. Findings are sorted by path then line. When `num_files_scanned` is
+/// non-null it receives the number of files examined, so callers can
+/// distinguish "clean" from "looked at nothing" (wrong root, empty tree).
+std::vector<LintFinding> LintTree(const std::string& repo_root,
+                                  size_t* num_files_scanned = nullptr);
+
+/// "path:line: [rule] message" — the canonical one-line rendering.
+std::string FormatFinding(const LintFinding& finding);
+
+}  // namespace bbv::tools
+
+#endif  // BBV_TOOLS_LINT_RULES_H_
