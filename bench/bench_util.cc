@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "datasets/registry.h"
 #include "errors/mixture.h"
@@ -20,6 +22,18 @@
 
 namespace bbv::bench {
 
+namespace {
+
+/// "bench/micro_ops" -> "micro_ops": basename for the default JSON path.
+std::string BinaryBasename(const char* argv0) {
+  std::string name = argv0 == nullptr ? "bench" : argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
 RunConfig ParseArgs(int argc, char** argv) {
   RunConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -32,9 +46,14 @@ RunConfig ParseArgs(int argc, char** argv) {
       config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (common::StartsWith(arg, "--model=")) {
       config.model = arg.substr(8);
+    } else if (arg == "--json") {
+      config.json_path = "BENCH_" + BinaryBasename(argv[0]) + ".json";
+    } else if (common::StartsWith(arg, "--json=")) {
+      config.json_path = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--fast|--full] [--seed=N] [--model=lr|dnn|xgb|conv|all]\n",
+          "usage: %s [--fast|--full] [--seed=N] "
+          "[--model=lr|dnn|xgb|conv|all] [--json[=PATH]]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -159,6 +178,35 @@ Summary Summarize(const std::vector<double>& values) {
   summary.p95 = percentiles[4];
   summary.mean = stats::Mean(values);
   return summary;
+}
+
+void WriteBenchJson(const std::string& path, const std::string& bench,
+                    const RunConfig& config,
+                    const std::vector<BenchResult>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  BBV_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << "{\n";
+  out << "  \"bench\": \"" << bench << "\",\n";
+  out << "  \"mode\": \"" << (config.fast ? "fast" : "full") << "\",\n";
+  out << "  \"seed\": " << config.seed << ",\n";
+  out << "  \"hardware_concurrency\": " << common::HardwareThreadCount()
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& result = results[i];
+    out << "    {\"name\": \"" << result.name << "\""
+        << ", \"threads\": " << result.threads << ", \"wall_seconds\": "
+        << result.wall_seconds << ", \"speedup_vs_serial\": "
+        << result.speedup_vs_serial;
+    for (const auto& [key, value] : result.extras) {
+      out << ", \"" << key << "\": " << value;
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  out.flush();
+  BBV_CHECK(out.good()) << "short write to " << path;
 }
 
 void PrintHeader(const std::string& figure, const std::string& description,

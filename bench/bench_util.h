@@ -1,8 +1,10 @@
 #ifndef BBV_BENCH_BENCH_UTIL_H_
 #define BBV_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -20,10 +22,15 @@ namespace bbv::bench {
 ///   --full           paper-scale sizes (slower)
 ///   --seed=N         RNG seed (default 42)
 ///   --model=NAME     model filter where applicable (lr|dnn|xgb|conv|all)
+///   --json[=PATH]    additionally emit machine-readable results as JSON;
+///                    the default path is BENCH_<binary-name>.json in the
+///                    working directory
 struct RunConfig {
   bool fast = true;
   uint64_t seed = 42;
   std::string model = "all";
+  /// Empty when --json was not requested.
+  std::string json_path;
 
   /// Rows generated per dataset before balancing/splitting.
   size_t DatasetRows() const { return fast ? 8000 : 16000; }
@@ -104,6 +111,39 @@ Summary Summarize(const std::vector<double>& values);
 /// Prints a figure header in a stable, grep-friendly format.
 void PrintHeader(const std::string& figure, const std::string& description,
                  const RunConfig& config);
+
+/// One measured benchmark configuration (e.g. one workload at one thread
+/// count). `extras` holds additional numeric facts — determinism flags,
+/// item counts — merged verbatim into the emitted JSON object.
+struct BenchResult {
+  std::string name;
+  int threads = 1;
+  double wall_seconds = 0.0;
+  double speedup_vs_serial = 1.0;
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+/// Writes a BENCH_*.json file: run metadata (benchmark name, mode, seed,
+/// hardware concurrency) plus one object per result. Aborts on I/O failure
+/// so CI never uploads a silently truncated artifact.
+void WriteBenchJson(const std::string& path, const std::string& bench,
+                    const RunConfig& config,
+                    const std::vector<BenchResult>& results);
+
+/// Monotonic wall-clock stopwatch for coarse benchmark timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace bbv::bench
 

@@ -6,7 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -103,6 +105,33 @@ void BM_OutlierCorruption(benchmark::State& state) {
 }
 BENCHMARK(BM_OutlierCorruption)->Arg(1000)->Arg(5000);
 
+void BM_RandomForestFit(benchmark::State& state) {
+  // Tree-level parallel fitting: Arg is the BBV_THREADS override, so the
+  // reported times show how the hot path scales with the worker count.
+  const int threads = static_cast<int>(state.range(0));
+  ::setenv("BBV_THREADS", std::to_string(threads).c_str(), 1);
+  common::Rng data_rng(7);
+  const size_t dim = 24;
+  linalg::Matrix features(1500, dim);
+  std::vector<double> targets(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t j = 0; j < dim; ++j) features.At(i, j) = data_rng.Uniform();
+    targets[i] = data_rng.Uniform();
+  }
+  ml::RandomForestRegressor::Options options;
+  options.num_trees = 64;
+  for (auto _ : state) {
+    ml::RandomForestRegressor forest(options);
+    common::Rng rng(11);
+    BBV_CHECK(forest.Fit(features, targets, rng).ok());
+    benchmark::DoNotOptimize(forest);
+  }
+  ::unsetenv("BBV_THREADS");
+  state.SetItemsProcessed(state.iterations() * options.num_trees);
+}
+BENCHMARK(BM_RandomForestFit)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PipelineTransform(benchmark::State& state) {
   common::Rng rng(6);
   const data::Dataset dataset =
@@ -120,4 +149,33 @@ BENCHMARK(BM_PipelineTransform)->Arg(1000)->Arg(5000);
 }  // namespace
 }  // namespace bbv::bench
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
+// --json[=PATH] convention into google-benchmark's --benchmark_out flags so
+// CI invokes every bench binary the same way.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg == "--json"
+                                   ? std::string("BENCH_micro_ops.json")
+                                   : arg.substr(7);
+      storage.push_back("--benchmark_out=" + path);
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& arg : storage) args.push_back(arg.data());
+  int translated_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&translated_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(translated_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

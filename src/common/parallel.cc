@@ -1,0 +1,214 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+
+#include "common/check.h"
+
+namespace bbv::common {
+
+namespace {
+
+thread_local bool tls_on_worker_thread = false;
+
+/// Marks the current thread as executing pool work for the lifetime of the
+/// scope, so nested parallel sections degrade to serial loops instead of
+/// deadlocking on the shared pool.
+class ScopedWorkerMark {
+ public:
+  ScopedWorkerMark() : previous_(tls_on_worker_thread) {
+    tls_on_worker_thread = true;
+  }
+  ~ScopedWorkerMark() { tls_on_worker_thread = previous_; }
+  ScopedWorkerMark(const ScopedWorkerMark&) = delete;
+  ScopedWorkerMark& operator=(const ScopedWorkerMark&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+int ConfiguredThreadCount() {
+  if (const char* env = std::getenv("BBV_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      constexpr long kMaxThreads = 256;  // sanity cap for typo'd overrides
+      return static_cast<int>(std::min(parsed, kMaxThreads));
+    }
+  }
+  return HardwareThreadCount();
+}
+
+int HardwareThreadCount() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    BBV_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+    tasks_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int ThreadPool::num_workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  const ScopedWorkerMark mark;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and fully drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& SharedThreadPool() {
+  // Function-local static: workers are joined during normal static
+  // destruction, keeping leak and thread sanitizers quiet.
+  static ThreadPool pool(0);
+  return pool;
+}
+
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                   const ParallelOptions& options) {
+  if (n == 0) return Status::OK();
+  int threads =
+      options.threads > 0 ? options.threads : ConfiguredThreadCount();
+  const size_t min_items = std::max<size_t>(1, options.min_items_per_thread);
+  const size_t useful_threads = (n + min_items - 1) / min_items;
+  threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), useful_threads));
+  if (threads <= 1 || n == 1 || ThreadPool::OnWorkerThread()) {
+    // The serial reference honors the same contract as the threaded path:
+    // every index runs even after a failure, the lowest failing index wins,
+    // and the lowest-index exception propagates after the loop finishes.
+    Status first_error;
+    std::exception_ptr first_exception;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        const Status status = body(i);
+        if (!status.ok() && first_error.ok()) first_error = status;
+      } catch (...) {
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+      }
+    }
+    if (first_exception != nullptr) std::rethrow_exception(first_exception);
+    return first_error;
+  }
+
+  // Fixed chunk grid, dynamically claimed: which worker runs a chunk never
+  // affects results (each index owns its output slot), only load balance.
+  const size_t chunks =
+      std::min(n, static_cast<size_t>(threads) * 4);
+  constexpr size_t kNoIndex = std::numeric_limits<size_t>::max();
+  struct SectionState {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    int pending_helpers = 0;
+    size_t error_index;
+    Status error;
+    size_t exception_index;
+    std::exception_ptr exception;
+  } state;
+  state.error_index = kNoIndex;
+  state.exception_index = kNoIndex;
+
+  const auto run_chunks = [&state, &body, n, chunks] {
+    for (;;) {
+      const size_t chunk =
+          state.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= chunks) return;
+      const size_t begin = chunk * n / chunks;
+      const size_t end = (chunk + 1) * n / chunks;
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          const Status status = body(i);
+          if (!status.ok()) {
+            const std::lock_guard<std::mutex> lock(state.mutex);
+            if (i < state.error_index) {
+              state.error_index = i;
+              state.error = status;
+            }
+          }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(state.mutex);
+          if (i < state.exception_index) {
+            state.exception_index = i;
+            state.exception = std::current_exception();
+          }
+        }
+      }
+    }
+  };
+
+  ThreadPool& pool = SharedThreadPool();
+  const int helpers = threads - 1;
+  pool.EnsureWorkers(helpers);
+  state.pending_helpers = helpers;
+  for (int h = 0; h < helpers; ++h) {
+    pool.Submit([&state, &run_chunks] {
+      run_chunks();
+      const std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.pending_helpers == 0) state.all_done.notify_one();
+    });
+  }
+  {
+    // The caller works too, and counts as "inside the pool" so nested
+    // sections in `body` stay serial.
+    const ScopedWorkerMark mark;
+    run_chunks();
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.all_done.wait(lock, [&state] { return state.pending_helpers == 0; });
+  }
+  if (state.exception_index != kNoIndex) {
+    std::rethrow_exception(state.exception);
+  }
+  if (state.error_index != kNoIndex) return state.error;
+  return Status::OK();
+}
+
+}  // namespace bbv::common

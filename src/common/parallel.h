@@ -1,0 +1,125 @@
+#ifndef BBV_COMMON_PARALLEL_H_
+#define BBV_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bbv::common {
+
+/// Worker count for parallel sections: the BBV_THREADS environment variable
+/// when set to a positive integer (re-read on every call, so tests and
+/// benchmarks can switch counts within one process), otherwise the hardware
+/// concurrency. Always at least 1.
+int ConfiguredThreadCount();
+
+/// Number of hardware threads visible to the process (>= 1): the fallback
+/// for ConfiguredThreadCount, exported so benchmarks can record it without
+/// touching std::thread themselves (the lint "thread" rule bans that).
+int HardwareThreadCount();
+
+/// Fixed-size pool of worker threads draining a shared task queue. This is
+/// the only place in the repository allowed to own raw std::thread objects
+/// (enforced by the bbv_lint "thread" rule); all concurrency flows through
+/// ParallelFor/ParallelMap below so the determinism contract holds
+/// everywhere.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads (0 is valid; workers can be added
+  /// later with EnsureWorkers).
+  explicit ThreadPool(int num_workers);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `count` workers (never shrinks).
+  void EnsureWorkers(int count);
+
+  int num_workers() const;
+
+  /// True when the calling thread is executing pool work (including a caller
+  /// thread participating in a ParallelFor). Nested parallel sections detect
+  /// this and run serially instead of deadlocking on the shared pool.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by all parallel sections, created on first
+/// parallel use and grown on demand up to the largest requested count.
+ThreadPool& SharedThreadPool();
+
+struct ParallelOptions {
+  /// Worker count for this section; 0 means ConfiguredThreadCount().
+  int threads = 0;
+  /// Sections smaller than this per thread shrink their thread count, so
+  /// cheap loops are not swamped by scheduling overhead.
+  size_t min_items_per_thread = 1;
+};
+
+/// Invokes `body(i)` for every i in [0, n), distributing fixed index chunks
+/// over the shared pool (the calling thread participates). Falls back to a
+/// plain serial loop when the effective thread count is 1 or the section is
+/// nested inside another parallel section.
+///
+/// Determinism contract: `body` must not depend on execution order — each
+/// index writes only its own output slot and draws randomness only from a
+/// pre-forked per-index Rng. Under that contract results are bit-identical
+/// at every thread count, with the serial loop as the reference.
+///
+/// Every index runs even after a failure (so error reporting is scheduling
+/// independent); the returned Status is the one from the lowest failing
+/// index, and an exception from the lowest throwing index is rethrown on the
+/// calling thread.
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                   const ParallelOptions& options = {});
+
+/// ParallelFor producing a value per index: returns the vector of all n
+/// results, or the lowest-index error. T does not need to be
+/// default-constructible.
+template <typename T>
+Result<std::vector<T>> ParallelMap(
+    size_t n, const std::function<Result<T>(size_t)>& body,
+    const ParallelOptions& options = {}) {
+  std::vector<std::optional<T>> slots(n);
+  BBV_RETURN_NOT_OK(ParallelFor(
+      n,
+      [&](size_t i) -> Status {
+        BBV_ASSIGN_OR_RETURN(T value, body(i));
+        slots[i] = std::move(value);
+        return Status::OK();
+      },
+      options));
+  std::vector<T> values;
+  values.reserve(n);
+  for (std::optional<T>& slot : slots) {
+    values.push_back(std::move(*slot));
+  }
+  return values;
+}
+
+}  // namespace bbv::common
+
+#endif  // BBV_COMMON_PARALLEL_H_

@@ -60,8 +60,7 @@ class Result {
   BBV_ASSIGN_OR_RETURN_IMPL_(                             \
       BBV_STATUS_MACRO_CONCAT_(_bbv_result, __COUNTER__), lhs, expr)
 
-#define BBV_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
-#define BBV_STATUS_MACRO_CONCAT_(x, y) BBV_STATUS_MACRO_CONCAT_INNER_(x, y)
+// BBV_STATUS_MACRO_CONCAT_ comes from common/status.h.
 #define BBV_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
   auto result = (expr);                               \
   if (!result.ok()) return result.status();           \

@@ -112,4 +112,13 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+std::vector<Rng> Rng::ForkStreams(size_t n) {
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    streams.push_back(Fork());
+  }
+  return streams;
+}
+
 }  // namespace bbv::common

@@ -69,6 +69,11 @@ class Rng {
   /// repetition its own reproducible randomness.
   Rng Fork();
 
+  /// `n` children forked in order. This is the handshake with the parallel
+  /// subsystem: fork one stream per task *before* dispatch, and results are
+  /// bit-identical at every thread count.
+  std::vector<Rng> ForkStreams(size_t n);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -76,11 +76,20 @@ inline std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
 
-/// Propagates a non-OK status to the caller.
-#define BBV_RETURN_NOT_OK(expr)                        \
-  do {                                                 \
-    ::bbv::common::Status _bbv_status = (expr);        \
-    if (!_bbv_status.ok()) return _bbv_status;         \
+#define BBV_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define BBV_STATUS_MACRO_CONCAT_(x, y) BBV_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+/// Propagates a non-OK status to the caller. The temporary's name is
+/// counter-unique so the macro can nest (e.g. a lambda argument whose body
+/// itself propagates statuses) without -Wshadow findings.
+#define BBV_RETURN_NOT_OK(expr)             \
+  BBV_RETURN_NOT_OK_IMPL_(                  \
+      BBV_STATUS_MACRO_CONCAT_(_bbv_status, __COUNTER__), expr)
+
+#define BBV_RETURN_NOT_OK_IMPL_(status_var, expr)  \
+  do {                                             \
+    ::bbv::common::Status status_var = (expr);     \
+    if (!status_var.ok()) return status_var;       \
   } while (false)
 
 }  // namespace bbv::common

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "stats/hypothesis.h"
 
 namespace bbv::core {
@@ -42,60 +43,78 @@ common::Result<bool> RelShiftDetector::DetectsShift(
   if (!fitted_) {
     return common::Status::FailedPrecondition("DetectsShift before Fit");
   }
-  const size_t num_tests =
-      numeric_reference_.size() + categorical_reference_.size();
+  const size_t num_numeric = numeric_reference_.size();
+  const size_t num_tests = num_numeric + categorical_reference_.size();
   const double corrected_alpha = stats::BonferroniAlpha(alpha_, num_tests);
 
-  for (const auto& [name, reference_values] : numeric_reference_) {
-    if (!serving.HasColumn(name)) {
-      return common::Status::NotFound("serving data lacks column '" + name +
-                                      "'");
-    }
-    std::vector<double> serving_values =
-        serving.ColumnByName(name).NumericValues();
-    if (serving_values.empty()) return true;  // all values gone: shifted
-    const stats::TestResult test =
-        stats::TwoSampleKsTest(reference_values, serving_values);
-    if (test.Rejects(corrected_alpha)) return true;
-  }
-  for (const auto& [name, reference_counts] : categorical_reference_) {
-    if (!serving.HasColumn(name)) {
-      return common::Status::NotFound("serving data lacks column '" + name +
-                                      "'");
-    }
-    // Shared category universe: reference categories plus "other" for
-    // unseen serving values (typos, encoding errors land there).
-    std::unordered_map<std::string, double> serving_counts;
-    double serving_other = 0.0;
-    for (const auto& cell : serving.ColumnByName(name).cells()) {
-      if (!cell.is_string()) continue;
-      if (reference_counts.contains(cell.AsString())) {
-        serving_counts[cell.AsString()] += 1.0;
-      } else {
-        serving_other += 1.0;
-      }
-    }
-    std::vector<double> reference_vector;
-    std::vector<double> serving_vector;
-    reference_vector.reserve(reference_counts.size() + 1);
-    serving_vector.reserve(reference_counts.size() + 1);
-    for (const auto& [category, count] : reference_counts) {
-      reference_vector.push_back(count);
-      const auto it = serving_counts.find(category);
-      serving_vector.push_back(it == serving_counts.end() ? 0.0 : it->second);
-    }
-    reference_vector.push_back(0.0);
-    serving_vector.push_back(serving_other);
-    double serving_total = serving_other;
-    for (const auto& [category, count] : serving_counts) {
-      serving_total += count;
-    }
-    if (serving_total == 0.0) return true;  // column emptied out: shifted
-    const stats::TestResult test =
-        stats::ChiSquaredHomogeneityTest(reference_vector, serving_vector);
-    if (test.Rejects(corrected_alpha)) return true;
-  }
-  return false;
+  // The per-column tests are independent, so the sweep fans out over the
+  // shared pool: every column records its own verdict and the detector ORs
+  // them afterwards (same decision as the serial early-exit scan).
+  std::vector<unsigned char> column_shifted(num_tests, 0);
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      num_tests, [&](size_t index) -> common::Status {
+        if (index < num_numeric) {
+          const auto& [name, reference_values] = numeric_reference_[index];
+          if (!serving.HasColumn(name)) {
+            return common::Status::NotFound("serving data lacks column '" +
+                                            name + "'");
+          }
+          const std::vector<double> serving_values =
+              serving.ColumnByName(name).NumericValues();
+          if (serving_values.empty()) {  // all values gone: shifted
+            column_shifted[index] = 1;
+            return common::Status::OK();
+          }
+          const stats::TestResult test =
+              stats::TwoSampleKsTest(reference_values, serving_values);
+          column_shifted[index] = test.Rejects(corrected_alpha) ? 1 : 0;
+          return common::Status::OK();
+        }
+        const auto& [name, reference_counts] =
+            categorical_reference_[index - num_numeric];
+        if (!serving.HasColumn(name)) {
+          return common::Status::NotFound("serving data lacks column '" +
+                                          name + "'");
+        }
+        // Shared category universe: reference categories plus "other" for
+        // unseen serving values (typos, encoding errors land there).
+        std::unordered_map<std::string, double> serving_counts;
+        double serving_other = 0.0;
+        for (const auto& cell : serving.ColumnByName(name).cells()) {
+          if (!cell.is_string()) continue;
+          if (reference_counts.contains(cell.AsString())) {
+            serving_counts[cell.AsString()] += 1.0;
+          } else {
+            serving_other += 1.0;
+          }
+        }
+        std::vector<double> reference_vector;
+        std::vector<double> serving_vector;
+        reference_vector.reserve(reference_counts.size() + 1);
+        serving_vector.reserve(reference_counts.size() + 1);
+        for (const auto& [category, count] : reference_counts) {
+          reference_vector.push_back(count);
+          const auto it = serving_counts.find(category);
+          serving_vector.push_back(it == serving_counts.end() ? 0.0
+                                                              : it->second);
+        }
+        reference_vector.push_back(0.0);
+        serving_vector.push_back(serving_other);
+        double serving_total = serving_other;
+        for (const auto& [category, count] : serving_counts) {
+          serving_total += count;
+        }
+        if (serving_total == 0.0) {  // column emptied out: shifted
+          column_shifted[index] = 1;
+          return common::Status::OK();
+        }
+        const stats::TestResult test =
+            stats::ChiSquaredHomogeneityTest(reference_vector, serving_vector);
+        column_shifted[index] = test.Rejects(corrected_alpha) ? 1 : 0;
+        return common::Status::OK();
+      }));
+  return std::any_of(column_shifted.begin(), column_shifted.end(),
+                     [](unsigned char shifted) { return shifted != 0; });
 }
 
 // ---------------------------------------------------------------------------

@@ -2,28 +2,12 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "core/prediction_statistics.h"
 #include "ml/cross_validation.h"
 #include "ml/metrics.h"
 
 namespace bbv::core {
-
-namespace internal {
-
-linalg::Matrix SubsampleProba(const linalg::Matrix& probabilities,
-                              const std::vector<size_t>& rows) {
-  return probabilities.SelectRows(rows);
-}
-
-std::vector<int> SubsampleLabels(const std::vector<int>& labels,
-                                 const std::vector<size_t>& rows) {
-  std::vector<int> result;
-  result.reserve(rows.size());
-  for (size_t row : rows) result.push_back(labels[row]);
-  return result;
-}
-
-}  // namespace internal
 
 double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
                     const std::vector<int>& labels) {
@@ -32,6 +16,19 @@ double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
       return ml::AccuracyFromProba(probabilities, labels);
     case ScoreMetric::kRocAuc:
       return ml::RocAucFromProba(probabilities, labels);
+  }
+  BBV_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
+                    const std::vector<size_t>& rows,
+                    const std::vector<int>& labels) {
+  switch (metric) {
+    case ScoreMetric::kAccuracy:
+      return ml::AccuracyFromProba(probabilities, rows, labels);
+    case ScoreMetric::kRocAuc:
+      return ml::RocAucFromProba(probabilities, rows, labels);
   }
   BBV_CHECK(false) << "unreachable";
   return 0.0;
@@ -61,42 +58,55 @@ common::Status PerformancePredictor::Train(
                        model.PredictProba(test.features));
   test_score_ = ComputeScore(options_.metric, clean_probabilities, test.labels);
 
-  // Collect the meta-training set M (lines 3-12).
-  std::vector<std::vector<double>> feature_rows;
-  std::vector<double> scores;
+  // Collect the meta-training set M (lines 3-12). Every corrupt → predict →
+  // score pass is independent, so the collection fans out over the shared
+  // thread pool: one pre-forked Rng per task keeps the collected set (and
+  // hence the serialized model) bit-identical at every thread count.
   const bool subsample = options_.meta_batch_size > 0 &&
                          options_.meta_batch_size < test.NumRows();
-  const auto add_example = [&](const linalg::Matrix& probabilities) {
-    if (subsample) {
-      const std::vector<size_t> rows = rng.SampleWithoutReplacement(
-          test.NumRows(), options_.meta_batch_size);
-      const linalg::Matrix batch = internal::SubsampleProba(probabilities, rows);
-      const std::vector<int> labels =
-          internal::SubsampleLabels(test.labels, rows);
-      feature_rows.push_back(
-          PredictionStatistics(batch, options_.percentile_points));
-      scores.push_back(ComputeScore(options_.metric, batch, labels));
-    } else {
-      feature_rows.push_back(
-          PredictionStatistics(probabilities, options_.percentile_points));
-      scores.push_back(
-          ComputeScore(options_.metric, probabilities, test.labels));
-    }
-  };
+  std::vector<const errors::ErrorGen*> task_generators;
   for (int c = 0; c < options_.clean_copies; ++c) {
-    add_example(clean_probabilities);
+    task_generators.push_back(nullptr);  // clean copy
   }
   for (const errors::ErrorGen* generator : generators) {
     BBV_CHECK(generator != nullptr);
     for (int repetition = 0; repetition < options_.corruptions_per_generator;
          ++repetition) {
-      BBV_ASSIGN_OR_RETURN(data::DataFrame corrupted,
-                           generator->Corrupt(test.features, rng));
-      BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
-                           model.PredictProba(corrupted));
-      add_example(probabilities);
+      task_generators.push_back(generator);
     }
   }
+  std::vector<common::Rng> task_rngs = rng.ForkStreams(task_generators.size());
+  std::vector<std::vector<double>> feature_rows(task_generators.size());
+  std::vector<double> scores(task_generators.size());
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      task_generators.size(), [&](size_t task) -> common::Status {
+        common::Rng& task_rng = task_rngs[task];
+        const linalg::Matrix* probabilities = &clean_probabilities;
+        linalg::Matrix corrupted_probabilities;
+        if (task_generators[task] != nullptr) {
+          BBV_ASSIGN_OR_RETURN(
+              data::DataFrame corrupted,
+              task_generators[task]->Corrupt(test.features, task_rng));
+          BBV_ASSIGN_OR_RETURN(corrupted_probabilities,
+                               model.PredictProba(corrupted));
+          probabilities = &corrupted_probabilities;
+        }
+        if (subsample) {
+          // Row-index view: no per-repetition sub-matrix/label copies.
+          const std::vector<size_t> rows = task_rng.SampleWithoutReplacement(
+              test.NumRows(), options_.meta_batch_size);
+          feature_rows[task] = PredictionStatistics(
+              *probabilities, rows, options_.percentile_points);
+          scores[task] =
+              ComputeScore(options_.metric, *probabilities, rows, test.labels);
+        } else {
+          feature_rows[task] = PredictionStatistics(
+              *probabilities, options_.percentile_points);
+          scores[task] =
+              ComputeScore(options_.metric, *probabilities, test.labels);
+        }
+        return common::Status::OK();
+      }));
   return TrainFromStatistics(feature_rows, scores, test_score_, rng);
 }
 

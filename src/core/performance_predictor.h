@@ -25,6 +25,14 @@ enum class ScoreMetric {
 double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
                     const std::vector<int>& labels);
 
+/// Row-index-view variant: score of the sub-batch `rows` of `probabilities`,
+/// with `labels` indexed by full-matrix row id. Lets the subsampled
+/// meta-training path score repetitions without materializing a sub-matrix
+/// per draw.
+double ComputeScore(ScoreMetric metric, const linalg::Matrix& probabilities,
+                    const std::vector<size_t>& rows,
+                    const std::vector<int>& labels);
+
 /// The paper's core contribution (Algorithms 1 & 2): a regression model that
 /// estimates a black box classifier's prediction quality on unseen,
 /// unlabeled serving data from percentiles of the model's output

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "core/prediction_statistics.h"
 #include "ml/cross_validation.h"
 #include "ml/metrics.h"
@@ -53,47 +54,62 @@ common::Status PerformanceValidator::Train(
   test_probabilities_ = clean_probabilities.SelectRows(reference_rows);
 
   // One corruption pass shared between the internal performance predictor
-  // and the validator's decision model.
-  std::vector<linalg::Matrix> probability_batches;
-  std::vector<std::vector<double>> statistics_rows;
-  std::vector<double> scores;
+  // and the validator's decision model. The passes are independent, so they
+  // fan out over the shared thread pool with one pre-forked Rng per task;
+  // results land in per-task slots, keeping training bit-identical at every
+  // thread count.
   const size_t batch_size =
       options_.meta_batch_size > 0
           ? std::min(options_.meta_batch_size, example_rows.size())
           : example_rows.size();
-  const auto add_example = [&](const linalg::Matrix& probabilities) {
-    // Pick the meta-example rows from the example half only.
-    std::vector<size_t> rows = example_rows;
-    if (batch_size < example_rows.size()) {
-      const std::vector<size_t> picks =
-          rng.SampleWithoutReplacement(example_rows.size(), batch_size);
-      rows.clear();
-      rows.reserve(batch_size);
-      for (size_t pick : picks) rows.push_back(example_rows[pick]);
-    }
-    linalg::Matrix batch = probabilities.SelectRows(rows);
-    std::vector<int> labels;
-    labels.reserve(rows.size());
-    for (size_t row : rows) labels.push_back(test.labels[row]);
-    statistics_rows.push_back(
-        PredictionStatistics(batch, options_.percentile_points));
-    scores.push_back(ComputeScore(options_.metric, batch, labels));
-    probability_batches.push_back(std::move(batch));
-  };
+  std::vector<const errors::ErrorGen*> task_generators;
   for (int c = 0; c < options_.clean_copies; ++c) {
-    add_example(clean_probabilities);
+    task_generators.push_back(nullptr);  // clean copy
   }
   for (const errors::ErrorGen* generator : generators) {
     BBV_CHECK(generator != nullptr);
     for (int repetition = 0; repetition < options_.corruptions_per_generator;
          ++repetition) {
-      BBV_ASSIGN_OR_RETURN(data::DataFrame corrupted,
-                           generator->Corrupt(test.features, rng));
-      BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
-                           model.PredictProba(corrupted));
-      add_example(probabilities);
+      task_generators.push_back(generator);
     }
   }
+  std::vector<common::Rng> task_rngs = rng.ForkStreams(task_generators.size());
+  std::vector<linalg::Matrix> probability_batches(task_generators.size());
+  std::vector<std::vector<double>> statistics_rows(task_generators.size());
+  std::vector<double> scores(task_generators.size());
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      task_generators.size(), [&](size_t task) -> common::Status {
+        common::Rng& task_rng = task_rngs[task];
+        const linalg::Matrix* probabilities = &clean_probabilities;
+        linalg::Matrix corrupted_probabilities;
+        if (task_generators[task] != nullptr) {
+          BBV_ASSIGN_OR_RETURN(
+              data::DataFrame corrupted,
+              task_generators[task]->Corrupt(test.features, task_rng));
+          BBV_ASSIGN_OR_RETURN(corrupted_probabilities,
+                               model.PredictProba(corrupted));
+          probabilities = &corrupted_probabilities;
+        }
+        // Pick the meta-example rows from the example half only.
+        std::vector<size_t> rows = example_rows;
+        if (batch_size < example_rows.size()) {
+          const std::vector<size_t> picks =
+              task_rng.SampleWithoutReplacement(example_rows.size(),
+                                                batch_size);
+          rows.clear();
+          rows.reserve(batch_size);
+          for (size_t pick : picks) rows.push_back(example_rows[pick]);
+        }
+        // The batch is materialized because BuildFeatures later runs
+        // per-class KS tests against its columns; statistics and score use
+        // the row view.
+        statistics_rows[task] = PredictionStatistics(
+            *probabilities, rows, options_.percentile_points);
+        scores[task] =
+            ComputeScore(options_.metric, *probabilities, rows, test.labels);
+        probability_batches[task] = probabilities->SelectRows(rows);
+        return common::Status::OK();
+      }));
 
   BBV_RETURN_NOT_OK(predictor_.TrainFromStatistics(statistics_rows, scores,
                                                    test_score_, rng));
@@ -139,25 +155,32 @@ common::Status PerformanceValidator::Train(
   if (labels.size() >= 2 * folds) {
     const std::vector<ml::Fold> splits =
         ml::KFoldIndices(labels.size(), folds, rng);
-    for (const ml::Fold& fold : splits) {
-      std::vector<int> fold_labels;
-      fold_labels.reserve(fold.train_rows.size());
-      for (size_t row : fold.train_rows) fold_labels.push_back(labels[row]);
-      const bool fold_has_both =
-          std::any_of(fold_labels.begin(), fold_labels.end(),
-                      [](int l) { return l == 0; }) &&
-          std::any_of(fold_labels.begin(), fold_labels.end(),
-                      [](int l) { return l == 1; });
-      if (!fold_has_both) continue;
-      ml::GradientBoostedTrees fold_model(options_.gbdt);
-      BBV_RETURN_NOT_OK(fold_model.Fit(
-          meta_features.SelectRows(fold.train_rows), fold_labels, 2, rng));
-      const linalg::Matrix fold_decisions =
-          fold_model.PredictProba(meta_features.SelectRows(fold.test_rows));
-      for (size_t i = 0; i < fold.test_rows.size(); ++i) {
-        oof_p_ok[fold.test_rows[i]] = fold_decisions.At(i, 1);
-      }
-    }
+    // Fold refits are independent and write disjoint oof_p_ok slots, so
+    // they run concurrently, each on its own pre-forked stream.
+    std::vector<common::Rng> fold_rngs = rng.ForkStreams(splits.size());
+    BBV_RETURN_NOT_OK(common::ParallelFor(
+        splits.size(), [&](size_t f) -> common::Status {
+          const ml::Fold& fold = splits[f];
+          std::vector<int> fold_labels;
+          fold_labels.reserve(fold.train_rows.size());
+          for (size_t row : fold.train_rows) fold_labels.push_back(labels[row]);
+          const bool fold_has_both =
+              std::any_of(fold_labels.begin(), fold_labels.end(),
+                          [](int l) { return l == 0; }) &&
+              std::any_of(fold_labels.begin(), fold_labels.end(),
+                          [](int l) { return l == 1; });
+          if (!fold_has_both) return common::Status::OK();
+          ml::GradientBoostedTrees fold_model(options_.gbdt);
+          BBV_RETURN_NOT_OK(fold_model.Fit(
+              meta_features.SelectRows(fold.train_rows), fold_labels, 2,
+              fold_rngs[f]));
+          const linalg::Matrix fold_decisions = fold_model.PredictProba(
+              meta_features.SelectRows(fold.test_rows));
+          for (size_t i = 0; i < fold.test_rows.size(); ++i) {
+            oof_p_ok[fold.test_rows[i]] = fold_decisions.At(i, 1);
+          }
+          return common::Status::OK();
+        }));
   }
   std::vector<int> alarm_truth(labels.size());
   for (size_t i = 0; i < labels.size(); ++i) {

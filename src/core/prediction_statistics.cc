@@ -73,4 +73,30 @@ std::vector<double> PredictionStatistics(
   return features;
 }
 
+std::vector<double> PredictionStatistics(
+    const linalg::Matrix& probabilities, const std::vector<size_t>& rows,
+    const std::vector<double>& percentile_points) {
+  BBV_CHECK(!rows.empty()) << "PredictionStatistics on an empty row view";
+  BBV_CHECK(!percentile_points.empty());
+  BBV_DCHECK(std::all_of(rows.begin(), rows.end(),
+                         [&](size_t row) { return row < probabilities.rows(); }))
+      << "row view index out of range";
+  std::vector<double> features;
+  features.reserve(probabilities.cols() * percentile_points.size());
+  std::vector<double> column_values(rows.size());
+  for (size_t k = 0; k < probabilities.cols(); ++k) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      column_values[i] = probabilities.At(rows[i], k);
+    }
+    const std::vector<double> column_percentiles =
+        stats::Percentiles(column_values, percentile_points);
+    features.insert(features.end(), column_percentiles.begin(),
+                    column_percentiles.end());
+  }
+  BBV_DCHECK(std::all_of(features.begin(), features.end(),
+                         [](double v) { return std::isfinite(v); }))
+      << "percentile feature vector contains NaN/Inf";
+  return features;
+}
+
 }  // namespace bbv::core

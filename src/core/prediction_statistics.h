@@ -21,6 +21,17 @@ std::vector<double> PredictionStatistics(
     const linalg::Matrix& probabilities,
     const std::vector<double>& percentile_points = DefaultPercentilePoints());
 
+/// Row-index-view variant: statistics of the sub-batch `rows` of
+/// `probabilities` without materializing the sub-matrix. Equivalent to
+/// PredictionStatistics(probabilities.SelectRows(rows), percentile_points);
+/// used by the subsampled meta-training path, which would otherwise copy a
+/// batch per repetition. Requires non-empty, in-range `rows`. No default
+/// percentile grid here: a default would make two-argument calls with a
+/// braced initializer list ambiguous against the overload above.
+std::vector<double> PredictionStatistics(
+    const linalg::Matrix& probabilities, const std::vector<size_t>& rows,
+    const std::vector<double>& percentile_points);
+
 }  // namespace bbv::core
 
 #endif  // BBV_CORE_PREDICTION_STATISTICS_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "ml/metrics.h"
 
 namespace bbv::ml {
@@ -35,20 +36,29 @@ common::Result<double> CrossValAccuracy(
         "features and labels disagree on the number of rows");
   }
   const std::vector<Fold> splits = KFoldIndices(labels.size(), folds, rng);
+  // One pre-forked stream per fold keeps the mean accuracy identical at
+  // every thread count; folds fit concurrently.
+  std::vector<common::Rng> fold_rngs = rng.ForkStreams(splits.size());
+  std::vector<double> fold_scores(splits.size(), 0.0);
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      splits.size(), [&](size_t f) -> common::Status {
+        const Fold& fold = splits[f];
+        const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
+        const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
+        std::vector<int> train_y;
+        std::vector<int> test_y;
+        train_y.reserve(fold.train_rows.size());
+        test_y.reserve(fold.test_rows.size());
+        for (size_t row : fold.train_rows) train_y.push_back(labels[row]);
+        for (size_t row : fold.test_rows) test_y.push_back(labels[row]);
+        std::unique_ptr<Classifier> model = factory();
+        BBV_RETURN_NOT_OK(model->Fit(train_x, train_y, num_classes,
+                                     fold_rngs[f]));
+        fold_scores[f] = Accuracy(PredictLabels(*model, test_x), test_y);
+        return common::Status::OK();
+      }));
   double total = 0.0;
-  for (const Fold& fold : splits) {
-    const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
-    const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
-    std::vector<int> train_y;
-    std::vector<int> test_y;
-    train_y.reserve(fold.train_rows.size());
-    test_y.reserve(fold.test_rows.size());
-    for (size_t row : fold.train_rows) train_y.push_back(labels[row]);
-    for (size_t row : fold.test_rows) test_y.push_back(labels[row]);
-    std::unique_ptr<Classifier> model = factory();
-    BBV_RETURN_NOT_OK(model->Fit(train_x, train_y, num_classes, rng));
-    total += Accuracy(PredictLabels(*model, test_x), test_y);
-  }
+  for (double score : fold_scores) total += score;
   return total / static_cast<double>(splits.size());
 }
 
@@ -61,21 +71,33 @@ common::Result<double> CrossValRegressionMae(
         "features and targets disagree on the number of rows");
   }
   const std::vector<Fold> splits = KFoldIndices(targets.size(), folds, rng);
+  std::vector<common::Rng> fold_rngs = rng.ForkStreams(splits.size());
+  std::vector<double> fold_errors(splits.size(), 0.0);
+  std::vector<size_t> fold_counts(splits.size(), 0);
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      splits.size(), [&](size_t f) -> common::Status {
+        const Fold& fold = splits[f];
+        const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
+        const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
+        std::vector<double> train_y;
+        train_y.reserve(fold.train_rows.size());
+        for (size_t row : fold.train_rows) train_y.push_back(targets[row]);
+        RandomForestRegressor model = factory();
+        BBV_RETURN_NOT_OK(model.Fit(train_x, train_y, fold_rngs[f]));
+        const std::vector<double> predictions = model.Predict(test_x);
+        double fold_error = 0.0;
+        for (size_t i = 0; i < fold.test_rows.size(); ++i) {
+          fold_error += std::abs(predictions[i] - targets[fold.test_rows[i]]);
+        }
+        fold_errors[f] = fold_error;
+        fold_counts[f] = fold.test_rows.size();
+        return common::Status::OK();
+      }));
   double total_error = 0.0;
   size_t total_count = 0;
-  for (const Fold& fold : splits) {
-    const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
-    const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
-    std::vector<double> train_y;
-    train_y.reserve(fold.train_rows.size());
-    for (size_t row : fold.train_rows) train_y.push_back(targets[row]);
-    RandomForestRegressor model = factory();
-    BBV_RETURN_NOT_OK(model.Fit(train_x, train_y, rng));
-    const std::vector<double> predictions = model.Predict(test_x);
-    for (size_t i = 0; i < fold.test_rows.size(); ++i) {
-      total_error += std::abs(predictions[i] - targets[fold.test_rows[i]]);
-    }
-    total_count += fold.test_rows.size();
+  for (size_t f = 0; f < splits.size(); ++f) {
+    total_error += fold_errors[f];
+    total_count += fold_counts[f];
   }
   return total_error / static_cast<double>(total_count);
 }
@@ -88,15 +110,22 @@ common::Result<size_t> GridSearchClassifier(
   if (candidates.empty()) {
     return common::Status::InvalidArgument("no candidates to search over");
   }
+  std::vector<common::Rng> candidate_rngs = rng.ForkStreams(candidates.size());
+  std::vector<double> candidate_scores(candidates.size(), 0.0);
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      candidates.size(), [&](size_t i) -> common::Status {
+        BBV_ASSIGN_OR_RETURN(
+            candidate_scores[i],
+            CrossValAccuracy(candidates[i], features, labels, num_classes,
+                             folds, candidate_rngs[i]));
+        return common::Status::OK();
+      }));
+  // Serial argmax; ties keep the earliest candidate, as before.
   size_t best_index = 0;
   double best_score = -1.0;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    BBV_ASSIGN_OR_RETURN(
-        double score,
-        CrossValAccuracy(candidates[i], features, labels, num_classes, folds,
-                         rng));
-    if (score > best_score) {
-      best_score = score;
+    if (candidate_scores[i] > best_score) {
+      best_score = candidate_scores[i];
       best_index = i;
     }
   }

@@ -30,6 +30,24 @@ double AccuracyFromProba(const linalg::Matrix& probabilities,
   return Accuracy(predicted, truth);
 }
 
+double AccuracyFromProba(const linalg::Matrix& probabilities,
+                         const std::vector<size_t>& rows,
+                         const std::vector<int>& truth) {
+  BBV_CHECK(!rows.empty());
+  BBV_CHECK_EQ(probabilities.rows(), truth.size());
+  size_t correct = 0;
+  for (size_t row : rows) {
+    BBV_DCHECK(row < probabilities.rows());
+    const double* values = probabilities.RowData(row);
+    size_t argmax = 0;
+    for (size_t k = 1; k < probabilities.cols(); ++k) {
+      if (values[k] > values[argmax]) argmax = k;
+    }
+    if (static_cast<int>(argmax) == truth[row]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
 double RocAuc(const std::vector<double>& scores,
               const std::vector<int>& truth) {
   BBV_CHECK_EQ(scores.size(), truth.size());
@@ -77,6 +95,25 @@ double RocAucFromProba(const linalg::Matrix& probabilities,
                        const std::vector<int>& truth) {
   BBV_CHECK_GE(probabilities.cols(), 2u);
   return RocAuc(probabilities.Col(1), truth);
+}
+
+double RocAucFromProba(const linalg::Matrix& probabilities,
+                       const std::vector<size_t>& rows,
+                       const std::vector<int>& truth) {
+  BBV_CHECK_GE(probabilities.cols(), 2u);
+  BBV_CHECK_EQ(probabilities.rows(), truth.size());
+  // The rank computation needs its own working vectors anyway, so the view
+  // gathers only the positive-class scores and labels it touches.
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(rows.size());
+  labels.reserve(rows.size());
+  for (size_t row : rows) {
+    BBV_DCHECK(row < probabilities.rows());
+    scores.push_back(probabilities.At(row, 1));
+    labels.push_back(truth[row]);
+  }
+  return RocAuc(scores, labels);
 }
 
 BinaryConfusion ConfusionCounts(const std::vector<int>& predicted,

@@ -15,6 +15,14 @@ double Accuracy(const std::vector<int>& predicted,
 double AccuracyFromProba(const linalg::Matrix& probabilities,
                          const std::vector<int>& truth);
 
+/// Row-index-view variant: accuracy over the sub-batch `rows` of
+/// `probabilities`, with `truth` indexed by full-matrix row id. Equivalent
+/// to scoring probabilities.SelectRows(rows) against the gathered labels,
+/// without materializing either.
+double AccuracyFromProba(const linalg::Matrix& probabilities,
+                         const std::vector<size_t>& rows,
+                         const std::vector<int>& truth);
+
 /// Area under the ROC curve for binary labels (positive class = 1) from
 /// scores for the positive class. Ties receive average rank
 /// (Mann-Whitney formulation). Requires both classes present.
@@ -22,6 +30,12 @@ double RocAuc(const std::vector<double>& scores, const std::vector<int>& truth);
 
 /// AUC from a probability matrix: uses column 1 (binary tasks).
 double RocAucFromProba(const linalg::Matrix& probabilities,
+                       const std::vector<int>& truth);
+
+/// Row-index-view variant of RocAucFromProba; `truth` is indexed by
+/// full-matrix row id.
+double RocAucFromProba(const linalg::Matrix& probabilities,
+                       const std::vector<size_t>& rows,
                        const std::vector<int>& truth);
 
 /// Confusion counts for binary decisions.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace bbv::ml {
 
 common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
@@ -17,21 +19,29 @@ common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
   if (options_.num_trees <= 0) {
     return common::Status::InvalidArgument("num_trees must be positive");
   }
-  trees_.clear();
-  trees_.reserve(static_cast<size_t>(options_.num_trees));
   const size_t n = features.rows();
   const size_t bootstrap_size = std::max<size_t>(
       1, static_cast<size_t>(options_.bootstrap_fraction *
                              static_cast<double>(n)));
-  std::vector<size_t> rows(bootstrap_size);
-  for (int t = 0; t < options_.num_trees; ++t) {
-    for (size_t i = 0; i < bootstrap_size; ++i) {
-      rows[i] = rng.UniformInt(n);
-    }
-    RegressionTree tree(options_.tree);
-    BBV_RETURN_NOT_OK(tree.Fit(features, targets, rows, rng));
-    trees_.push_back(std::move(tree));
-  }
+  const size_t num_trees = static_cast<size_t>(options_.num_trees);
+  // Each tree draws its bootstrap sample and split randomness from its own
+  // pre-forked stream, so the serialized ensemble is bit-identical at every
+  // thread count.
+  std::vector<common::Rng> tree_rngs = rng.ForkStreams(num_trees);
+  trees_.clear();
+  BBV_ASSIGN_OR_RETURN(
+      trees_,
+      common::ParallelMap<RegressionTree>(
+          num_trees, [&](size_t t) -> common::Result<RegressionTree> {
+            common::Rng& tree_rng = tree_rngs[t];
+            std::vector<size_t> rows(bootstrap_size);
+            for (size_t i = 0; i < bootstrap_size; ++i) {
+              rows[i] = tree_rng.UniformInt(n);
+            }
+            RegressionTree tree(options_.tree);
+            BBV_RETURN_NOT_OK(tree.Fit(features, targets, rows, tree_rng));
+            return tree;
+          }));
   return common::Status::OK();
 }
 
@@ -47,9 +57,14 @@ double RandomForestRegressor::PredictRow(const double* row) const {
 std::vector<double> RandomForestRegressor::Predict(
     const linalg::Matrix& features) const {
   std::vector<double> result(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    result[i] = PredictRow(features.RowData(i));
-  }
+  const common::Status status = common::ParallelFor(
+      features.rows(),
+      [&](size_t i) {
+        result[i] = PredictRow(features.RowData(i));
+        return common::Status::OK();
+      },
+      {.min_items_per_thread = 512});
+  BBV_CHECK(status.ok()) << status.ToString();
   return result;
 }
 

@@ -1,0 +1,292 @@
+// Tests for the deterministic parallel execution subsystem: ParallelFor /
+// ParallelMap correctness, lowest-index error and exception reporting,
+// nested-section serialization, and the BBV_THREADS override.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bbv::common {
+namespace {
+
+/// Sets BBV_THREADS for one scope and restores the previous value after.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    if (value == nullptr) {
+      ::unsetenv("BBV_THREADS");
+    } else {
+      ::setenv("BBV_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+TEST(ConfiguredThreadCountTest, HonorsEnvOverride) {
+  ScopedThreadsEnv env("3");
+  EXPECT_EQ(ConfiguredThreadCount(), 3);
+}
+
+TEST(ConfiguredThreadCountTest, IgnoresGarbageAndNonPositiveValues) {
+  {
+    ScopedThreadsEnv env("0");
+    EXPECT_GE(ConfiguredThreadCount(), 1);
+  }
+  {
+    ScopedThreadsEnv env("-4");
+    EXPECT_GE(ConfiguredThreadCount(), 1);
+  }
+  {
+    ScopedThreadsEnv env("soup");
+    EXPECT_GE(ConfiguredThreadCount(), 1);
+  }
+}
+
+TEST(ConfiguredThreadCountTest, IsReReadOnEveryCall) {
+  ScopedThreadsEnv first("2");
+  EXPECT_EQ(ConfiguredThreadCount(), 2);
+  ScopedThreadsEnv second("5");
+  EXPECT_EQ(ConfiguredThreadCount(), 5);
+}
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    const size_t n = 257;  // deliberately not a multiple of the chunk grid
+    std::vector<std::atomic<int>> counts(n);
+    const Status status = ParallelFor(
+        n,
+        [&](size_t i) {
+          counts[i].fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        },
+        {.threads = threads});
+    ASSERT_TRUE(status.ok()) << status;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i << " at " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForTest, ZeroItemsIsOk) {
+  bool ran = false;
+  const Status status = ParallelFor(0, [&](size_t) {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, ReportsLowestFailingIndex) {
+  for (int threads : {1, 4}) {
+    const Status status = ParallelFor(
+        100,
+        [](size_t i) -> Status {
+          if (i == 97) return Status::Internal("97");
+          if (i == 13) return Status::InvalidArgument("13");
+          if (i == 55) return Status::Internal("55");
+          return Status::OK();
+        },
+        {.threads = threads});
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(status.message(), "13");
+  }
+}
+
+TEST(ParallelForTest, EveryIndexRunsEvenAfterAFailure) {
+  for (int threads : {1, 4}) {
+    const size_t n = 64;
+    std::vector<std::atomic<int>> counts(n);
+    const Status status = ParallelFor(
+        n,
+        [&](size_t i) -> Status {
+          counts[i].fetch_add(1, std::memory_order_relaxed);
+          if (i == 0) return Status::Internal("early");
+          return Status::OK();
+        },
+        {.threads = threads});
+    EXPECT_FALSE(status.ok());
+    int total = 0;
+    for (size_t i = 0; i < n; ++i) total += counts[i].load();
+    EXPECT_EQ(total, static_cast<int>(n));
+  }
+}
+
+TEST(ParallelForTest, RethrowsLowestIndexException) {
+  for (int threads : {1, 4}) {
+    try {
+      const Status status = ParallelFor(
+          50,
+          [](size_t i) -> Status {
+            if (i == 40) throw std::runtime_error("40");
+            if (i == 7) throw std::runtime_error("7");
+            return Status::OK();
+          },
+          {.threads = threads});
+      FAIL() << "expected a rethrown exception, got " << status;
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "7");
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedSectionsRunSerially) {
+  // A body that itself calls ParallelFor must not deadlock on the shared
+  // pool; the inner section degrades to the serial loop.
+  std::vector<std::atomic<int>> counts(16 * 16);
+  const Status status = ParallelFor(
+      16,
+      [&](size_t outer) {
+        return ParallelFor(
+            16,
+            [&](size_t inner) {
+              counts[outer * 16 + inner].fetch_add(1,
+                                                   std::memory_order_relaxed);
+              return Status::OK();
+            },
+            {.threads = 8});
+      },
+      {.threads = 8});
+  ASSERT_TRUE(status.ok()) << status;
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, MinItemsPerThreadShrinksTinySections) {
+  // 4 items with min 512 per thread must use the serial path: the body can
+  // then mutate shared state without atomics and still be well defined.
+  size_t serial_sum = 0;
+  const Status status = ParallelFor(
+      4,
+      [&](size_t i) {
+        serial_sum += i;  // safe only if single-threaded
+        return Status::OK();
+      },
+      {.threads = 8, .min_items_per_thread = 512});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(serial_sum, 6u);
+}
+
+TEST(ParallelForTest, UsesEnvThreadCountByDefault) {
+  ScopedThreadsEnv env("1");
+  // With BBV_THREADS=1 the default options take the serial path; unguarded
+  // shared mutation is then well defined.
+  size_t sum = 0;
+  const Status status = ParallelFor(100, [&](size_t i) {
+    sum += i;
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ParallelMapTest, ReturnsValuesInIndexOrder) {
+  for (int threads : {1, 2, 8}) {
+    const Result<std::vector<size_t>> result = ParallelMap<size_t>(
+        100, [](size_t i) -> Result<size_t> { return i * i; },
+        {.threads = threads});
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_EQ(result.value().size(), 100u);
+    for (size_t i = 0; i < 100; ++i) EXPECT_EQ(result.value()[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, PropagatesLowestIndexError) {
+  const Result<std::vector<int>> result = ParallelMap<int>(
+      30,
+      [](size_t i) -> Result<int> {
+        if (i >= 10) return Status::OutOfRange("index " + std::to_string(i));
+        return static_cast<int>(i);
+      },
+      {.threads = 4});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.status().message(), "index 10");
+}
+
+TEST(ParallelMapTest, WorksWithNonDefaultConstructibleValues) {
+  struct Opaque {
+    explicit Opaque(size_t v) : value(v) {}
+    size_t value;
+  };
+  const Result<std::vector<Opaque>> result = ParallelMap<Opaque>(
+      8, [](size_t i) -> Result<Opaque> { return Opaque(i + 1); },
+      {.threads = 4});
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(result.value()[i].value, i + 1);
+}
+
+TEST(ParallelDeterminismTest, PreForkedStreamsMatchAcrossThreadCounts) {
+  // The canonical usage pattern: fork one stream per task before dispatch,
+  // each task draws only from its own stream. The gathered draws must be
+  // bit-identical at every thread count.
+  auto draws_at = [](int threads) {
+    Rng rng(1234);
+    std::vector<Rng> streams = rng.ForkStreams(64);
+    std::vector<uint64_t> draws(64);
+    const Status status = ParallelFor(
+        64,
+        [&](size_t i) {
+          draws[i] = streams[i].NextUint64();
+          return Status::OK();
+        },
+        {.threads = threads});
+    BBV_CHECK(status.ok()) << status;
+    return draws;
+  };
+  const std::vector<uint64_t> serial = draws_at(1);
+  EXPECT_EQ(draws_at(2), serial);
+  EXPECT_EQ(draws_at(8), serial);
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.num_workers(), 2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // the destructor drains the queue and joins the workers
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  pool.EnsureWorkers(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+  pool.EnsureWorkers(2);
+  EXPECT_EQ(pool.num_workers(), 3);
+}
+
+TEST(ThreadPoolTest, CallerThreadIsNotAWorker) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+}
+
+}  // namespace
+}  // namespace bbv::common

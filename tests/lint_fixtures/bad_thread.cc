@@ -1,0 +1,14 @@
+// Fixture for tools_lint_test: every banned raw-thread primitive in one
+// file. This file is never compiled; the lint engine reads it as text.
+
+#include <future>
+#include <thread>
+
+int SpawnsThreadsByHand() {
+  int result = 0;
+  std::thread worker([&result] { result += 1; });  // banned: raw thread
+  std::jthread auto_joined([&result] { result += 1; });  // banned: raw thread
+  auto pending = std::async([] { return 1; });     // banned: hidden thread
+  worker.join();
+  return result + pending.get();
+}

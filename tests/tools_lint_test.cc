@@ -125,6 +125,29 @@ TEST(LintRulesTest, FlagsAssertButNotStaticAssert) {
   }
 }
 
+TEST(LintRulesTest, FlagsRawThreadPrimitives) {
+  const auto findings =
+      LintFile("src/fixture/bad_thread.cc", FixturePath("bad_thread.cc"));
+  // <future>, <thread>, std::thread, std::jthread and std::async each fire.
+  EXPECT_GE(CountRule(findings, "thread"), 5u);
+}
+
+TEST(LintRulesTest, ParallelHomeFilesAreExemptFromThreadRule) {
+  const auto findings = LintFileContents(
+      "src/common/parallel.cc",
+      "#include <thread>\nstd::thread worker([] {});\n");
+  EXPECT_EQ(CountRule(findings, "thread"), 0u);
+}
+
+TEST(LintRulesTest, ThreadRuleKeepsThreadLocalAndCommentsClean) {
+  const auto findings = LintFileContents(
+      "src/fixture/thread_local_ok.cc",
+      "// std::thread is discussed in prose only\n"
+      "thread_local bool tls_flag = false;\n"
+      "int threads = 4;\n");
+  EXPECT_EQ(CountRule(findings, "thread"), 0u);
+}
+
 TEST(LintRulesTest, SuppressionMarkerSilencesFindings) {
   const auto findings =
       LintFile("src/ml/suppressed.cc", FixturePath("suppressed.cc"));

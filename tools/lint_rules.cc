@@ -280,6 +280,31 @@ void CheckNoAssert(const std::string& path,
   }
 }
 
+void CheckNoRawThreads(const std::string& path,
+                       const std::vector<std::string>& lines,
+                       const std::vector<std::string>& stripped,
+                       std::vector<LintFinding>& findings) {
+  const std::string rule = "thread";
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    // <thread> also covers std::this_thread; <future> covers std::async's
+    // return machinery. Either include outside the parallel home is a smell
+    // on its own.
+    const bool include_hit =
+        stripped[i].find("<thread>") != std::string::npos ||
+        stripped[i].find("<future>") != std::string::npos;
+    const bool token_hit =
+        FindToken(stripped[i], "std::thread") != std::string::npos ||
+        FindToken(stripped[i], "std::jthread") != std::string::npos ||
+        FindToken(stripped[i], "std::async") != std::string::npos;
+    if ((include_hit || token_hit) && !IsSuppressed(lines, i, rule)) {
+      findings.push_back({path, i + 1, rule,
+                          "raw thread primitive outside src/common/parallel; "
+                          "route concurrency through common::ParallelFor/"
+                          "ParallelMap so the determinism contract holds"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
@@ -295,6 +320,11 @@ std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
                            path_from_root == "src/common/rng.cc";
   if (!is_rng_home) {
     CheckBannedRandomness(path_from_root, lines, stripped, findings);
+  }
+  const bool is_parallel_home = path_from_root == "src/common/parallel.h" ||
+                                path_from_root == "src/common/parallel.cc";
+  if (!is_parallel_home) {
+    CheckNoRawThreads(path_from_root, lines, stripped, findings);
   }
   if (StartsWith(path_from_root, "src/stats/") ||
       StartsWith(path_from_root, "src/ml/")) {

@@ -29,6 +29,10 @@ struct LintFinding {
 ///    through Status or return values; printing belongs to tools/examples.
 ///  - "assert": no C assert() or <cassert> include — invariants use
 ///    BBV_CHECK/BBV_DCHECK, which log file:line and streamed context.
+///  - "thread": no std::thread/std::jthread/std::async and no <thread> or
+///    <future> include outside src/common/parallel.* — all concurrency flows
+///    through common::ParallelFor/ParallelMap, whose pre-forked-Rng contract
+///    keeps results bit-identical at every thread count.
 ///
 /// A finding on line N is suppressed when line N or line N-1 contains the
 /// marker "bbv-lint: allow(<rule>)"; add a short justification after it.
