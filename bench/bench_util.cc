@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "common/telemetry.h"
 #include "datasets/registry.h"
 #include "errors/mixture.h"
 #include "errors/image_errors.h"
@@ -50,10 +51,16 @@ RunConfig ParseArgs(int argc, char** argv) {
       config.json_path = "BENCH_" + BinaryBasename(argv[0]) + ".json";
     } else if (common::StartsWith(arg, "--json=")) {
       config.json_path = arg.substr(7);
+    } else if (arg == "--telemetry-json") {
+      config.telemetry_json_path =
+          "TELEMETRY_" + BinaryBasename(argv[0]) + ".json";
+    } else if (common::StartsWith(arg, "--telemetry-json=")) {
+      config.telemetry_json_path = arg.substr(17);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--fast|--full] [--seed=N] "
-          "[--model=lr|dnn|xgb|conv|all] [--json[=PATH]]\n",
+          "[--model=lr|dnn|xgb|conv|all] [--json[=PATH]] "
+          "[--telemetry-json[=PATH]]\n",
           argv[0]);
       std::exit(0);
     } else {
@@ -205,6 +212,16 @@ void WriteBenchJson(const std::string& path, const std::string& bench,
   }
   out << "  ]\n";
   out << "}\n";
+  out.flush();
+  BBV_CHECK(out.good()) << "short write to " << path;
+}
+
+void MaybeWriteTelemetryJson(const RunConfig& config) {
+  if (config.telemetry_json_path.empty()) return;
+  const std::string& path = config.telemetry_json_path;
+  std::ofstream out(path, std::ios::trunc);
+  BBV_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out << common::telemetry::Registry::Global().ToJson();
   out.flush();
   BBV_CHECK(out.good()) << "short write to " << path;
 }

@@ -25,12 +25,17 @@ namespace bbv::bench {
 ///   --json[=PATH]    additionally emit machine-readable results as JSON;
 ///                    the default path is BENCH_<binary-name>.json in the
 ///                    working directory
+///   --telemetry-json[=PATH]  dump the process-wide telemetry registry
+///                    (counters, gauges, latency histograms) as JSON at
+///                    exit; default path TELEMETRY_<binary-name>.json
 struct RunConfig {
   bool fast = true;
   uint64_t seed = 42;
   std::string model = "all";
   /// Empty when --json was not requested.
   std::string json_path;
+  /// Empty when --telemetry-json was not requested.
+  std::string telemetry_json_path;
 
   /// Rows generated per dataset before balancing/splitting.
   size_t DatasetRows() const { return fast ? 8000 : 16000; }
@@ -129,6 +134,11 @@ struct BenchResult {
 void WriteBenchJson(const std::string& path, const std::string& bench,
                     const RunConfig& config,
                     const std::vector<BenchResult>& results);
+
+/// Dumps telemetry::Registry::Global().ToJson() to
+/// config.telemetry_json_path; no-op when the flag was not given. Aborts on
+/// I/O failure (same contract as WriteBenchJson).
+void MaybeWriteTelemetryJson(const RunConfig& config);
 
 /// Monotonic wall-clock stopwatch for coarse benchmark timing.
 class WallTimer {

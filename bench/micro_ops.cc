@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/telemetry.h"
 #include "core/prediction_statistics.h"
 #include "datasets/tabular.h"
 #include "errors/missing_values.h"
@@ -132,6 +133,35 @@ void BM_RandomForestFit(benchmark::State& state) {
 BENCHMARK(BM_RandomForestFit)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  // Cost of one TraceSpan + counter increment on the instrumented hot
+  // paths when telemetry is on: two clock reads plus relaxed atomics.
+  const bool was_enabled = common::telemetry::Enabled();
+  common::telemetry::SetEnabled(true);
+  for (auto _ : state) {
+    const common::telemetry::TraceSpan span("bench.telemetry_overhead");
+    common::telemetry::IncrementCounter("bench.telemetry_overhead.calls");
+    benchmark::DoNotOptimize(span.ElapsedSeconds());
+  }
+  common::telemetry::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  // The BBV_TELEMETRY=off path: no clock reads, no registry lookups.
+  const bool was_enabled = common::telemetry::Enabled();
+  common::telemetry::SetEnabled(false);
+  for (auto _ : state) {
+    const common::telemetry::TraceSpan span("bench.telemetry_overhead");
+    common::telemetry::IncrementCounter("bench.telemetry_overhead.calls");
+    benchmark::DoNotOptimize(span.ElapsedSeconds());
+  }
+  common::telemetry::SetEnabled(was_enabled);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
 void BM_PipelineTransform(benchmark::State& state) {
   common::Rng rng(6);
   const data::Dataset dataset =
@@ -150,9 +180,11 @@ BENCHMARK(BM_PipelineTransform)->Arg(1000)->Arg(5000);
 }  // namespace bbv::bench
 
 // Custom main instead of BENCHMARK_MAIN(): translates the repo-wide
-// --json[=PATH] convention into google-benchmark's --benchmark_out flags so
-// CI invokes every bench binary the same way.
+// --json[=PATH] convention into google-benchmark's --benchmark_out flags
+// (and strips --telemetry-json[=PATH], handled after the run) so CI invokes
+// every bench binary the same way.
 int main(int argc, char** argv) {
+  std::string telemetry_json_path;
   std::vector<std::string> storage;
   storage.reserve(static_cast<size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -163,6 +195,10 @@ int main(int argc, char** argv) {
                                    : arg.substr(7);
       storage.push_back("--benchmark_out=" + path);
       storage.push_back("--benchmark_out_format=json");
+    } else if (arg == "--telemetry-json") {
+      telemetry_json_path = "TELEMETRY_micro_ops.json";
+    } else if (arg.rfind("--telemetry-json=", 0) == 0) {
+      telemetry_json_path = arg.substr(17);
     } else {
       storage.push_back(arg);
     }
@@ -177,5 +213,11 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!telemetry_json_path.empty()) {
+    bbv::bench::RunConfig config;
+    config.telemetry_json_path = telemetry_json_path;
+    bbv::bench::MaybeWriteTelemetryJson(config);
+    std::printf("wrote %s\n", telemetry_json_path.c_str());
+  }
   return 0;
 }

@@ -178,6 +178,10 @@ int main(int argc, char** argv) {
     WriteBenchJson(config.json_path, "parallel_scaling", config, results);
     std::printf("wrote %s\n", config.json_path.c_str());
   }
+  MaybeWriteTelemetryJson(config);
+  if (!config.telemetry_json_path.empty()) {
+    std::printf("wrote %s\n", config.telemetry_json_path.c_str());
+  }
   if (!all_deterministic) {
     std::fprintf(stderr,
                  "FAIL: results diverge across thread counts — the "

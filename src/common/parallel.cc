@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace bbv::common {
 
@@ -117,7 +118,15 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
   const size_t useful_threads = (n + min_items - 1) / min_items;
   threads = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(threads), useful_threads));
+  // Observation-only section accounting: task counts per section and (below)
+  // the chunk-claim imbalance between workers. Telemetry never feeds back
+  // into scheduling, so results stay bit-identical with it on or off.
+  telemetry::IncrementCounter("parallel.sections");
+  telemetry::IncrementCounter("parallel.items", n);
+  telemetry::RecordValue("parallel.section.items",
+                         static_cast<double>(n));
   if (threads <= 1 || n == 1 || ThreadPool::OnWorkerThread()) {
+    telemetry::IncrementCounter("parallel.sections_serial");
     // The serial reference honors the same contract as the threaded path:
     // every index runs even after a failure, the lowest failing index wins,
     // and the lowest-index exception propagates after the loop finishes.
@@ -137,6 +146,11 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
     return first_error;
   }
 
+  telemetry::IncrementCounter("parallel.sections_threaded");
+  telemetry::SetGauge("parallel.last_section_threads",
+                      static_cast<double>(threads));
+  const telemetry::TraceSpan section_span("parallel.section");
+
   // Fixed chunk grid, dynamically claimed: which worker runs a chunk never
   // affects results (each index owns its output slot), only load balance.
   const size_t chunks =
@@ -155,11 +169,18 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
   state.error_index = kNoIndex;
   state.exception_index = kNoIndex;
 
-  const auto run_chunks = [&state, &body, n, chunks] {
+  // One slot per participant (helpers first, caller last) counting the
+  // chunks it claimed; left empty when telemetry is off so the disabled
+  // path allocates nothing.
+  std::vector<uint64_t> claimed_chunks;
+  if (telemetry::Enabled()) claimed_chunks.assign(static_cast<size_t>(threads), 0);
+
+  const auto run_chunks = [&state, &body, n, chunks](uint64_t* claimed) {
     for (;;) {
       const size_t chunk =
           state.next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= chunks) return;
+      if (claimed != nullptr) ++*claimed;
       const size_t begin = chunk * n / chunks;
       const size_t end = (chunk + 1) * n / chunks;
       for (size_t i = begin; i < end; ++i) {
@@ -188,8 +209,11 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
   pool.EnsureWorkers(helpers);
   state.pending_helpers = helpers;
   for (int h = 0; h < helpers; ++h) {
-    pool.Submit([&state, &run_chunks] {
-      run_chunks();
+    uint64_t* claimed =
+        claimed_chunks.empty() ? nullptr
+                               : &claimed_chunks[static_cast<size_t>(h)];
+    pool.Submit([&state, &run_chunks, claimed] {
+      run_chunks(claimed);
       const std::lock_guard<std::mutex> lock(state.mutex);
       if (--state.pending_helpers == 0) state.all_done.notify_one();
     });
@@ -198,11 +222,20 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
     // The caller works too, and counts as "inside the pool" so nested
     // sections in `body` stay serial.
     const ScopedWorkerMark mark;
-    run_chunks();
+    run_chunks(claimed_chunks.empty() ? nullptr : &claimed_chunks.back());
   }
   {
     std::unique_lock<std::mutex> lock(state.mutex);
     state.all_done.wait(lock, [&state] { return state.pending_helpers == 0; });
+  }
+  if (!claimed_chunks.empty()) {
+    // Helper slots were written before each helper's final pending_helpers
+    // decrement, so the all_done wait above orders them before this read.
+    const auto [min_claimed, max_claimed] = std::minmax_element(
+        claimed_chunks.begin(), claimed_chunks.end());
+    telemetry::RecordValue(
+        "parallel.section.chunk_imbalance",
+        static_cast<double>(*max_claimed - *min_claimed));
   }
   if (state.exception_index != kNoIndex) {
     std::rethrow_exception(state.exception);

@@ -1,0 +1,293 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <functional>
+#include <sstream>
+#include <utility>
+
+namespace bbv::common::telemetry {
+
+namespace {
+
+bool ReadEnabledFromEnv() {
+  const char* env = std::getenv("BBV_TELEMETRY");
+  if (env == nullptr) return true;
+  std::string value(env);
+  std::transform(value.begin(), value.end(), value.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return value != "off" && value != "0" && value != "false";
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{ReadEnabledFromEnv()};
+  return enabled;
+}
+
+/// Lowers `target` to `value` if smaller (relaxed CAS loop; NaN never enters
+/// because Record() sanitizes inputs).
+void AtomicMin(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return 0;
+  // ilogb(2^-32) = -32 maps to bucket 0; each octave above gets its own
+  // bucket up to 2^31 and beyond in bucket kNumBuckets - 1.
+  const int exponent = std::ilogb(value);
+  const long bucket = static_cast<long>(exponent) + 32;
+  return static_cast<size_t>(
+      std::clamp<long>(bucket, 0, static_cast<long>(kNumBuckets) - 1));
+}
+
+double Histogram::BucketMidpoint(size_t bucket) {
+  // Geometric midpoint of [2^(bucket-32), 2^(bucket-31)).
+  const double low = std::ldexp(1.0, static_cast<int>(bucket) - 32);
+  return low * 1.4142135623730951;  // low * sqrt(2)
+}
+
+void Histogram::Record(double value) {
+  if (!std::isfinite(value)) return;  // never let NaN/Inf poison min/max
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::ApproxPercentile(double q) const {
+  const uint64_t total_count = count();
+  if (total_count == 0) return 0.0;
+  const double clamped_q = std::clamp(q, 0.0, 100.0);
+  // Rank of the target observation, 1-based.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(clamped_q / 100.0 * static_cast<double>(total_count))));
+  uint64_t cumulative = 0;
+  for (size_t bucket = 0; bucket < kNumBuckets; ++bucket) {
+    cumulative += buckets_[bucket].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      return std::clamp(BucketMidpoint(bucket), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Global() {
+  // Never torn down before instrument references: function-local static
+  // outlives all user code running during normal static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Shard& Registry::ShardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kNumShards];
+}
+
+const Registry::Shard& Registry::ShardFor(std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % kNumShards];
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.counters.find(name);
+  if (it != shard.counters.end()) return *it->second;
+  return *shard.counters.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.gauges.find(name);
+  if (it != shard.gauges.end()) return *it->second;
+  return *shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.histograms.find(name);
+  if (it != shard.histograms.end()) return *it->second;
+  return *shard.histograms
+              .emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, counter] : shard.counters) {
+      snapshot.counters.push_back({name, counter->value()});
+    }
+    for (const auto& [name, gauge] : shard.gauges) {
+      snapshot.gauges.push_back({name, gauge->value()});
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      HistogramSnapshot entry;
+      entry.name = name;
+      entry.count = histogram->count();
+      entry.total = histogram->total();
+      entry.min = histogram->min();
+      entry.max = histogram->max();
+      entry.p50 = histogram->ApproxPercentile(50.0);
+      entry.p95 = histogram->ApproxPercentile(95.0);
+      entry.p99 = histogram->ApproxPercentile(99.0);
+      snapshot.histograms.push_back(std::move(entry));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+std::string Registry::SummaryString() const {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ostringstream os;
+  os << "telemetry (" << (Enabled() ? "enabled" : "disabled") << "): "
+     << snapshot.counters.size() << " counters, " << snapshot.gauges.size()
+     << " gauges, " << snapshot.histograms.size() << " spans\n";
+  for (const CounterSnapshot& counter : snapshot.counters) {
+    os << "counter " << counter.name << " = " << counter.value << "\n";
+  }
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    os << "gauge " << gauge.name << " = " << gauge.value << "\n";
+  }
+  for (const HistogramSnapshot& histogram : snapshot.histograms) {
+    os << "span " << histogram.name << ": count=" << histogram.count
+       << " total=" << histogram.total << " min=" << histogram.min
+       << " p50=" << histogram.p50 << " p95=" << histogram.p95
+       << " max=" << histogram.max << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::ToJson() const {
+  const Snapshot snapshot = TakeSnapshot();
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << "  \"telemetry\": {\n";
+  os << "    \"enabled\": " << (Enabled() ? "true" : "false") << ",\n";
+  os << "    \"counters\": [\n";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& counter = snapshot.counters[i];
+    os << "      {\"name\": \"" << counter.name
+       << "\", \"value\": " << counter.value << "}"
+       << (i + 1 < snapshot.counters.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n";
+  os << "    \"gauges\": [\n";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& gauge = snapshot.gauges[i];
+    os << "      {\"name\": \"" << gauge.name << "\", \"value\": " << gauge.value
+       << "}" << (i + 1 < snapshot.gauges.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n";
+  os << "    \"histograms\": [\n";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& histogram = snapshot.histograms[i];
+    os << "      {\"name\": \"" << histogram.name
+       << "\", \"count\": " << histogram.count
+       << ", \"total\": " << histogram.total << ", \"min\": " << histogram.min
+       << ", \"max\": " << histogram.max << ", \"p50\": " << histogram.p50
+       << ", \"p95\": " << histogram.p95 << ", \"p99\": " << histogram.p99
+       << "}" << (i + 1 < snapshot.histograms.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+void Registry::ResetForTesting() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, counter] : shard.counters) counter->Reset();
+    for (const auto& [name, gauge] : shard.gauges) gauge->Reset();
+    for (const auto& [name, histogram] : shard.histograms) histogram->Reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+// ---------------------------------------------------------------------------
+
+void IncrementCounter(std::string_view name, uint64_t delta) {
+  if (!Enabled()) return;
+  Registry::Global().counter(name).Increment(delta);
+}
+
+void SetGauge(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry::Global().gauge(name).Set(value);
+}
+
+void RecordValue(std::string_view name, double value) {
+  if (!Enabled()) return;
+  Registry::Global().histogram(name).Record(value);
+}
+
+uint64_t ReadCounter(std::string_view name) {
+  if (!Enabled()) return 0;
+  return Registry::Global().counter(name).value();
+}
+
+}  // namespace bbv::common::telemetry

@@ -1,0 +1,205 @@
+#ifndef BBV_COMMON_TELEMETRY_H_
+#define BBV_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbv::common::telemetry {
+
+/// Process-wide runtime observability: named counters, gauges and log-scale
+/// histograms plus RAII TraceSpan scoped timers. Everything here is
+/// observation-only — no code path may branch on a telemetry value — so the
+/// determinism contract of the parallel subsystem is unaffected by whether
+/// telemetry is on or off.
+///
+/// Enablement is read once from the BBV_TELEMETRY environment variable
+/// ("off"/"0"/"false" disables, anything else — including unset — enables)
+/// and can be overridden with SetEnabled. When disabled, the convenience
+/// helpers and TraceSpan are a single relaxed atomic load: no clock reads,
+/// no registry lookups, no allocations.
+///
+/// This header (with bench/bench_util's WallTimer) is the only sanctioned
+/// home for wall-clock timing; the bbv_lint "timing" rule bans ad-hoc
+/// std::chrono use everywhere else.
+
+/// True when telemetry collection is active.
+bool Enabled();
+
+/// Overrides the BBV_TELEMETRY setting (tests, benchmark harnesses).
+void SetEnabled(bool enabled);
+
+/// Monotonically increasing event count. All operations are relaxed atomics;
+/// concurrent increments from ThreadPool workers never lose updates.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (thread counts, imbalance ratios).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free log-scale histogram over positive doubles (latencies in
+/// seconds, section sizes). Values land in power-of-two buckets, so
+/// percentiles are approximate — exact to within one octave, clamped to the
+/// observed [min, max]. Exact count, sum, min and max are tracked alongside.
+class Histogram {
+ public:
+  /// One bucket per binary exponent in [2^-32, 2^32): covers sub-nanosecond
+  /// latencies up to billions of items.
+  static constexpr size_t kNumBuckets = 64;
+
+  /// Records one observation; non-positive values count into bucket 0.
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total() const { return total_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when the histogram is empty.
+  double min() const;
+  double max() const;
+  /// q-th percentile (q in [0, 100]) estimated as the geometric midpoint of
+  /// the bucket holding the q-th observation, clamped to [min, max]. Returns
+  /// 0 when empty.
+  double ApproxPercentile(double q) const;
+
+  void Reset();
+
+ private:
+  static size_t BucketIndex(double value);
+  static double BucketMidpoint(size_t bucket);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> total_{0.0};
+  /// +inf / -inf sentinels until the first Record(); min()/max() report 0
+  /// for an empty histogram.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide instrument registry. Lookup is a sharded-mutex map access
+/// returning a stable reference (instruments are never deallocated before
+/// process exit), so hot paths pay one short critical section per lookup and
+/// plain atomics per update.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot TakeSnapshot() const;
+
+  /// Multi-line human-readable dump of every instrument.
+  std::string SummaryString() const;
+
+  /// Machine-readable export following the BENCH_*.json conventions of
+  /// bench/bench_util: one top-level object, two-space indent, one line per
+  /// instrument.
+  std::string ToJson() const;
+
+  /// Zeroes every registered instrument in place (references stay valid).
+  void ResetForTesting();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+  static constexpr size_t kNumShards = 8;
+
+  Shard& ShardFor(std::string_view name);
+  const Shard& ShardFor(std::string_view name) const;
+
+  Shard shards_[kNumShards];
+};
+
+/// Convenience wrappers: single relaxed load + early return when disabled.
+void IncrementCounter(std::string_view name, uint64_t delta = 1);
+void SetGauge(std::string_view name, double value);
+void RecordValue(std::string_view name, double value);
+/// Current value of a counter (0 if it was never incremented).
+uint64_t ReadCounter(std::string_view name);
+
+/// RAII scoped timer: on destruction, records the elapsed wall time (in
+/// seconds) into the histogram named at construction. When telemetry is
+/// disabled at construction time the span never reads the clock and
+/// ElapsedSeconds() returns 0.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : histogram_(Enabled() ? &Registry::Global().histogram(name) : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedSeconds());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Seconds since construction; 0 when telemetry was disabled.
+  double ElapsedSeconds() const {
+    if (histogram_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bbv::common::telemetry
+
+#endif  // BBV_COMMON_TELEMETRY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "stats/hypothesis.h"
 
 namespace bbv::core {
@@ -40,9 +41,11 @@ common::Status RelShiftDetector::Fit(const data::DataFrame& reference) {
 
 common::Result<bool> RelShiftDetector::DetectsShift(
     const data::DataFrame& serving) const {
+  const common::telemetry::TraceSpan span("baselines.rel.detect");
   if (!fitted_) {
     return common::Status::FailedPrecondition("DetectsShift before Fit");
   }
+  common::telemetry::IncrementCounter("baselines.rel.calls");
   const size_t num_numeric = numeric_reference_.size();
   const size_t num_tests = num_numeric + categorical_reference_.size();
   const double corrected_alpha = stats::BonferroniAlpha(alpha_, num_tests);
@@ -113,8 +116,11 @@ common::Result<bool> RelShiftDetector::DetectsShift(
         column_shifted[index] = test.Rejects(corrected_alpha) ? 1 : 0;
         return common::Status::OK();
       }));
-  return std::any_of(column_shifted.begin(), column_shifted.end(),
-                     [](unsigned char shifted) { return shifted != 0; });
+  const bool shifted =
+      std::any_of(column_shifted.begin(), column_shifted.end(),
+                  [](unsigned char flag) { return flag != 0; });
+  if (shifted) common::telemetry::IncrementCounter("baselines.rel.shifts");
+  return shifted;
 }
 
 // ---------------------------------------------------------------------------
@@ -140,15 +146,20 @@ common::Result<bool> BbseDetector::DetectsShift(
 
 common::Result<bool> BbseDetector::DetectsShiftFromProba(
     const linalg::Matrix& probabilities) const {
+  const common::telemetry::TraceSpan span("baselines.bbse.detect");
   if (!fitted_) {
     return common::Status::FailedPrecondition("DetectsShift before Fit");
   }
+  common::telemetry::IncrementCounter("baselines.bbse.calls");
   const double corrected_alpha =
       stats::BonferroniAlpha(alpha_, probabilities.cols());
   for (size_t k = 0; k < probabilities.cols(); ++k) {
     const stats::TestResult test = stats::TwoSampleKsTest(
         reference_probabilities_.Col(k), probabilities.Col(k));
-    if (test.Rejects(corrected_alpha)) return true;
+    if (test.Rejects(corrected_alpha)) {
+      common::telemetry::IncrementCounter("baselines.bbse.shifts");
+      return true;
+    }
   }
   return false;
 }
@@ -180,16 +191,20 @@ common::Result<bool> BbsehDetector::DetectsShift(
 
 common::Result<bool> BbsehDetector::DetectsShiftFromProba(
     const linalg::Matrix& probabilities) const {
+  const common::telemetry::TraceSpan span("baselines.bbseh.detect");
   if (!fitted_) {
     return common::Status::FailedPrecondition("DetectsShift before Fit");
   }
+  common::telemetry::IncrementCounter("baselines.bbseh.calls");
   std::vector<double> serving_counts(probabilities.cols(), 0.0);
   for (size_t predicted : probabilities.ArgMaxPerRow()) {
     serving_counts[predicted] += 1.0;
   }
   const stats::TestResult test = stats::ChiSquaredHomogeneityTest(
       reference_class_counts_, serving_counts);
-  return test.Rejects(alpha_);
+  const bool shifted = test.Rejects(alpha_);
+  if (shifted) common::telemetry::IncrementCounter("baselines.bbseh.shifts");
+  return shifted;
 }
 
 }  // namespace bbv::core

@@ -1,46 +1,112 @@
 #include "core/monitor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
+#include "common/telemetry.h"
 #include "stats/descriptive.h"
 
 namespace bbv::core {
 
+namespace {
+
+/// Shared validation for Create() and the CHECK-ing constructor; returns a
+/// non-OK status describing the first violated invariant.
+common::Status ValidateMonitorArguments(const ml::BlackBox* model,
+                                        const PerformancePredictor& predictor,
+                                        const ModelMonitor::Options& options) {
+  if (model == nullptr) {
+    return common::Status::InvalidArgument("ModelMonitor needs a model");
+  }
+  if (!predictor.trained()) {
+    return common::Status::FailedPrecondition(
+        "ModelMonitor needs a trained predictor");
+  }
+  if (!(options.alarm_threshold > 0.0 && options.alarm_threshold < 1.0)) {
+    return common::Status::InvalidArgument(
+        "alarm_threshold must lie in (0, 1)");
+  }
+  if (options.history_limit == 0) {
+    return common::Status::InvalidArgument("history_limit must be positive");
+  }
+  const double reference = predictor.test_score();
+  if (!std::isfinite(reference) || reference <= 0.0) {
+    // A non-positive reference used to silently clamp relative_drop to 0,
+    // so alarms could never fire against it; reject it up front instead.
+    return common::Status::InvalidArgument(
+        "reference score must be finite and strictly positive, got " +
+        std::to_string(reference));
+  }
+  return common::Status::OK();
+}
+
+}  // namespace
+
+common::Result<ModelMonitor> ModelMonitor::Create(
+    const ml::BlackBox* model, PerformancePredictor predictor,
+    Options options) {
+  BBV_RETURN_NOT_OK(ValidateMonitorArguments(model, predictor, options));
+  return ModelMonitor(model, std::move(predictor), options);
+}
+
 ModelMonitor::ModelMonitor(const ml::BlackBox* model,
                            PerformancePredictor predictor, Options options)
     : model_(model), predictor_(std::move(predictor)), options_(options) {
-  BBV_CHECK(model_ != nullptr);
-  BBV_CHECK(predictor_.trained()) << "ModelMonitor needs a trained predictor";
-  BBV_CHECK(options_.alarm_threshold > 0.0 && options_.alarm_threshold < 1.0);
-  BBV_CHECK_GT(options_.history_limit, 0u);
+  const common::Status valid =
+      ValidateMonitorArguments(model_, predictor_, options_);
+  BBV_CHECK(valid.ok()) << valid.ToString();
 }
 
 common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
     const data::DataFrame& serving) {
+  const common::telemetry::TraceSpan span("monitor.observe");
   BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
                        model_->PredictProba(serving));
-  return ObserveFromProba(probabilities);
+  BBV_ASSIGN_OR_RETURN(BatchReport report, ObserveFromProba(probabilities));
+  // Fold the model-inference time into the reported latency (the inner call
+  // only timed featurization + forest inference).
+  report.latency_seconds = span.ElapsedSeconds();
+  if (!history_.empty()) {
+    history_.back().latency_seconds = report.latency_seconds;
+  }
+  return report;
 }
 
 common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
     const linalg::Matrix& probabilities) {
+  const common::telemetry::TraceSpan span("monitor.observe_from_proba");
   if (probabilities.rows() == 0) {
     return common::Status::InvalidArgument("empty serving batch");
   }
   BBV_ASSIGN_OR_RETURN(double estimate,
                        predictor_.EstimateScoreFromProba(probabilities));
+  if (!std::isfinite(estimate)) {
+    // Never let NaN/Inf flow into reports, history or alarm decisions.
+    common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
+    return common::Status::Internal(
+        "performance predictor produced a non-finite estimate");
+  }
   BatchReport report;
   report.batch_id = batches_observed_++;
   report.rows = probabilities.rows();
   report.estimated_score = estimate;
   report.reference_score = predictor_.test_score();
+  // The constructor guarantees a finite, strictly positive reference.
   report.relative_drop =
-      report.reference_score > 0.0
-          ? (report.reference_score - estimate) / report.reference_score
-          : 0.0;
-  report.alarm = report.relative_drop > options_.alarm_threshold;
-  if (report.alarm) ++alarms_raised_;
+      (report.reference_score - estimate) / report.reference_score;
+  report.alarm = report.relative_drop >= options_.alarm_threshold;
+  if (report.alarm) {
+    ++alarms_raised_;
+    common::telemetry::IncrementCounter("monitor.alarms");
+  }
+  common::telemetry::IncrementCounter("monitor.batches");
+  common::telemetry::IncrementCounter("monitor.rows", probabilities.rows());
+  report.alarms_total = alarms_raised_;
+  report.estimate_calls_total =
+      common::telemetry::ReadCounter("predictor.estimate.calls");
+  report.latency_seconds = span.ElapsedSeconds();
   history_.push_back(report);
   if (history_.size() > options_.history_limit) {
     history_.erase(history_.begin(),
@@ -51,23 +117,71 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   return report;
 }
 
+double ModelMonitor::AlarmRate() const {
+  return batches_observed_ == 0
+             ? 0.0
+             : static_cast<double>(alarms_raised_) /
+                   static_cast<double>(batches_observed_);
+}
+
 std::string ModelMonitor::Summary() const {
   std::ostringstream os;
   os << "ModelMonitor(" << model_->Name() << "): " << batches_observed_
-     << " batches observed, " << alarms_raised_ << " alarms\n";
-  os << "reference score: " << predictor_.test_score() << "\n";
+     << " batches observed, " << alarms_raised_ << " alarms (rate "
+     << AlarmRate() << ")\n";
+  os << "reference score: " << predictor_.test_score() << " (alarm at >= "
+     << options_.alarm_threshold << " relative drop)\n";
   if (!history_.empty()) {
     std::vector<double> estimates;
+    std::vector<double> latencies;
     estimates.reserve(history_.size());
+    latencies.reserve(history_.size());
     for (const BatchReport& report : history_) {
       estimates.push_back(report.estimated_score);
+      latencies.push_back(report.latency_seconds);
     }
-    const std::vector<double> bands =
-        stats::Percentiles(estimates, {5.0, 50.0, 95.0});
+    // One sort per metric family, arbitrarily many quantiles after.
+    const stats::SortedView estimate_view(std::move(estimates));
     os << "recent estimates (" << history_.size()
-       << " batches): p5=" << bands[0] << " median=" << bands[1]
-       << " p95=" << bands[2] << "\n";
+       << " batches): p5=" << estimate_view.Percentile(5.0)
+       << " median=" << estimate_view.Median()
+       << " p95=" << estimate_view.Percentile(95.0) << "\n";
+    const stats::SortedView latency_view(std::move(latencies));
+    os << "batch latency: p50=" << latency_view.Median() * 1e3
+       << "ms p95=" << latency_view.Percentile(95.0) * 1e3
+       << "ms max=" << latency_view.Max() * 1e3 << "ms\n";
   }
+  return os.str();
+}
+
+std::string ModelMonitor::ExportJson() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n";
+  os << "  \"monitor\": {\n";
+  os << "    \"model\": \"" << model_->Name() << "\",\n";
+  os << "    \"reference_score\": " << predictor_.test_score() << ",\n";
+  os << "    \"alarm_threshold\": " << options_.alarm_threshold << ",\n";
+  os << "    \"history_limit\": " << options_.history_limit << ",\n";
+  os << "    \"batches_observed\": " << batches_observed_ << ",\n";
+  os << "    \"alarms_raised\": " << alarms_raised_ << ",\n";
+  os << "    \"alarm_rate\": " << AlarmRate() << ",\n";
+  os << "    \"history\": [\n";
+  for (size_t i = 0; i < history_.size(); ++i) {
+    const BatchReport& report = history_[i];
+    os << "      {\"batch_id\": " << report.batch_id
+       << ", \"rows\": " << report.rows
+       << ", \"estimated_score\": " << report.estimated_score
+       << ", \"relative_drop\": " << report.relative_drop
+       << ", \"alarm\": " << (report.alarm ? "true" : "false")
+       << ", \"latency_seconds\": " << report.latency_seconds
+       << ", \"estimate_calls_total\": " << report.estimate_calls_total
+       << ", \"alarms_total\": " << report.alarms_total << "}"
+       << (i + 1 < history_.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  }\n";
+  os << "}\n";
   return os.str();
 }
 

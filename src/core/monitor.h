@@ -2,6 +2,7 @@
 #define BBV_CORE_MONITOR_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -14,11 +15,19 @@ namespace bbv::core {
 /// Serving-time convenience wrapper (the "end user or serving system
 /// inspects estimated score" step from the paper's Figure 1): feeds batches
 /// through the black box and a trained performance predictor, keeps a
-/// bounded history of estimates, and renders an operations summary.
+/// bounded history of estimates, and renders an operations summary plus a
+/// machine-readable JSON serving log.
+///
+/// Hardening contract: the clean-test reference score must be finite and
+/// strictly positive — a degenerate reference used to silently force
+/// relative_drop to 0 so alarms could never fire. Use Create() for the
+/// recoverable Status-returning validation; the constructors enforce the
+/// same invariants with BBV_CHECK.
 class ModelMonitor {
  public:
   struct Options {
-    /// Relative quality drop that raises an alarm (e.g. 0.05 = 5%).
+    /// Relative quality drop that raises an alarm (e.g. 0.05 = 5%). An
+    /// alarm fires when relative_drop >= alarm_threshold.
     double alarm_threshold = 0.05;
     /// Maximum batch reports retained (older entries are dropped).
     size_t history_limit = 1000;
@@ -35,9 +44,32 @@ class ModelMonitor {
     /// (reference - estimate) / reference; positive = estimated drop.
     double relative_drop = 0.0;
     bool alarm = false;
+    /// Wall-clock seconds spent scoring this batch (predictor featurization
+    /// + forest inference; model inference too when observed via
+    /// Observe()). 0 when telemetry is disabled (BBV_TELEMETRY=off).
+    double latency_seconds = 0.0;
+    /// Telemetry snapshot at report time: process-wide count of predictor
+    /// estimate calls, for cross-referencing this serving log against the
+    /// telemetry JSON export. 0 when telemetry is disabled.
+    uint64_t estimate_calls_total = 0;
+    /// Alarms this monitor has raised up to and including this report.
+    size_t alarms_total = 0;
   };
 
-  /// `model` must outlive the monitor; `predictor` must be trained.
+  /// Validating factory: rejects a null model, an untrained predictor, an
+  /// alarm threshold outside (0, 1), a zero history limit, and — the
+  /// recoverable path for serving systems — a non-finite or non-positive
+  /// reference score, with InvalidArgument instead of a crash.
+  static common::Result<ModelMonitor> Create(const ml::BlackBox* model,
+                                             PerformancePredictor predictor,
+                                             Options options);
+  static common::Result<ModelMonitor> Create(const ml::BlackBox* model,
+                                             PerformancePredictor predictor) {
+    return Create(model, std::move(predictor), Options{});
+  }
+
+  /// `model` must outlive the monitor; `predictor` must be trained with a
+  /// finite, strictly positive reference score (BBV_CHECK-enforced).
   ModelMonitor(const ml::BlackBox* model, PerformancePredictor predictor)
       : ModelMonitor(model, std::move(predictor), Options{}) {}
   ModelMonitor(const ml::BlackBox* model, PerformancePredictor predictor,
@@ -46,17 +78,25 @@ class ModelMonitor {
   /// Scores one serving batch and appends the report to the history.
   common::Result<BatchReport> Observe(const data::DataFrame& serving);
 
-  /// Report from precomputed model outputs.
+  /// Report from precomputed model outputs. Rejects empty batches and
+  /// non-finite estimates (neither pollutes the history).
   common::Result<BatchReport> ObserveFromProba(
       const linalg::Matrix& probabilities);
 
   const std::vector<BatchReport>& history() const { return history_; }
   size_t batches_observed() const { return batches_observed_; }
   size_t alarms_raised() const { return alarms_raised_; }
+  /// Fraction of observed batches that alarmed; 0 before any observation.
+  double AlarmRate() const;
 
-  /// Multi-line human-readable summary: batches seen, alarm count, and the
-  /// distribution of recent estimates.
+  /// Multi-line human-readable summary: batches seen, alarm count and rate,
+  /// the distribution of recent estimates, and per-batch latency
+  /// percentiles from the retained history.
   std::string Summary() const;
+
+  /// Machine-readable serving log: monitor configuration, aggregate alarm
+  /// statistics, and one JSON object per retained batch report.
+  std::string ExportJson() const;
 
  private:
   const ml::BlackBox* model_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/prediction_statistics.h"
 #include "ml/cross_validation.h"
 #include "ml/metrics.h"
@@ -45,6 +46,8 @@ common::Status PerformancePredictor::Train(
     const ml::BlackBox& model, const data::Dataset& test,
     const std::vector<const errors::ErrorGen*>& generators,
     common::Rng& rng) {
+  const common::telemetry::TraceSpan span("predictor.train");
+  common::telemetry::IncrementCounter("predictor.train.calls");
   if (test.NumRows() == 0) {
     return common::Status::InvalidArgument("empty test dataset");
   }
@@ -75,6 +78,8 @@ common::Status PerformancePredictor::Train(
       task_generators.push_back(generator);
     }
   }
+  common::telemetry::IncrementCounter("predictor.meta_examples",
+                                      task_generators.size());
   std::vector<common::Rng> task_rngs = rng.ForkStreams(task_generators.size());
   std::vector<std::vector<double>> feature_rows(task_generators.size());
   std::vector<double> scores(task_generators.size());
@@ -213,9 +218,13 @@ common::Result<double> PerformancePredictor::EstimateScore(
 
 common::Result<double> PerformancePredictor::EstimateScoreFromProba(
     const linalg::Matrix& probabilities) const {
+  const common::telemetry::TraceSpan span("predictor.estimate");
   if (!trained_) {
     return common::Status::FailedPrecondition("EstimateScore before Train");
   }
+  common::telemetry::IncrementCounter("predictor.estimate.calls");
+  common::telemetry::IncrementCounter("predictor.estimate.rows",
+                                      probabilities.rows());
   const std::vector<double> statistics =
       PredictionStatistics(probabilities, options_.percentile_points);
   return regressor_.PredictRow(statistics.data());

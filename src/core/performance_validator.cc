@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "core/prediction_statistics.h"
 #include "ml/cross_validation.h"
 #include "ml/metrics.h"
@@ -22,6 +23,8 @@ common::Status PerformanceValidator::Train(
     const ml::BlackBox& model, const data::Dataset& test,
     const std::vector<const errors::ErrorGen*>& generators,
     common::Rng& rng) {
+  const common::telemetry::TraceSpan span("validator.train");
+  common::telemetry::IncrementCounter("validator.train.calls");
   if (test.NumRows() == 0) {
     return common::Status::InvalidArgument("empty test dataset");
   }
@@ -241,19 +244,25 @@ common::Result<bool> PerformanceValidator::Validate(
 
 common::Result<bool> PerformanceValidator::ValidateFromProba(
     const linalg::Matrix& probabilities) const {
+  const common::telemetry::TraceSpan span("validator.validate");
   if (!trained_) {
     return common::Status::FailedPrecondition("Validate before Train");
   }
+  common::telemetry::IncrementCounter("validator.validate.calls");
+  bool verdict = false;
   if (degenerate_) {
     // Decision via the predictor estimate against the threshold.
     BBV_ASSIGN_OR_RETURN(double estimate,
                          predictor_.EstimateScoreFromProba(probabilities));
-    return estimate >= (1.0 - options_.threshold) * test_score_;
+    verdict = estimate >= (1.0 - options_.threshold) * test_score_;
+  } else {
+    const std::vector<double> features = BuildFeatures(probabilities);
+    const linalg::Matrix decision = decision_model_.PredictProba(
+        linalg::Matrix(1, features.size(), features));
+    verdict = decision.At(0, 1) >= decision_threshold_;
   }
-  const std::vector<double> features = BuildFeatures(probabilities);
-  const linalg::Matrix decision = decision_model_.PredictProba(
-      linalg::Matrix(1, features.size(), features));
-  return decision.At(0, 1) >= decision_threshold_;
+  if (!verdict) common::telemetry::IncrementCounter("validator.rejections");
+  return verdict;
 }
 
 }  // namespace bbv::core

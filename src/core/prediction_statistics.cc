@@ -62,8 +62,10 @@ std::vector<double> PredictionStatistics(
   std::vector<double> features;
   features.reserve(probabilities.cols() * percentile_points.size());
   for (size_t k = 0; k < probabilities.cols(); ++k) {
+    // One sort per column; every percentile query hits the same view.
+    const stats::SortedView column_view(probabilities.Col(k));
     const std::vector<double> column_percentiles =
-        stats::Percentiles(probabilities.Col(k), percentile_points);
+        column_view.Percentiles(percentile_points);
     features.insert(features.end(), column_percentiles.begin(),
                     column_percentiles.end());
   }
@@ -88,8 +90,9 @@ std::vector<double> PredictionStatistics(
     for (size_t i = 0; i < rows.size(); ++i) {
       column_values[i] = probabilities.At(rows[i], k);
     }
+    const stats::SortedView column_view(column_values);
     const std::vector<double> column_percentiles =
-        stats::Percentiles(column_values, percentile_points);
+        column_view.Percentiles(percentile_points);
     features.insert(features.end(), column_percentiles.begin(),
                     column_percentiles.end());
   }

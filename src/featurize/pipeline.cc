@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "featurize/hashing_vectorizer.h"
 #include "featurize/image_flattener.h"
 #include "featurize/one_hot_encoder.h"
@@ -10,6 +11,8 @@
 namespace bbv::featurize {
 
 common::Status FeaturePipeline::Fit(const data::DataFrame& frame) {
+  const common::telemetry::TraceSpan span("featurize.fit");
+  common::telemetry::IncrementCounter("featurize.fit.calls");
   if (frame.NumCols() == 0) {
     return common::Status::InvalidArgument("cannot fit on an empty frame");
   }
@@ -45,9 +48,12 @@ common::Status FeaturePipeline::Fit(const data::DataFrame& frame) {
 
 common::Result<linalg::Matrix> FeaturePipeline::Transform(
     const data::DataFrame& frame) const {
+  const common::telemetry::TraceSpan span("featurize.transform");
   if (!fitted_) {
     return common::Status::FailedPrecondition("Transform before Fit");
   }
+  common::telemetry::IncrementCounter("featurize.transform.rows",
+                                      frame.NumRows());
   if (frame.NumCols() != transformers_.size()) {
     return common::Status::InvalidArgument(
         "frame schema does not match the fitted schema");

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace bbv::ml {
 
 common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
                                           const std::vector<double>& targets,
                                           common::Rng& rng) {
+  const common::telemetry::TraceSpan span("forest.fit");
   if (features.rows() != targets.size()) {
     return common::Status::InvalidArgument(
         "features and targets disagree on the number of rows");
@@ -24,6 +26,8 @@ common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
       1, static_cast<size_t>(options_.bootstrap_fraction *
                              static_cast<double>(n)));
   const size_t num_trees = static_cast<size_t>(options_.num_trees);
+  common::telemetry::IncrementCounter("forest.fit.calls");
+  common::telemetry::IncrementCounter("forest.trees_fitted", num_trees);
   // Each tree draws its bootstrap sample and split randomness from its own
   // pre-forked stream, so the serialized ensemble is bit-identical at every
   // thread count.
@@ -56,6 +60,11 @@ double RandomForestRegressor::PredictRow(const double* row) const {
 
 std::vector<double> RandomForestRegressor::Predict(
     const linalg::Matrix& features) const {
+  // PredictRow stays uninstrumented: it is the per-row hot path (called in a
+  // tight loop here and from the predictor); timing it would dominate the
+  // work being measured.
+  const common::telemetry::TraceSpan span("forest.predict");
+  common::telemetry::IncrementCounter("forest.predict.rows", features.rows());
   std::vector<double> result(features.rows());
   const common::Status status = common::ParallelFor(
       features.rows(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -15,6 +16,9 @@ double Mean(const std::vector<double>& values) {
 }
 
 double Variance(const std::vector<double>& values) {
+  // Empty input is a contract violation like Mean/Min/Max — returning a
+  // silent 0.0 here used to mask degenerate callers.
+  BBV_CHECK(!values.empty());
   if (values.size() < 2) return 0.0;
   const double mean = Mean(values);
   double sum_squares = 0.0;
@@ -39,35 +43,38 @@ double Max(const std::vector<double>& values) {
   return *std::max_element(values.begin(), values.end());
 }
 
-namespace {
-
-double PercentileSorted(const std::vector<double>& sorted, double q) {
-  BBV_CHECK(q >= 0.0 && q <= 100.0);
-  const double position =
-      (q / 100.0) * static_cast<double>(sorted.size() - 1);
-  const size_t lower = static_cast<size_t>(std::floor(position));
-  const size_t upper = static_cast<size_t>(std::ceil(position));
-  if (lower == upper) return sorted[lower];
-  const double weight = position - static_cast<double>(lower);
-  return sorted[lower] * (1.0 - weight) + sorted[upper] * weight;
+SortedView::SortedView(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  BBV_CHECK(!sorted_.empty()) << "SortedView over an empty sample";
+  std::sort(sorted_.begin(), sorted_.end());
 }
 
-}  // namespace
+double SortedView::Percentile(double q) const {
+  BBV_CHECK(q >= 0.0 && q <= 100.0);
+  const double position =
+      (q / 100.0) * static_cast<double>(sorted_.size() - 1);
+  const size_t lower = static_cast<size_t>(std::floor(position));
+  const size_t upper = static_cast<size_t>(std::ceil(position));
+  if (lower == upper) return sorted_[lower];
+  const double weight = position - static_cast<double>(lower);
+  return sorted_[lower] * (1.0 - weight) + sorted_[upper] * weight;
+}
+
+std::vector<double> SortedView::Percentiles(
+    const std::vector<double>& qs) const {
+  std::vector<double> result;
+  result.reserve(qs.size());
+  for (double q : qs) result.push_back(Percentile(q));
+  return result;
+}
 
 double Percentile(std::vector<double> values, double q) {
-  BBV_CHECK(!values.empty());
-  std::sort(values.begin(), values.end());
-  return PercentileSorted(values, q);
+  return SortedView(std::move(values)).Percentile(q);
 }
 
 std::vector<double> Percentiles(std::vector<double> values,
                                 const std::vector<double>& qs) {
-  BBV_CHECK(!values.empty());
-  std::sort(values.begin(), values.end());
-  std::vector<double> result;
-  result.reserve(qs.size());
-  for (double q : qs) result.push_back(PercentileSorted(values, q));
-  return result;
+  return SortedView(std::move(values)).Percentiles(qs);
 }
 
 double Median(const std::vector<double>& values) {

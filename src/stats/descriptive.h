@@ -1,6 +1,7 @@
 #ifndef BBV_STATS_DESCRIPTIVE_H_
 #define BBV_STATS_DESCRIPTIVE_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace bbv::stats {
@@ -8,7 +9,8 @@ namespace bbv::stats {
 /// Arithmetic mean; requires a non-empty input.
 double Mean(const std::vector<double>& values);
 
-/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 values.
+/// Unbiased sample variance (n-1 denominator). Requires a non-empty input
+/// (consistent with Mean/Min/Max); a single value has variance 0.
 double Variance(const std::vector<double>& values);
 
 /// Square root of Variance().
@@ -18,8 +20,36 @@ double StdDev(const std::vector<double>& values);
 double Min(const std::vector<double>& values);
 double Max(const std::vector<double>& values);
 
-/// q-th percentile (q in [0, 100]) with linear interpolation between order
-/// statistics, matching numpy.percentile's default. Requires non-empty input.
+/// Sorts a sample once at construction and serves arbitrarily many order
+/// statistics afterwards — the single-sort path behind Percentile/
+/// Percentiles/Median, and the right tool when several quantile families
+/// are needed from the same data (e.g. ModelMonitor::Summary). Requires a
+/// non-empty input.
+class SortedView {
+ public:
+  /// Takes ownership of `values` and sorts them ascending.
+  explicit SortedView(std::vector<double> values);
+
+  /// q-th percentile (q in [0, 100]) with linear interpolation between
+  /// order statistics, matching numpy.percentile's default.
+  double Percentile(double q) const;
+
+  /// Percentiles at several points; no re-sorting between queries.
+  std::vector<double> Percentiles(const std::vector<double>& qs) const;
+
+  double Median() const { return Percentile(50.0); }
+  double Min() const { return sorted_.front(); }
+  double Max() const { return sorted_.back(); }
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// q-th percentile (q in [0, 100]); one-shot convenience over SortedView.
+/// Requires non-empty input. Prefer SortedView when querying the same
+/// sample more than once.
 double Percentile(std::vector<double> values, double q);
 
 /// Percentiles at several points, sharing one sort. Requires non-empty input.

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <memory>
 
+#include "common/telemetry.h"
 #include "datasets/tabular.h"
 #include "errors/numeric_errors.h"
+#include "json_test_util.h"
 #include "ml/black_box.h"
 #include "ml/sgd_logistic_regression.h"
 
@@ -104,6 +108,143 @@ TEST(ModelMonitorTest, SummaryMentionsCounts) {
   const std::string summary = monitor.Summary();
   EXPECT_NE(summary.find("1 batches observed"), std::string::npos);
   EXPECT_NE(summary.find("median="), std::string::npos);
+}
+
+TEST(ModelMonitorTest, AlarmFiresExactlyAtThreshold) {
+  common::Rng rng(6);
+  Fixture fixture = MakeFixture(rng);
+  const errors::Scaling severe({}, errors::FractionRange{0.95, 1.0},
+                               {1000.0});
+  const auto corrupted =
+      severe.Corrupt(fixture.serving.features, rng).ValueOrDie();
+  const auto proba = fixture.model->PredictProba(corrupted).ValueOrDie();
+  // Deterministic relative drop of this exact batch.
+  const double estimate =
+      fixture.predictor.EstimateScoreFromProba(proba).ValueOrDie();
+  const double reference = fixture.predictor.test_score();
+  const double drop = (reference - estimate) / reference;
+  ASSERT_GT(drop, 0.0);
+  ASSERT_LT(drop, 1.0);
+
+  // >= semantics: a drop exactly at the threshold alarms...
+  ModelMonitor::Options at_options;
+  at_options.alarm_threshold = drop;
+  ModelMonitor at_monitor(fixture.model.get(), fixture.predictor, at_options);
+  const auto at_report = at_monitor.ObserveFromProba(proba);
+  ASSERT_TRUE(at_report.ok());
+  EXPECT_TRUE(at_report->alarm);
+
+  // ...while a threshold just above it does not.
+  ModelMonitor::Options above_options;
+  above_options.alarm_threshold = drop + 1e-9;
+  ModelMonitor above_monitor(fixture.model.get(), fixture.predictor,
+                             above_options);
+  const auto above_report = above_monitor.ObserveFromProba(proba);
+  ASSERT_TRUE(above_report.ok());
+  EXPECT_FALSE(above_report->alarm);
+}
+
+TEST(ModelMonitorTest, HistoryTrimsAtExactBoundary) {
+  common::Rng rng(7);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.history_limit = 3;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  // Exactly at the limit: nothing is dropped yet.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+  }
+  EXPECT_EQ(monitor.history().size(), 3u);
+  EXPECT_EQ(monitor.history().front().batch_id, 0u);
+  // One past the limit: only the oldest entry goes.
+  ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+  EXPECT_EQ(monitor.history().size(), 3u);
+  EXPECT_EQ(monitor.history().front().batch_id, 1u);
+  EXPECT_EQ(monitor.history().back().batch_id, 3u);
+}
+
+TEST(ModelMonitorTest, ExportJsonRoundTrips) {
+  common::Rng rng(8);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor.Observe(fixture.serving.features).ok());
+  }
+  const std::string json = monitor.ExportJson();
+  EXPECT_TRUE(bbv::testing::JsonParses(json)) << json;
+  for (const char* key :
+       {"\"monitor\"", "\"reference_score\"", "\"alarm_threshold\"",
+        "\"batches_observed\"", "\"alarm_rate\"", "\"history\"",
+        "\"batch_id\"", "\"relative_drop\"", "\"latency_seconds\"",
+        "\"estimate_calls_total\"", "\"alarms_total\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ModelMonitorTest, ExportJsonOfEmptyHistoryRoundTrips) {
+  common::Rng rng(9);
+  Fixture fixture = MakeFixture(rng);
+  const ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  EXPECT_TRUE(bbv::testing::JsonParses(monitor.ExportJson()));
+}
+
+PerformancePredictor TrainTinyPredictor(double test_score, common::Rng& rng) {
+  PerformancePredictor::Options options;
+  options.tree_count_grid = {5};
+  PerformancePredictor predictor(options);
+  const std::vector<std::vector<double>> statistics = {
+      {0.1}, {0.2}, {0.3}, {0.4}};
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6};
+  BBV_CHECK(
+      predictor.TrainFromStatistics(statistics, scores, test_score, rng).ok());
+  return predictor;
+}
+
+TEST(ModelMonitorTest, CreateRejectsDegenerateReferenceScore) {
+  common::Rng rng(10);
+  const ml::BlackBoxModel model(std::make_unique<ml::SgdLogisticRegression>());
+  for (double degenerate :
+       {0.0, -0.25, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    const auto monitor =
+        ModelMonitor::Create(&model, TrainTinyPredictor(degenerate, rng));
+    EXPECT_FALSE(monitor.ok()) << degenerate;
+    EXPECT_NE(monitor.status().ToString().find("reference score"),
+              std::string::npos);
+  }
+}
+
+TEST(ModelMonitorTest, CreateRejectsBadConfiguration) {
+  common::Rng rng(11);
+  PerformancePredictor predictor = TrainTinyPredictor(0.8, rng);
+  const ml::BlackBoxModel model(std::make_unique<ml::SgdLogisticRegression>());
+  EXPECT_FALSE(ModelMonitor::Create(nullptr, predictor).ok());
+  EXPECT_FALSE(ModelMonitor::Create(&model, PerformancePredictor()).ok());
+  ModelMonitor::Options bad_threshold;
+  bad_threshold.alarm_threshold = 1.5;
+  EXPECT_FALSE(ModelMonitor::Create(&model, predictor, bad_threshold).ok());
+  ModelMonitor::Options no_history;
+  no_history.history_limit = 0;
+  EXPECT_FALSE(ModelMonitor::Create(&model, predictor, no_history).ok());
+  EXPECT_TRUE(ModelMonitor::Create(&model, predictor).ok());
+}
+
+TEST(ModelMonitorTest, ReportsCarryLatencyAndTelemetrySnapshot) {
+  const bool was_enabled = common::telemetry::Enabled();
+  common::telemetry::SetEnabled(true);
+  common::Rng rng(12);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor);
+  const auto report = monitor.Observe(fixture.serving.features);
+  common::telemetry::SetEnabled(was_enabled);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->latency_seconds, 0.0);
+  EXPECT_GE(report->estimate_calls_total, 1u);
+  EXPECT_EQ(report->alarms_total, monitor.alarms_raised());
+  EXPECT_EQ(monitor.history().back().latency_seconds,
+            report->latency_seconds);
 }
 
 }  // namespace

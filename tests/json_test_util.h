@@ -1,0 +1,141 @@
+// Minimal recursive-descent JSON syntax validator for round-trip checks on
+// the exporters (telemetry registry, monitor serving log, bench JSON). Only
+// validates well-formedness — tests assert on specific keys separately.
+#ifndef BBV_TESTS_JSON_TEST_UTIL_H_
+#define BBV_TESTS_JSON_TEST_UTIL_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace bbv::testing {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Validate() {
+    pos_ = 0;
+    SkipWhitespace();
+    if (!ParseValue()) return false;
+    SkipWhitespace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const std::string& literal) {
+    if (text_.compare(pos_, literal.size(), literal) != 0) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ConsumeLiteral("true");
+      case 'f':
+        return ConsumeLiteral("false");
+      case 'n':
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWhitespace();
+      if (!ParseString()) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!ParseValue()) return false;
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '"') return true;
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool has_digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        has_digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return has_digits && pos_ > start;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+/// True when `text` is one syntactically well-formed JSON document.
+inline bool JsonParses(const std::string& text) {
+  return JsonValidator(text).Validate();
+}
+
+}  // namespace bbv::testing
+
+#endif  // BBV_TESTS_JSON_TEST_UTIL_H_

@@ -1,0 +1,14 @@
+// Lint fixture: every ad-hoc timing primitive below must be flagged by the
+// "timing" rule. Never compiled — text-linted only.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+void TimeThings() {
+  const auto start = std::chrono::steady_clock::now();
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)start;
+}

@@ -19,7 +19,13 @@ TEST(DescriptiveTest, VarianceIsUnbiasedSampleVariance) {
   // Sample variance of {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, ssq 32, 32/7.
   EXPECT_NEAR(Variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
   EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
-  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+TEST(DescriptiveDeathTest, VarianceRejectsEmptyInputLikeMean) {
+  // Variance({}) used to silently return 0.0 while Mean/Min/Max CHECK-fail;
+  // the empty-input contract is now consistent across the family.
+  EXPECT_DEATH(Variance({}), "empty");
+  EXPECT_DEATH(Mean({}), "empty");
 }
 
 TEST(DescriptiveTest, StdDevIsSqrtVariance) {
@@ -70,6 +76,33 @@ TEST(PercentilesTest, MonotoneInQ) {
   for (size_t i = 1; i < result.size(); ++i) {
     EXPECT_LE(result[i - 1], result[i]);
   }
+}
+
+TEST(SortedViewTest, MatchesFreeFunctionsWithOneSort) {
+  const std::vector<double> values = {4.0, 1.0, 3.0, 2.0};
+  const SortedView view{values};
+  EXPECT_DOUBLE_EQ(view.Percentile(0.0), Percentile(values, 0.0));
+  EXPECT_DOUBLE_EQ(view.Percentile(25.0), Percentile(values, 25.0));
+  EXPECT_DOUBLE_EQ(view.Percentile(50.0), Percentile(values, 50.0));
+  EXPECT_DOUBLE_EQ(view.Percentile(100.0), Percentile(values, 100.0));
+  EXPECT_DOUBLE_EQ(view.Median(), Median(values));
+  EXPECT_DOUBLE_EQ(view.Min(), Min(values));
+  EXPECT_DOUBLE_EQ(view.Max(), Max(values));
+  const std::vector<double> batch = view.Percentiles({0.0, 50.0, 100.0});
+  const std::vector<double> expected =
+      Percentiles(values, {0.0, 50.0, 100.0});
+  EXPECT_EQ(batch, expected);
+}
+
+TEST(SortedViewTest, OwnsASortedCopy) {
+  const SortedView view{{3.0, 1.0, 2.0}};
+  ASSERT_EQ(view.size(), 3u);
+  const std::vector<double> expected = {1.0, 2.0, 3.0};
+  EXPECT_EQ(view.sorted(), expected);
+}
+
+TEST(SortedViewDeathTest, RejectsEmptySample) {
+  EXPECT_DEATH(SortedView{{}}, "empty");
 }
 
 TEST(MedianTest, OddAndEvenCounts) {

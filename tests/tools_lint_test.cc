@@ -148,6 +148,35 @@ TEST(LintRulesTest, ThreadRuleKeepsThreadLocalAndCommentsClean) {
   EXPECT_EQ(CountRule(findings, "thread"), 0u);
 }
 
+TEST(LintRulesTest, FlagsAdHocTiming) {
+  const auto findings =
+      LintFile("src/fixture/bad_chrono.cc", FixturePath("bad_chrono.cc"));
+  // <chrono>, <ctime>, <sys/time.h>, std::chrono, clock_gettime and
+  // gettimeofday each fire.
+  EXPECT_GE(CountRule(findings, "timing"), 6u);
+}
+
+TEST(LintRulesTest, TimingHomeFilesAreExempt) {
+  std::ifstream input(FixturePath("bad_chrono.cc"));
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  const std::string contents = buffer.str();
+  for (const char* home :
+       {"src/common/telemetry.h", "src/common/telemetry.cc",
+        "bench/bench_util.h", "bench/bench_util.cc"}) {
+    const auto findings = LintFileContents(home, contents);
+    EXPECT_EQ(CountRule(findings, "timing"), 0u) << home;
+  }
+}
+
+TEST(LintRulesTest, TimingRuleKeepsProseAndStringsClean) {
+  const auto findings = LintFileContents(
+      "src/fixture/timing_prose.cc",
+      "// std::chrono is discussed in prose only\n"
+      "const char* kDoc = \"clock_gettime(...) is banned\";\n");
+  EXPECT_EQ(CountRule(findings, "timing"), 0u);
+}
+
 TEST(LintRulesTest, SuppressionMarkerSilencesFindings) {
   const auto findings =
       LintFile("src/ml/suppressed.cc", FixturePath("suppressed.cc"));

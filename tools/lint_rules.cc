@@ -305,6 +305,29 @@ void CheckNoRawThreads(const std::string& path,
   }
 }
 
+void CheckNoAdHocTiming(const std::string& path,
+                        const std::vector<std::string>& lines,
+                        const std::vector<std::string>& stripped,
+                        std::vector<LintFinding>& findings) {
+  const std::string rule = "timing";
+  for (size_t i = 0; i < stripped.size(); ++i) {
+    const bool include_hit =
+        stripped[i].find("<chrono>") != std::string::npos ||
+        stripped[i].find("<ctime>") != std::string::npos ||
+        stripped[i].find("<sys/time.h>") != std::string::npos;
+    const bool token_hit =
+        FindToken(stripped[i], "std::chrono") != std::string::npos ||
+        FindToken(stripped[i], "clock_gettime", true) != std::string::npos ||
+        FindToken(stripped[i], "gettimeofday", true) != std::string::npos;
+    if ((include_hit || token_hit) && !IsSuppressed(lines, i, rule)) {
+      findings.push_back({path, i + 1, rule,
+                          "ad-hoc timing outside telemetry/bench_util; use "
+                          "common::telemetry::TraceSpan (library code) or "
+                          "bench::WallTimer (benchmarks)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
@@ -325,6 +348,13 @@ std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
                                 path_from_root == "src/common/parallel.cc";
   if (!is_parallel_home) {
     CheckNoRawThreads(path_from_root, lines, stripped, findings);
+  }
+  const bool is_timing_home = path_from_root == "src/common/telemetry.h" ||
+                              path_from_root == "src/common/telemetry.cc" ||
+                              path_from_root == "bench/bench_util.h" ||
+                              path_from_root == "bench/bench_util.cc";
+  if (!is_timing_home) {
+    CheckNoAdHocTiming(path_from_root, lines, stripped, findings);
   }
   if (StartsWith(path_from_root, "src/stats/") ||
       StartsWith(path_from_root, "src/ml/")) {
