@@ -135,6 +135,8 @@ void Run(const RunConfig& config) {
 }  // namespace bbv::bench
 
 int main(int argc, char** argv) {
-  bbv::bench::Run(bbv::bench::ParseArgs(argc, argv));
+  const bbv::bench::RunConfig config = bbv::bench::ParseArgs(argc, argv);
+  bbv::bench::Run(config);
+  bbv::bench::MaybeWriteTelemetryJson(config);
   return 0;
 }

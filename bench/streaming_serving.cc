@@ -1,0 +1,299 @@
+// Streaming serving benchmark: compares the exact percentile path (retain
+// every predict_proba row, sort per class) against the mergeable quantile
+// sketch path (bounded memory, single pass) on 10^5 (--fast) to 10^6
+// (--full) rows. Reports wall time, bytes retained per path, the maximum
+// absolute feature deviation between the two paths (must stay within the
+// sketch's value error bound), and verifies that the sketch state is
+// byte-identical across mini-batch splits and BBV_THREADS settings.
+//
+// With --json[=PATH] the measurements land in BENCH_streaming_serving.json.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/performance_predictor.h"
+#include "core/prediction_statistics.h"
+#include "linalg/matrix.h"
+#include "serve/streaming_scorer.h"
+
+namespace bbv::bench {
+namespace {
+
+constexpr size_t kNumClasses = 4;
+constexpr size_t kStreamBatchRows = 4096;
+
+/// Sets BBV_THREADS for one scope and restores the previous value after.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(int threads) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    ::setenv("BBV_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+/// Synthetic predict_proba stream: exponential draws per class, normalized
+/// to a probability simplex (Dirichlet(1) rows). Generated once, serially,
+/// so every configuration consumes the exact same multiset.
+linalg::Matrix MakeServingStream(size_t rows, uint64_t seed) {
+  common::Rng rng(seed);
+  linalg::Matrix stream(rows, kNumClasses);
+  for (size_t i = 0; i < rows; ++i) {
+    double sum = 0.0;
+    for (size_t k = 0; k < kNumClasses; ++k) {
+      stream.At(i, k) = -std::log(1.0 - rng.Uniform());
+      sum += stream.At(i, k);
+    }
+    for (size_t k = 0; k < kNumClasses; ++k) stream.At(i, k) /= sum;
+  }
+  return stream;
+}
+
+/// Confidence-mixture batch for meta-training: a `good_fraction` of the
+/// rows put probability `0.97` on their winner, the rest are near-uniform.
+linalg::Matrix MixtureBatch(double good_fraction, size_t rows) {
+  linalg::Matrix batch(rows, kNumClasses);
+  const size_t good_rows =
+      static_cast<size_t>(good_fraction * static_cast<double>(rows) + 0.5);
+  for (size_t i = 0; i < rows; ++i) {
+    const double confidence = i < good_rows ? 0.97 : 0.3;
+    const size_t winner = i % kNumClasses;
+    for (size_t k = 0; k < kNumClasses; ++k) {
+      batch.At(i, k) = k == winner
+                           ? confidence
+                           : (1.0 - confidence) /
+                                 static_cast<double>(kNumClasses - 1);
+    }
+  }
+  return batch;
+}
+
+/// Meta-trains a performance predictor on synthetic (statistics, score)
+/// pairs so the benchmark exercises the real regressor without paying for
+/// a full corruption pass.
+core::PerformancePredictor TrainPredictor(uint64_t seed) {
+  core::PerformancePredictor::Options options;
+  options.tree_count_grid = {30};
+  core::PerformancePredictor predictor(options);
+  std::vector<std::vector<double>> statistics;
+  std::vector<double> scores;
+  common::Rng rng(seed);
+  for (size_t rows : {1000ul, 1100ul, 1200ul}) {
+    for (int level = 0; level <= 10; ++level) {
+      const double fraction = static_cast<double>(level) / 10.0;
+      statistics.push_back(
+          core::PredictionStatistics(MixtureBatch(fraction, rows)));
+      scores.push_back(0.3 + 0.67 * fraction);
+    }
+  }
+  BBV_CHECK(
+      predictor.TrainFromStatistics(statistics, scores, 0.97, rng).ok());
+  return predictor;
+}
+
+std::vector<size_t> RowRange(size_t begin, size_t end) {
+  std::vector<size_t> rows;
+  rows.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) rows.push_back(i);
+  return rows;
+}
+
+/// Streams the matrix through a fresh scorer in `batch_rows` mini-batches;
+/// returns the serialized sketch state for determinism digests.
+std::string RunSketchPath(const core::PerformancePredictor& predictor,
+                          const linalg::Matrix& stream, size_t batch_rows,
+                          double* estimate_out) {
+  auto scorer = serve::StreamingScorer::Create(predictor, {});
+  BBV_CHECK(scorer.ok()) << scorer.status().ToString();
+  for (size_t begin = 0; begin < stream.rows(); begin += batch_rows) {
+    const size_t end = std::min(begin + batch_rows, stream.rows());
+    BBV_CHECK(scorer->Ingest(stream.SelectRows(RowRange(begin, end))).ok());
+  }
+  const auto estimate = scorer->EstimateScore();
+  BBV_CHECK(estimate.ok()) << estimate.status().ToString();
+  if (estimate_out != nullptr) *estimate_out = *estimate;
+  std::ostringstream out;
+  BBV_CHECK(scorer->SaveState(out).ok());
+  return out.str();
+}
+
+}  // namespace
+}  // namespace bbv::bench
+
+int main(int argc, char** argv) {
+  using namespace bbv::bench;  // NOLINT(google-build-using-namespace)
+  RunConfig config = ParseArgs(argc, argv);
+  PrintHeader("streaming_serving",
+              "exact percentile path vs mergeable quantile sketches",
+              config);
+  std::printf("hardware_concurrency=%d\n",
+              bbv::common::HardwareThreadCount());
+
+  const size_t rows = config.fast ? 100000 : 1000000;
+  const bbv::linalg::Matrix stream = MakeServingStream(rows, config.seed);
+  const bbv::core::PerformancePredictor predictor =
+      TrainPredictor(config.seed + 1);
+  const double exact_bytes =
+      static_cast<double>(rows * kNumClasses * sizeof(double));
+
+  std::vector<BenchResult> results;
+  bool all_deterministic = true;
+
+  // Exact path: percentiles over the fully retained stream. Memory cost is
+  // the retained predict_proba matrix itself.
+  std::vector<double> exact_features;
+  double exact_serial_seconds = 0.0;
+  for (int threads : {1, 8}) {
+    ScopedThreadsEnv env(threads);
+    WallTimer timer;
+    exact_features = bbv::core::PredictionStatistics(
+        stream, predictor.percentile_points());
+    const auto estimate = predictor.EstimateScoreFromStatistics(
+        exact_features);
+    BBV_CHECK(estimate.ok()) << estimate.status().ToString();
+    const double seconds = timer.Seconds();
+    if (threads == 1) exact_serial_seconds = seconds;
+    BenchResult result;
+    result.name = "exact_percentiles";
+    result.threads = threads;
+    result.wall_seconds = seconds;
+    result.speedup_vs_serial =
+        seconds > 0.0 ? exact_serial_seconds / seconds : 0.0;
+    result.extras.emplace_back("rows", static_cast<double>(rows));
+    result.extras.emplace_back("memory_bytes", exact_bytes);
+    result.extras.emplace_back("estimate", *estimate);
+    results.push_back(result);
+    std::printf("exact_percentiles  threads=%d wall=%.3fs bytes=%.0f\n",
+                threads, seconds, exact_bytes);
+  }
+
+  // Sketch path: single pass over mini-batches, bounded memory. The state
+  // digest must be identical at every thread count and batch split.
+  std::string reference_digest;
+  double sketch_serial_seconds = 0.0;
+  double sketch_bytes = 0.0;
+  double sketch_estimate = 0.0;
+  double max_deviation = 0.0;
+  double error_bound = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedThreadsEnv env(threads);
+    WallTimer timer;
+    double estimate = 0.0;
+    const std::string digest =
+        RunSketchPath(predictor, stream, kStreamBatchRows, &estimate);
+    const double seconds = timer.Seconds();
+    if (threads == 1) {
+      sketch_serial_seconds = seconds;
+      reference_digest = digest;
+      sketch_estimate = estimate;
+      auto scorer = bbv::serve::StreamingScorer::Create(predictor, {});
+      BBV_CHECK(scorer.ok());
+      BBV_CHECK(scorer->Ingest(stream).ok());
+      sketch_bytes = static_cast<double>(scorer->MemoryBytes());
+      error_bound = scorer->ValueErrorBound();
+      const auto features = scorer->PercentileFeatures();
+      BBV_CHECK(features.ok());
+      for (size_t i = 0; i < exact_features.size(); ++i) {
+        max_deviation = std::max(
+            max_deviation, std::fabs((*features)[i] - exact_features[i]));
+      }
+    }
+    const bool deterministic = digest == reference_digest;
+    all_deterministic = all_deterministic && deterministic;
+    BenchResult result;
+    result.name = "sketch_percentiles";
+    result.threads = threads;
+    result.wall_seconds = seconds;
+    result.speedup_vs_serial =
+        seconds > 0.0 ? sketch_serial_seconds / seconds : 0.0;
+    result.extras.emplace_back("rows", static_cast<double>(rows));
+    result.extras.emplace_back("memory_bytes", sketch_bytes);
+    result.extras.emplace_back("memory_ratio_vs_exact",
+                               sketch_bytes > 0.0 ? exact_bytes / sketch_bytes
+                                                  : 0.0);
+    result.extras.emplace_back("estimate", sketch_estimate);
+    result.extras.emplace_back("max_feature_abs_error", max_deviation);
+    result.extras.emplace_back("value_error_bound", error_bound);
+    result.extras.emplace_back("within_bound",
+                               max_deviation <= error_bound ? 1.0 : 0.0);
+    result.extras.emplace_back("deterministic", deterministic ? 1.0 : 0.0);
+    results.push_back(result);
+    std::printf(
+        "sketch_percentiles threads=%d wall=%.3fs bytes=%.0f identical=%s\n",
+        threads, seconds, sketch_bytes, deterministic ? "yes" : "NO");
+  }
+
+  // Batch-split invariance at the highest thread count: any partition of
+  // the stream must produce the same serialized sketch state.
+  {
+    ScopedThreadsEnv env(8);
+    for (size_t batch_rows : {size_t{1024}, rows}) {
+      WallTimer timer;
+      const std::string digest =
+          RunSketchPath(predictor, stream, batch_rows, nullptr);
+      const double seconds = timer.Seconds();
+      const bool deterministic = digest == reference_digest;
+      all_deterministic = all_deterministic && deterministic;
+      BenchResult result;
+      result.name = "sketch_split_batch_" + std::to_string(batch_rows);
+      result.threads = 8;
+      result.wall_seconds = seconds;
+      result.speedup_vs_serial =
+          seconds > 0.0 ? sketch_serial_seconds / seconds : 0.0;
+      result.extras.emplace_back("rows", static_cast<double>(rows));
+      result.extras.emplace_back("deterministic", deterministic ? 1.0 : 0.0);
+      results.push_back(result);
+      std::printf("split batch=%zu wall=%.3fs identical=%s\n", batch_rows,
+                  seconds, deterministic ? "yes" : "NO");
+    }
+  }
+
+  std::printf(
+      "max_feature_abs_error=%.6g (bound %.6g) exact=%.0f bytes sketch=%.0f "
+      "bytes (%.0fx smaller)\n",
+      max_deviation, error_bound, exact_bytes, sketch_bytes,
+      sketch_bytes > 0.0 ? exact_bytes / sketch_bytes : 0.0);
+
+  if (!config.json_path.empty()) {
+    WriteBenchJson(config.json_path, "streaming_serving", config, results);
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  MaybeWriteTelemetryJson(config);
+  if (!config.telemetry_json_path.empty()) {
+    std::printf("wrote %s\n", config.telemetry_json_path.c_str());
+  }
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: sketch state diverges across thread counts or batch "
+                 "splits — the determinism contract is broken\n");
+    return 1;
+  }
+  if (max_deviation > error_bound) {
+    std::fprintf(stderr,
+                 "FAIL: streamed features deviate from the exact path by "
+                 "more than the sketch error bound\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/telemetry.h"
@@ -30,6 +31,13 @@ common::Status ValidateMonitorArguments(const ml::BlackBox* model,
   }
   if (options.history_limit == 0) {
     return common::Status::InvalidArgument("history_limit must be positive");
+  }
+  if (options.window_batches > 0 &&
+      (options.sketch_resolution_bits < 1 ||
+       options.sketch_resolution_bits > 24)) {
+    return common::Status::InvalidArgument(
+        "sketch_resolution_bits must lie in [1, 24] when window_batches is "
+        "set");
   }
   const double reference = predictor.test_score();
   if (!std::isfinite(reference) || reference <= 0.0) {
@@ -80,6 +88,20 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   if (probabilities.rows() == 0) {
     return common::Status::InvalidArgument("empty serving batch");
   }
+  if (windowed()) {
+    // The sketch ring treats non-finite input as a programming error; a
+    // serving stream must degrade recoverably, so reject it up front.
+    for (size_t i = 0; i < probabilities.rows(); ++i) {
+      for (size_t k = 0; k < probabilities.cols(); ++k) {
+        if (!std::isfinite(probabilities.At(i, k))) {
+          common::telemetry::IncrementCounter("monitor.nonfinite_inputs");
+          return common::Status::InvalidArgument(
+              "serving batch contains a non-finite probability at row " +
+              std::to_string(i));
+        }
+      }
+    }
+  }
   BBV_ASSIGN_OR_RETURN(double estimate,
                        predictor_.EstimateScoreFromProba(probabilities));
   if (!std::isfinite(estimate)) {
@@ -89,14 +111,53 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
         "performance predictor produced a non-finite estimate");
   }
   BatchReport report;
-  report.batch_id = batches_observed_++;
   report.rows = probabilities.rows();
   report.estimated_score = estimate;
   report.reference_score = predictor_.test_score();
   // The constructor guarantees a finite, strictly positive reference.
   report.relative_drop =
       (report.reference_score - estimate) / report.reference_score;
-  report.alarm = report.relative_drop >= options_.alarm_threshold;
+  if (windowed()) {
+    // Sketch this batch, merge it with the most recent window_batches - 1
+    // retained banks, and alarm on the estimate over that merged summary —
+    // recent traffic, not all-time aggregates. The ring is only committed
+    // once the windowed estimate is known to be sound, so a failed batch
+    // never pollutes the window.
+    stats::QuantileSketch::Options sketch_options;
+    sketch_options.resolution_bits = options_.sketch_resolution_bits;
+    stats::QuantileSketchBank batch_bank(0, sketch_options);
+    BBV_RETURN_NOT_OK(batch_bank.Observe(probabilities));
+    stats::QuantileSketchBank merged = batch_bank;
+    const size_t prior =
+        std::min(window_.size(), options_.window_batches - 1);
+    for (size_t i = window_.size() - prior; i < window_.size(); ++i) {
+      BBV_RETURN_NOT_OK(merged.Merge(window_[i]));
+    }
+    BBV_ASSIGN_OR_RETURN(
+        double windowed_estimate,
+        predictor_.EstimateScoreFromStatistics(
+            merged.PercentileFeatures(predictor_.percentile_points())));
+    if (!std::isfinite(windowed_estimate)) {
+      common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
+      return common::Status::Internal(
+          "performance predictor produced a non-finite windowed estimate");
+    }
+    report.windowed_estimate = windowed_estimate;
+    report.windowed_relative_drop =
+        (report.reference_score - windowed_estimate) / report.reference_score;
+    report.window_batches_used = prior + 1;
+    report.window_rows = merged.rows_observed();
+    report.alarm =
+        report.windowed_relative_drop >= options_.alarm_threshold;
+    window_.push_back(std::move(batch_bank));
+    while (window_.size() > options_.window_batches) {
+      window_.pop_front();
+      common::telemetry::IncrementCounter("monitor.window_evictions");
+    }
+  } else {
+    report.alarm = report.relative_drop >= options_.alarm_threshold;
+  }
+  report.batch_id = batches_observed_++;
   if (report.alarm) {
     ++alarms_raised_;
     common::telemetry::IncrementCounter("monitor.alarms");
@@ -131,6 +192,18 @@ std::string ModelMonitor::Summary() const {
      << AlarmRate() << ")\n";
   os << "reference score: " << predictor_.test_score() << " (alarm at >= "
      << options_.alarm_threshold << " relative drop)\n";
+  if (windowed()) {
+    os << "sliding window: last " << options_.window_batches
+       << " batches, sketched at 2^" << options_.sketch_resolution_bits
+       << " cells per class";
+    if (!history_.empty()) {
+      const BatchReport& last = history_.back();
+      os << "; current windowed estimate " << last.windowed_estimate << " ("
+         << last.window_batches_used << " batches, " << last.window_rows
+         << " rows)";
+    }
+    os << "\n";
+  }
   if (!history_.empty()) {
     std::vector<double> estimates;
     std::vector<double> latencies;
@@ -163,6 +236,7 @@ std::string ModelMonitor::ExportJson() const {
   os << "    \"reference_score\": " << predictor_.test_score() << ",\n";
   os << "    \"alarm_threshold\": " << options_.alarm_threshold << ",\n";
   os << "    \"history_limit\": " << options_.history_limit << ",\n";
+  os << "    \"window_batches\": " << options_.window_batches << ",\n";
   os << "    \"batches_observed\": " << batches_observed_ << ",\n";
   os << "    \"alarms_raised\": " << alarms_raised_ << ",\n";
   os << "    \"alarm_rate\": " << AlarmRate() << ",\n";
@@ -176,8 +250,14 @@ std::string ModelMonitor::ExportJson() const {
        << ", \"alarm\": " << (report.alarm ? "true" : "false")
        << ", \"latency_seconds\": " << report.latency_seconds
        << ", \"estimate_calls_total\": " << report.estimate_calls_total
-       << ", \"alarms_total\": " << report.alarms_total << "}"
-       << (i + 1 < history_.size() ? "," : "") << "\n";
+       << ", \"alarms_total\": " << report.alarms_total;
+    if (windowed()) {
+      os << ", \"windowed_estimate\": " << report.windowed_estimate
+         << ", \"windowed_relative_drop\": " << report.windowed_relative_drop
+         << ", \"window_batches_used\": " << report.window_batches_used
+         << ", \"window_rows\": " << report.window_rows;
+    }
+    os << "}" << (i + 1 < history_.size() ? "," : "") << "\n";
   }
   os << "    ]\n";
   os << "  }\n";

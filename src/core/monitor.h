@@ -1,6 +1,7 @@
 #ifndef BBV_CORE_MONITOR_H_
 #define BBV_CORE_MONITOR_H_
 
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "core/performance_predictor.h"
 #include "data/dataframe.h"
 #include "ml/black_box.h"
+#include "stats/quantile_sketch.h"
 
 namespace bbv::core {
 
@@ -31,6 +33,16 @@ class ModelMonitor {
     double alarm_threshold = 0.05;
     /// Maximum batch reports retained (older entries are dropped).
     size_t history_limit = 1000;
+    /// Sliding-window mode: when positive, the monitor keeps a ring of the
+    /// last `window_batches` mini-batches as per-class quantile sketches,
+    /// merges them on demand, and alarms on the *windowed* estimate — so
+    /// alarms reflect recent traffic instead of all-time aggregates, in
+    /// O(window * num_classes * 2^sketch_resolution_bits) memory. 0 keeps
+    /// the classic per-batch behavior.
+    size_t window_batches = 0;
+    /// Sketch resolution for the window ring (see
+    /// stats::QuantileSketch::Options); only used when window_batches > 0.
+    int sketch_resolution_bits = 12;
   };
 
   /// Assessment of one serving batch.
@@ -54,6 +66,16 @@ class ModelMonitor {
     uint64_t estimate_calls_total = 0;
     /// Alarms this monitor has raised up to and including this report.
     size_t alarms_total = 0;
+    /// Sliding-window fields; meaningful only when Options::window_batches
+    /// is positive. The estimate over the merged sketches of the last
+    /// `window_batches_used` batches, and its relative drop — this is what
+    /// drives the alarm in window mode.
+    double windowed_estimate = 0.0;
+    double windowed_relative_drop = 0.0;
+    /// Batches merged into the windowed estimate (<= window_batches).
+    size_t window_batches_used = 0;
+    /// Rows covered by the windowed estimate.
+    uint64_t window_rows = 0;
   };
 
   /// Validating factory: rejects a null model, an untrained predictor, an
@@ -98,11 +120,17 @@ class ModelMonitor {
   /// statistics, and one JSON object per retained batch report.
   std::string ExportJson() const;
 
+  /// True when the monitor alarms on windowed estimates.
+  bool windowed() const { return options_.window_batches > 0; }
+
  private:
   const ml::BlackBox* model_;
   PerformancePredictor predictor_;
   Options options_;
   std::vector<BatchReport> history_;
+  /// Ring of per-batch sketch banks, newest at the back; bounded by
+  /// options_.window_batches. Empty in classic mode.
+  std::deque<stats::QuantileSketchBank> window_;
   size_t batches_observed_ = 0;
   size_t alarms_raised_ = 0;
 };

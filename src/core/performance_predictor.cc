@@ -1,6 +1,7 @@
 #include "core/performance_predictor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/parallel.h"
 #include "common/telemetry.h"
@@ -128,6 +129,7 @@ common::Status PerformancePredictor::TrainFromStatistics(
   test_score_ = test_score;
   const linalg::Matrix features = linalg::Matrix::FromRows(statistics);
   num_training_examples_ = scores.size();
+  feature_dimension_ = features.cols();
 
   // Grid search over the number of trees with k-fold CV on MAE (line 13;
   // paper §4 trains a RandomForestRegressor with five-fold CV).
@@ -164,7 +166,9 @@ common::Status PerformancePredictor::TrainFromStatistics(
 
 namespace {
 constexpr char kPredictorMagic[] = "BBVPP";
-constexpr uint32_t kPredictorVersion = 1;
+// Version 2 added the trained feature dimension, which guards
+// EstimateScoreFromStatistics against mis-sized feature vectors.
+constexpr uint32_t kPredictorVersion = 2;
 }  // namespace
 
 common::Status PerformancePredictor::Save(std::ostream& out) const {
@@ -178,6 +182,7 @@ common::Status PerformancePredictor::Save(std::ostream& out) const {
   writer.WriteDoubleVector(options_.percentile_points);
   writer.WriteInt32(static_cast<int32_t>(selected_tree_count_));
   writer.WriteUint64(num_training_examples_);
+  writer.WriteUint64(feature_dimension_);
   BBV_RETURN_NOT_OK(writer.status());
   return regressor_.Save(out);
 }
@@ -203,6 +208,8 @@ common::Result<PerformancePredictor> PerformancePredictor::Load(
   predictor.selected_tree_count_ = tree_count;
   BBV_ASSIGN_OR_RETURN(uint64_t examples, reader.ReadUint64());
   predictor.num_training_examples_ = examples;
+  BBV_ASSIGN_OR_RETURN(uint64_t feature_dimension, reader.ReadUint64());
+  predictor.feature_dimension_ = feature_dimension;
   BBV_ASSIGN_OR_RETURN(predictor.regressor_,
                        ml::RandomForestRegressor::Load(in));
   predictor.trained_ = true;
@@ -227,6 +234,31 @@ common::Result<double> PerformancePredictor::EstimateScoreFromProba(
                                       probabilities.rows());
   const std::vector<double> statistics =
       PredictionStatistics(probabilities, options_.percentile_points);
+  if (statistics.size() != feature_dimension_) {
+    return common::Status::InvalidArgument(
+        "serving batch has " + std::to_string(probabilities.cols()) +
+        " classes but the predictor was trained on " +
+        std::to_string(feature_dimension_ /
+                       options_.percentile_points.size()));
+  }
+  return regressor_.PredictRow(statistics.data());
+}
+
+common::Result<double> PerformancePredictor::EstimateScoreFromStatistics(
+    const std::vector<double>& statistics) const {
+  const common::telemetry::TraceSpan span("predictor.estimate");
+  if (!trained_) {
+    return common::Status::FailedPrecondition("EstimateScore before Train");
+  }
+  if (statistics.size() != feature_dimension_) {
+    // The regressor indexes features by position; a mis-sized vector would
+    // read out of bounds, so reject it before inference.
+    return common::Status::InvalidArgument(
+        "feature vector has " + std::to_string(statistics.size()) +
+        " entries but the predictor was trained on " +
+        std::to_string(feature_dimension_));
+  }
+  common::telemetry::IncrementCounter("predictor.estimate.calls");
   return regressor_.PredictRow(statistics.data());
 }
 

@@ -90,6 +90,24 @@ class PerformancePredictor {
   common::Result<double> EstimateScoreFromProba(
       const linalg::Matrix& probabilities) const;
 
+  /// Estimated score from a precomputed percentile feature vector — the
+  /// entry point for the streaming serving layer, whose mergeable sketches
+  /// produce the same num_classes * percentile_points() features without
+  /// retaining rows. `statistics` must match the feature dimension the
+  /// regressor was trained on.
+  common::Result<double> EstimateScoreFromStatistics(
+      const std::vector<double>& statistics) const;
+
+  /// Percentile grid the regressor's features are built on. Streaming
+  /// consumers must query their sketches at exactly these points.
+  const std::vector<double>& percentile_points() const {
+    return options_.percentile_points;
+  }
+
+  /// Length of the percentile feature vector the regressor expects
+  /// (num_classes * percentile grid size); 0 before training.
+  size_t feature_dimension() const { return feature_dimension_; }
+
   /// Score the black box achieved on the clean held-out test set
   /// (the paper's l_test reference value).
   double test_score() const { return test_score_; }
@@ -113,6 +131,7 @@ class PerformancePredictor {
   bool trained_ = false;
   double test_score_ = 0.0;
   size_t num_training_examples_ = 0;
+  size_t feature_dimension_ = 0;
   int selected_tree_count_ = 0;
   ml::RandomForestRegressor regressor_;
 };

@@ -1,0 +1,133 @@
+#include "serve/streaming_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+
+namespace bbv::serve {
+
+common::Result<StreamingScorer> StreamingScorer::Create(
+    core::PerformancePredictor predictor, Options options) {
+  if (!predictor.trained()) {
+    return common::Status::FailedPrecondition(
+        "StreamingScorer needs a trained performance predictor");
+  }
+  if (options.resolution_bits < 1 || options.resolution_bits > 24) {
+    return common::Status::InvalidArgument(
+        "resolution_bits must lie in [1, 24], got " +
+        std::to_string(options.resolution_bits));
+  }
+  return StreamingScorer(std::move(predictor), options);
+}
+
+StreamingScorer::StreamingScorer(core::PerformancePredictor predictor,
+                                 Options options)
+    : predictor_(std::move(predictor)), options_(options) {
+  stats::QuantileSketch::Options sketch_options;
+  sketch_options.resolution_bits = options_.resolution_bits;
+  sketch_options.lo = 0.0;
+  sketch_options.hi = 1.0;
+  bank_ = stats::QuantileSketchBank(0, sketch_options);
+}
+
+common::Status StreamingScorer::Ingest(const linalg::Matrix& probabilities) {
+  const common::telemetry::TraceSpan span("serve.ingest");
+  if (probabilities.rows() == 0) {
+    return common::Status::InvalidArgument("empty serving mini-batch");
+  }
+  const size_t expected_classes =
+      predictor_.feature_dimension() / predictor_.percentile_points().size();
+  if (probabilities.cols() != expected_classes) {
+    return common::Status::InvalidArgument(
+        "mini-batch has " + std::to_string(probabilities.cols()) +
+        " classes but the predictor was trained on " +
+        std::to_string(expected_classes));
+  }
+  // Reject NaN/Inf up front: the sketches treat non-finite input as a
+  // programming error, but a serving stream must degrade recoverably.
+  for (size_t i = 0; i < probabilities.rows(); ++i) {
+    for (size_t k = 0; k < probabilities.cols(); ++k) {
+      if (!std::isfinite(probabilities.At(i, k))) {
+        common::telemetry::IncrementCounter("serve.nonfinite_batches");
+        return common::Status::InvalidArgument(
+            "mini-batch contains a non-finite probability at row " +
+            std::to_string(i));
+      }
+    }
+  }
+  BBV_RETURN_NOT_OK(bank_.Observe(probabilities));
+  ++batches_ingested_;
+  common::telemetry::IncrementCounter("serve.batches");
+  common::telemetry::IncrementCounter("serve.rows", probabilities.rows());
+  return common::Status::OK();
+}
+
+common::Status StreamingScorer::IngestFrame(const ml::BlackBox& model,
+                                            const data::DataFrame& serving) {
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model.PredictProba(serving));
+  return Ingest(probabilities);
+}
+
+common::Result<std::vector<double>> StreamingScorer::PercentileFeatures()
+    const {
+  if (bank_.rows_observed() == 0) {
+    return common::Status::FailedPrecondition(
+        "PercentileFeatures before any ingested rows");
+  }
+  return bank_.PercentileFeatures(predictor_.percentile_points());
+}
+
+common::Result<double> StreamingScorer::EstimateScore() const {
+  const common::telemetry::TraceSpan span("serve.estimate");
+  BBV_ASSIGN_OR_RETURN(std::vector<double> features, PercentileFeatures());
+  common::telemetry::IncrementCounter("serve.estimates");
+  return predictor_.EstimateScoreFromStatistics(features);
+}
+
+common::Status StreamingScorer::MergeFrom(const StreamingScorer& other) {
+  if (options_.resolution_bits != other.options_.resolution_bits) {
+    return common::Status::InvalidArgument(
+        "MergeFrom across different sketch resolutions");
+  }
+  BBV_RETURN_NOT_OK(bank_.Merge(other.bank_));
+  batches_ingested_ += other.batches_ingested_;
+  common::telemetry::IncrementCounter("serve.merges");
+  return common::Status::OK();
+}
+
+common::Result<double> StreamingScorer::MaxClassKsDistance(
+    const StreamingScorer& reference) const {
+  if (num_classes() == 0 || reference.num_classes() == 0) {
+    return common::Status::FailedPrecondition(
+        "KS distance before any ingested rows");
+  }
+  if (num_classes() != reference.num_classes()) {
+    return common::Status::InvalidArgument(
+        "KS distance across different class counts");
+  }
+  double max_distance = 0.0;
+  for (size_t k = 0; k < num_classes(); ++k) {
+    BBV_ASSIGN_OR_RETURN(
+        double distance,
+        stats::KsStatistic(bank_.sketch(k), reference.bank_.sketch(k)));
+    max_distance = std::max(max_distance, distance);
+  }
+  return max_distance;
+}
+
+double StreamingScorer::ValueErrorBound() const {
+  stats::QuantileSketch::Options sketch_options;
+  sketch_options.resolution_bits = options_.resolution_bits;
+  return stats::QuantileSketch(sketch_options).ValueErrorBound();
+}
+
+common::Status StreamingScorer::SaveState(std::ostream& out) const {
+  return bank_.Save(out);
+}
+
+}  // namespace bbv::serve

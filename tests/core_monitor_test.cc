@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -245,6 +246,97 @@ TEST(ModelMonitorTest, ReportsCarryLatencyAndTelemetrySnapshot) {
   EXPECT_EQ(report->alarms_total, monitor.alarms_raised());
   EXPECT_EQ(monitor.history().back().latency_seconds,
             report->latency_seconds);
+}
+
+TEST(ModelMonitorTest, WindowedCreateRejectsBadSketchResolution) {
+  common::Rng rng(13);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.window_batches = 4;
+  for (int bits : {0, -3, 25}) {
+    options.sketch_resolution_bits = bits;
+    EXPECT_FALSE(
+        ModelMonitor::Create(fixture.model.get(), fixture.predictor, options)
+            .ok())
+        << bits;
+  }
+  options.sketch_resolution_bits = 12;
+  EXPECT_TRUE(
+      ModelMonitor::Create(fixture.model.get(), fixture.predictor, options)
+          .ok());
+}
+
+TEST(ModelMonitorTest, WindowedHandlesEmptyAndSingleRowBatches) {
+  common::Rng rng(14);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.window_batches = 3;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+
+  EXPECT_FALSE(monitor.ObserveFromProba(linalg::Matrix()).ok());
+  EXPECT_EQ(monitor.batches_observed(), 0u);
+
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  const auto single = monitor.ObserveFromProba(proba.SelectRows({0}));
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->rows, 1u);
+  EXPECT_EQ(single->window_batches_used, 1u);
+  EXPECT_EQ(single->window_rows, 1u);
+  EXPECT_TRUE(std::isfinite(single->windowed_estimate));
+  EXPECT_TRUE(std::isfinite(single->windowed_relative_drop));
+}
+
+TEST(ModelMonitorTest, WindowedEvictsWhenBatchCountExceedsWindow) {
+  common::Rng rng(15);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.window_batches = 2;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    const auto report = monitor.ObserveFromProba(proba);
+    ASSERT_TRUE(report.ok());
+    // The merged summary never covers more than window_batches batches.
+    EXPECT_EQ(report->window_batches_used,
+              std::min<size_t>(static_cast<size_t>(i) + 1, 2u));
+    EXPECT_EQ(report->window_rows,
+              report->window_batches_used * proba.rows());
+  }
+  EXPECT_EQ(monitor.batches_observed(), 5u);
+  const std::string summary = monitor.Summary();
+  EXPECT_NE(summary.find("sliding window"), std::string::npos);
+  const std::string json = monitor.ExportJson();
+  EXPECT_TRUE(bbv::testing::JsonParses(json));
+  for (const char* key :
+       {"\"window_batches\"", "\"windowed_estimate\"",
+        "\"windowed_relative_drop\"", "\"window_batches_used\"",
+        "\"window_rows\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(ModelMonitorTest, WindowedRejectsNonFiniteWithoutPollutingWindow) {
+  common::Rng rng(16);
+  Fixture fixture = MakeFixture(rng);
+  ModelMonitor::Options options;
+  options.window_batches = 4;
+  ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+
+  linalg::Matrix poisoned = proba;
+  poisoned.At(2, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(monitor.ObserveFromProba(poisoned).ok());
+  EXPECT_EQ(monitor.batches_observed(), 1u);
+
+  // The rejected batch must not occupy a window slot.
+  const auto next = monitor.ObserveFromProba(proba);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->window_batches_used, 2u);
+  EXPECT_EQ(next->window_rows, 2u * proba.rows());
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Tests for the bench JSON diff engine behind the CI perf gate: parsing of
+// the WriteBenchJson format, tolerance-based wall-time comparison, the
+// never-decrease rule for correctness flags, and entry set changes.
+
+#include "tools/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bbv::tools {
+namespace {
+
+std::string SampleJson(double forest_wall, double cv_wall,
+                       double deterministic) {
+  std::string json = R"({
+  "bench": "parallel_scaling",
+  "mode": "fast",
+  "seed": 42,
+  "hardware_concurrency": 8,
+  "results": [
+    {"name": "forest_fit", "threads": 1, "wall_seconds": )";
+  json += std::to_string(forest_wall);
+  json += R"(, "speedup_vs_serial": 1, "deterministic": )";
+  json += std::to_string(deterministic);
+  json += R"(},
+    {"name": "cv_mae", "threads": 4, "wall_seconds": )";
+  json += std::to_string(cv_wall);
+  json += R"(, "speedup_vs_serial": 2.5}
+  ]
+}
+)";
+  return json;
+}
+
+BenchFile Parse(const std::string& json) {
+  BenchFile file;
+  std::string error;
+  const bool ok = ParseBenchJson(json, &file, &error);
+  EXPECT_TRUE(ok) << error;
+  return file;
+}
+
+TEST(BenchCompareParseTest, ReadsMetadataAndEntries) {
+  const BenchFile file = Parse(SampleJson(1.5, 0.75, 1.0));
+  EXPECT_EQ(file.bench, "parallel_scaling");
+  EXPECT_EQ(file.mode, "fast");
+  EXPECT_EQ(file.seed, 42u);
+  ASSERT_EQ(file.entries.size(), 2u);
+  EXPECT_EQ(file.entries[0].name, "forest_fit");
+  EXPECT_EQ(file.entries[0].threads, 1);
+  EXPECT_DOUBLE_EQ(file.entries[0].wall_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(file.entries[0].Metric("deterministic", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(file.entries[0].Metric("missing", -1.0), -1.0);
+  EXPECT_EQ(file.entries[1].name, "cv_mae");
+  EXPECT_EQ(file.entries[1].threads, 4);
+  EXPECT_DOUBLE_EQ(file.entries[1].Metric("speedup_vs_serial", 0.0), 2.5);
+}
+
+TEST(BenchCompareParseTest, RejectsMalformedInput) {
+  BenchFile file;
+  std::string error;
+  EXPECT_FALSE(ParseBenchJson("", &file, &error));
+  EXPECT_FALSE(ParseBenchJson("{\"bench\": \"x\"}", &file, &error));
+  EXPECT_FALSE(ParseBenchJson("{\"results\": [{\"threads\": 1}]}", &file,
+                              &error));
+  EXPECT_FALSE(ParseBenchJson("{\"results\": [{\"name\": \"x\"", &file,
+                              &error));
+}
+
+TEST(BenchCompareTest, IdenticalRunsAreClean) {
+  const BenchFile baseline = Parse(SampleJson(1.0, 0.5, 1.0));
+  const BenchFile candidate = Parse(SampleJson(1.0, 0.5, 1.0));
+  const auto findings =
+      CompareBenchFiles(baseline, candidate, CompareOptions{});
+  EXPECT_TRUE(findings.empty());
+  EXPECT_FALSE(HasBlockingFindings(findings));
+}
+
+TEST(BenchCompareTest, ToleranceAbsorbsSmallDrift) {
+  const BenchFile baseline = Parse(SampleJson(1.0, 0.5, 1.0));
+  const BenchFile candidate = Parse(SampleJson(1.2, 0.6, 1.0));
+  CompareOptions options;
+  options.tolerance = 0.25;
+  EXPECT_TRUE(CompareBenchFiles(baseline, candidate, options).empty());
+  // The same drift fails a tighter gate.
+  options.tolerance = 0.1;
+  const auto findings = CompareBenchFiles(baseline, candidate, options);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].kind, CompareFinding::Kind::kRegression);
+  EXPECT_TRUE(HasBlockingFindings(findings));
+}
+
+TEST(BenchCompareTest, FlagsWallTimeRegression) {
+  const BenchFile baseline = Parse(SampleJson(1.0, 0.5, 1.0));
+  const BenchFile candidate = Parse(SampleJson(2.0, 0.5, 1.0));
+  const auto findings =
+      CompareBenchFiles(baseline, candidate, CompareOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, CompareFinding::Kind::kRegression);
+  EXPECT_EQ(findings[0].key, "forest_fit threads=1");
+  EXPECT_DOUBLE_EQ(findings[0].baseline_value, 1.0);
+  EXPECT_DOUBLE_EQ(findings[0].candidate_value, 2.0);
+  EXPECT_NE(FormatCompareFinding(findings[0]).find("regression"),
+            std::string::npos);
+}
+
+TEST(BenchCompareTest, DeterminismFlagMustNeverDrop) {
+  const BenchFile baseline = Parse(SampleJson(1.0, 0.5, 1.0));
+  // Candidate is faster, but its determinism flag dropped to 0 — the
+  // timing tolerance must not absorb that.
+  const BenchFile candidate = Parse(SampleJson(0.5, 0.25, 0.0));
+  const auto findings =
+      CompareBenchFiles(baseline, candidate, CompareOptions{});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, CompareFinding::Kind::kRegression);
+  EXPECT_NE(findings[0].message.find("deterministic"), std::string::npos);
+  EXPECT_TRUE(HasBlockingFindings(findings));
+}
+
+TEST(BenchCompareTest, ReportsMissingNewAndMetadataChanges) {
+  BenchFile baseline = Parse(SampleJson(1.0, 0.5, 1.0));
+  BenchFile candidate = Parse(SampleJson(1.0, 0.5, 1.0));
+  candidate.bench = "other_bench";
+  candidate.mode = "full";
+  candidate.entries[0].name = "renamed_fit";
+  const auto findings =
+      CompareBenchFiles(baseline, candidate, CompareOptions{});
+  size_t metadata = 0;
+  size_t missing = 0;
+  size_t fresh = 0;
+  for (const CompareFinding& finding : findings) {
+    if (finding.kind == CompareFinding::Kind::kMetadataMismatch) ++metadata;
+    if (finding.kind == CompareFinding::Kind::kMissingEntry) ++missing;
+    if (finding.kind == CompareFinding::Kind::kNewEntry) ++fresh;
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(missing, 1u);
+  EXPECT_EQ(fresh, 1u);
+  EXPECT_TRUE(HasBlockingFindings(findings));
+
+  // A new entry alone is informational, not blocking.
+  std::vector<CompareFinding> only_new;
+  for (const CompareFinding& finding : findings) {
+    if (finding.kind == CompareFinding::Kind::kNewEntry) {
+      only_new.push_back(finding);
+    }
+  }
+  EXPECT_FALSE(HasBlockingFindings(only_new));
+}
+
+TEST(BenchCompareTest, ParsesCommittedBaselineArtifact) {
+  // The committed perf baselines must stay parseable — CI diffs against
+  // them on every run.
+  for (const char* name :
+       {"/BENCH_parallel_scaling.json", "/BENCH_streaming_serving.json"}) {
+    BenchFile file;
+    std::string error;
+    const std::string path = std::string(BBV_TEST_SOURCE_DIR) + "/.." + name;
+    ASSERT_TRUE(LoadBenchFile(path, &file, &error)) << error;
+    EXPECT_FALSE(file.bench.empty());
+    EXPECT_FALSE(file.entries.empty());
+    const auto self = CompareBenchFiles(file, file, CompareOptions{});
+    EXPECT_FALSE(HasBlockingFindings(self)) << path;
+  }
+}
+
+}  // namespace
+}  // namespace bbv::tools

@@ -1,0 +1,72 @@
+// Perf gate: diffs two BENCH_*.json files (see bench::WriteBenchJson) and
+// reports wall-time regressions beyond a relative tolerance, dropped
+// determinism/error-bound flags, and entries that appeared or disappeared.
+//
+// Usage: bbv_bench_compare [--tolerance=0.25] [--warn-only]
+//                          baseline.json candidate.json
+//
+// Exits 0 when clean (or always with --warn-only, for advisory CI steps on
+// noisy shared runners), 1 on blocking findings, 2 on usage/parse errors.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/bench_compare.h"
+
+int main(int argc, char** argv) {
+  bbv::tools::CompareOptions options;
+  bool warn_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string tolerance_prefix = "--tolerance=";
+    if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind(tolerance_prefix, 0) == 0) {
+      char* end = nullptr;
+      const std::string value = arg.substr(tolerance_prefix.size());
+      options.tolerance = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || options.tolerance < 0.0) {
+        std::cerr << "bbv_bench_compare: bad tolerance '" << value << "'\n";
+        return 2;
+      }
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << "usage: bbv_bench_compare [--tolerance=T] [--warn-only] "
+                 "baseline.json candidate.json\n";
+    return 2;
+  }
+
+  bbv::tools::BenchFile baseline;
+  bbv::tools::BenchFile candidate;
+  std::string error;
+  if (!bbv::tools::LoadBenchFile(paths[0], &baseline, &error) ||
+      !bbv::tools::LoadBenchFile(paths[1], &candidate, &error)) {
+    std::cerr << "bbv_bench_compare: " << error << "\n";
+    return 2;
+  }
+
+  const std::vector<bbv::tools::CompareFinding> findings =
+      bbv::tools::CompareBenchFiles(baseline, candidate, options);
+  for (const bbv::tools::CompareFinding& finding : findings) {
+    std::cerr << bbv::tools::FormatCompareFinding(finding) << "\n";
+  }
+  const bool blocking = bbv::tools::HasBlockingFindings(findings);
+  if (!blocking) {
+    std::cout << "bbv_bench_compare: " << candidate.bench << " within "
+              << (1.0 + options.tolerance) << "x of baseline ("
+              << baseline.entries.size() << " entries)\n";
+    return 0;
+  }
+  if (warn_only) {
+    std::cout << "bbv_bench_compare: findings above are advisory "
+                 "(--warn-only)\n";
+    return 0;
+  }
+  return 1;
+}

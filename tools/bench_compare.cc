@@ -1,0 +1,300 @@
+#include "tools/bench_compare.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace bbv::tools {
+
+namespace {
+
+/// Skips spaces, tabs and newlines starting at `pos`.
+size_t SkipWhitespace(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Parses one `"key": value` pair at `pos` (which must point at the opening
+/// quote of the key). Values are either quoted strings or bare numbers —
+/// the only scalar shapes WriteBenchJson emits. Advances `pos` past the
+/// value. Returns false on any other shape.
+bool ParseField(const std::string& text, size_t* pos, std::string* key,
+                std::string* string_value, double* number_value,
+                bool* is_string) {
+  size_t p = SkipWhitespace(text, *pos);
+  if (p >= text.size() || text[p] != '"') return false;
+  const size_t key_end = text.find('"', p + 1);
+  if (key_end == std::string::npos) return false;
+  *key = text.substr(p + 1, key_end - p - 1);
+  p = SkipWhitespace(text, key_end + 1);
+  if (p >= text.size() || text[p] != ':') return false;
+  p = SkipWhitespace(text, p + 1);
+  if (p >= text.size()) return false;
+  if (text[p] == '"') {
+    const size_t value_end = text.find('"', p + 1);
+    if (value_end == std::string::npos) return false;
+    *string_value = text.substr(p + 1, value_end - p - 1);
+    *is_string = true;
+    *pos = value_end + 1;
+    return true;
+  }
+  char* end = nullptr;
+  *number_value = std::strtod(text.c_str() + p, &end);
+  if (end == text.c_str() + p) return false;
+  *is_string = false;
+  *pos = static_cast<size_t>(end - text.c_str());
+  return true;
+}
+
+/// Parses the flat object starting at the '{' at `pos` into key/value
+/// callbacks; advances `pos` past the closing '}'.
+bool ParseFlatObject(const std::string& text, size_t* pos, BenchEntry* entry,
+                     std::string* error) {
+  size_t p = SkipWhitespace(text, *pos);
+  if (p >= text.size() || text[p] != '{') {
+    *error = "expected '{' in results array";
+    return false;
+  }
+  ++p;
+  while (true) {
+    p = SkipWhitespace(text, p);
+    if (p < text.size() && text[p] == '}') {
+      *pos = p + 1;
+      return true;
+    }
+    std::string key;
+    std::string string_value;
+    double number_value = 0.0;
+    bool is_string = false;
+    if (!ParseField(text, &p, &key, &string_value, &number_value,
+                    &is_string)) {
+      *error = "malformed field in results object";
+      return false;
+    }
+    if (key == "name" && is_string) {
+      entry->name = string_value;
+    } else if (key == "threads" && !is_string) {
+      entry->threads = static_cast<int>(number_value);
+    } else if (key == "wall_seconds" && !is_string) {
+      entry->wall_seconds = number_value;
+    } else if (!is_string) {
+      entry->metrics.emplace_back(key, number_value);
+    }
+    p = SkipWhitespace(text, p);
+    if (p < text.size() && text[p] == ',') ++p;
+  }
+}
+
+std::string EntryKey(const BenchEntry& entry) {
+  std::ostringstream key;
+  key << entry.name << " threads=" << entry.threads;
+  return key.str();
+}
+
+}  // namespace
+
+double BenchEntry::Metric(const std::string& key, double fallback) const {
+  for (const auto& [metric_name, value] : metrics) {
+    if (metric_name == key) return value;
+  }
+  return fallback;
+}
+
+bool ParseBenchJson(const std::string& contents, BenchFile* out,
+                    std::string* error) {
+  *out = BenchFile();
+  // Run metadata: scalar fields before the results array.
+  const size_t results_pos = contents.find("\"results\"");
+  if (results_pos == std::string::npos) {
+    *error = "no \"results\" array";
+    return false;
+  }
+  size_t p = SkipWhitespace(contents, 0);
+  if (p >= contents.size() || contents[p] != '{') {
+    *error = "input is not a JSON object";
+    return false;
+  }
+  ++p;
+  while (p < contents.size() && p < results_pos) {
+    p = SkipWhitespace(contents, p);
+    if (p >= results_pos) break;
+    std::string key;
+    std::string string_value;
+    double number_value = 0.0;
+    bool is_string = false;
+    if (!ParseField(contents, &p, &key, &string_value, &number_value,
+                    &is_string)) {
+      *error = "malformed metadata field";
+      return false;
+    }
+    if (key == "bench" && is_string) out->bench = string_value;
+    if (key == "mode" && is_string) out->mode = string_value;
+    if (key == "seed" && !is_string) {
+      out->seed = static_cast<uint64_t>(number_value);
+    }
+    p = SkipWhitespace(contents, p);
+    if (p < contents.size() && contents[p] == ',') ++p;
+  }
+  p = contents.find('[', results_pos);
+  if (p == std::string::npos) {
+    *error = "no '[' after \"results\"";
+    return false;
+  }
+  ++p;
+  while (true) {
+    p = SkipWhitespace(contents, p);
+    if (p >= contents.size()) {
+      *error = "unterminated results array";
+      return false;
+    }
+    if (contents[p] == ']') break;
+    if (contents[p] == ',') {
+      ++p;
+      continue;
+    }
+    BenchEntry entry;
+    if (!ParseFlatObject(contents, &p, &entry, error)) return false;
+    if (entry.name.empty()) {
+      *error = "results object without a \"name\"";
+      return false;
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool LoadBenchFile(const std::string& path, BenchFile* out,
+                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (!ParseBenchJson(contents.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::vector<CompareFinding> CompareBenchFiles(const BenchFile& baseline,
+                                              const BenchFile& candidate,
+                                              const CompareOptions& options) {
+  std::vector<CompareFinding> findings;
+  auto metadata_mismatch = [&findings](const std::string& field,
+                                       const std::string& base,
+                                       const std::string& cand) {
+    CompareFinding finding;
+    finding.kind = CompareFinding::Kind::kMetadataMismatch;
+    finding.key = field;
+    finding.message = "baseline \"" + base + "\" vs candidate \"" + cand +
+                      "\" — wall times are not comparable";
+    findings.push_back(finding);
+  };
+  if (baseline.bench != candidate.bench) {
+    metadata_mismatch("bench", baseline.bench, candidate.bench);
+  }
+  if (baseline.mode != candidate.mode) {
+    metadata_mismatch("mode", baseline.mode, candidate.mode);
+  }
+
+  std::map<std::string, const BenchEntry*> candidate_by_key;
+  for (const BenchEntry& entry : candidate.entries) {
+    candidate_by_key[EntryKey(entry)] = &entry;
+  }
+  std::map<std::string, bool> baseline_keys;
+  for (const BenchEntry& base : baseline.entries) {
+    const std::string key = EntryKey(base);
+    baseline_keys[key] = true;
+    const auto found = candidate_by_key.find(key);
+    if (found == candidate_by_key.end()) {
+      CompareFinding finding;
+      finding.kind = CompareFinding::Kind::kMissingEntry;
+      finding.key = key;
+      finding.baseline_value = base.wall_seconds;
+      finding.message = "entry disappeared from the candidate run";
+      findings.push_back(finding);
+      continue;
+    }
+    const BenchEntry& cand = *found->second;
+    if (base.wall_seconds > 0.0 &&
+        cand.wall_seconds > base.wall_seconds * (1.0 + options.tolerance)) {
+      CompareFinding finding;
+      finding.kind = CompareFinding::Kind::kRegression;
+      finding.key = key;
+      finding.baseline_value = base.wall_seconds;
+      finding.candidate_value = cand.wall_seconds;
+      std::ostringstream message;
+      message.precision(3);
+      message << "wall time " << base.wall_seconds << "s -> "
+              << cand.wall_seconds << "s ("
+              << cand.wall_seconds / base.wall_seconds << "x, tolerance "
+              << 1.0 + options.tolerance << "x)";
+      finding.message = message.str();
+      findings.push_back(finding);
+    }
+    // Correctness flags must never drop, no matter the timing tolerance.
+    for (const char* flag : {"deterministic", "within_bound"}) {
+      const double base_flag = base.Metric(flag, 1.0);
+      const double cand_flag = cand.Metric(flag, 1.0);
+      if (cand_flag < base_flag) {
+        CompareFinding finding;
+        finding.kind = CompareFinding::Kind::kRegression;
+        finding.key = key;
+        finding.baseline_value = base_flag;
+        finding.candidate_value = cand_flag;
+        finding.message = std::string(flag) + " flag dropped from " +
+                          std::to_string(base_flag) + " to " +
+                          std::to_string(cand_flag);
+        findings.push_back(finding);
+      }
+    }
+  }
+  for (const BenchEntry& entry : candidate.entries) {
+    const std::string key = EntryKey(entry);
+    if (baseline_keys.find(key) == baseline_keys.end()) {
+      CompareFinding finding;
+      finding.kind = CompareFinding::Kind::kNewEntry;
+      finding.key = key;
+      finding.candidate_value = entry.wall_seconds;
+      finding.message = "entry is new in the candidate run";
+      findings.push_back(finding);
+    }
+  }
+  return findings;
+}
+
+bool HasBlockingFindings(const std::vector<CompareFinding>& findings) {
+  for (const CompareFinding& finding : findings) {
+    if (finding.kind != CompareFinding::Kind::kNewEntry) return true;
+  }
+  return false;
+}
+
+std::string FormatCompareFinding(const CompareFinding& finding) {
+  const char* kind = "regression";
+  switch (finding.kind) {
+    case CompareFinding::Kind::kRegression:
+      kind = "regression";
+      break;
+    case CompareFinding::Kind::kMissingEntry:
+      kind = "missing";
+      break;
+    case CompareFinding::Kind::kNewEntry:
+      kind = "new";
+      break;
+    case CompareFinding::Kind::kMetadataMismatch:
+      kind = "metadata";
+      break;
+  }
+  return std::string(kind) + " (" + finding.key + "): " + finding.message;
+}
+
+}  // namespace bbv::tools

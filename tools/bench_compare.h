@@ -1,0 +1,86 @@
+#ifndef BBV_TOOLS_BENCH_COMPARE_H_
+#define BBV_TOOLS_BENCH_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bbv::tools {
+
+/// One measured configuration from a BENCH_*.json file (see
+/// bench::WriteBenchJson): a (name, threads) key, the wall time, and every
+/// other numeric field the benchmark emitted (speedups, memory, determinism
+/// flags, ...).
+struct BenchEntry {
+  std::string name;
+  int threads = 1;
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Value of a named metric, or `fallback` when absent.
+  double Metric(const std::string& key, double fallback) const;
+};
+
+/// Parsed BENCH_*.json: run metadata plus one entry per result object.
+struct BenchFile {
+  std::string bench;
+  std::string mode;
+  uint64_t seed = 0;
+  std::vector<BenchEntry> entries;
+};
+
+/// Parses the machine-written bench JSON format. This is not a general
+/// JSON parser: it understands exactly the flat shape WriteBenchJson
+/// produces (string or numeric scalar fields, one "results" array of flat
+/// objects). Returns false and fills `error` on malformed input.
+bool ParseBenchJson(const std::string& contents, BenchFile* out,
+                    std::string* error);
+
+/// Reads and parses one file from disk; false + `error` on I/O failure.
+bool LoadBenchFile(const std::string& path, BenchFile* out,
+                   std::string* error);
+
+struct CompareOptions {
+  /// Allowed relative wall-time growth before a result counts as a
+  /// regression: candidate > baseline * (1 + tolerance). Wall times are
+  /// noisy on shared CI runners, so the default is deliberately loose.
+  double tolerance = 0.25;
+};
+
+/// One difference that matters between a baseline and a candidate run.
+struct CompareFinding {
+  enum class Kind {
+    kRegression,        ///< wall time grew past tolerance, or a
+                        ///< correctness flag (deterministic/within_bound)
+                        ///< dropped.
+    kMissingEntry,      ///< present in the baseline, absent from candidate.
+    kNewEntry,          ///< present in the candidate only (informational).
+    kMetadataMismatch,  ///< different bench name or run mode — wall times
+                        ///< are not comparable.
+  };
+  Kind kind = Kind::kRegression;
+  /// "(name, threads=N)" for entry findings; field name for metadata.
+  std::string key;
+  double baseline_value = 0.0;
+  double candidate_value = 0.0;
+  std::string message;
+};
+
+/// Diffs two parsed bench files. Entries are keyed by (name, threads).
+/// Wall times are compared with the relative tolerance; the boolean
+/// correctness metrics "deterministic" and "within_bound" must never
+/// decrease, tolerance or not.
+std::vector<CompareFinding> CompareBenchFiles(const BenchFile& baseline,
+                                              const BenchFile& candidate,
+                                              const CompareOptions& options);
+
+/// True when any finding should fail a gate (anything except kNewEntry).
+bool HasBlockingFindings(const std::vector<CompareFinding>& findings);
+
+/// "kind (key): message" — the canonical one-line rendering.
+std::string FormatCompareFinding(const CompareFinding& finding);
+
+}  // namespace bbv::tools
+
+#endif  // BBV_TOOLS_BENCH_COMPARE_H_
