@@ -92,8 +92,9 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
     // The sketch ring treats non-finite input as a programming error; a
     // serving stream must degrade recoverably, so reject it up front.
     for (size_t i = 0; i < probabilities.rows(); ++i) {
+      const double* row = probabilities.RowData(i);
       for (size_t k = 0; k < probabilities.cols(); ++k) {
-        if (!std::isfinite(probabilities.At(i, k))) {
+        if (!std::isfinite(row[k])) {
           common::telemetry::IncrementCounter("monitor.nonfinite_inputs");
           return common::Status::InvalidArgument(
               "serving batch contains a non-finite probability at row " +

@@ -184,7 +184,9 @@ common::Status PerformancePredictor::Save(std::ostream& out) const {
   writer.WriteUint64(num_training_examples_);
   writer.WriteUint64(feature_dimension_);
   BBV_RETURN_NOT_OK(writer.status());
-  return regressor_.Save(out);
+  // Chain the forest's archive core onto the open writer; the bytes are
+  // identical to the pre-redesign nested stream Save.
+  return regressor_.Save(writer);
 }
 
 common::Result<PerformancePredictor> PerformancePredictor::Load(
@@ -211,7 +213,7 @@ common::Result<PerformancePredictor> PerformancePredictor::Load(
   BBV_ASSIGN_OR_RETURN(uint64_t feature_dimension, reader.ReadUint64());
   predictor.feature_dimension_ = feature_dimension;
   BBV_ASSIGN_OR_RETURN(predictor.regressor_,
-                       ml::RandomForestRegressor::Load(in));
+                       ml::RandomForestRegressor::Load(reader));
   predictor.trained_ = true;
   return predictor;
 }
@@ -245,7 +247,7 @@ common::Result<double> PerformancePredictor::EstimateScoreFromProba(
 }
 
 common::Result<double> PerformancePredictor::EstimateScoreFromStatistics(
-    const std::vector<double>& statistics) const {
+    std::span<const double> statistics) const {
   const common::telemetry::TraceSpan span("predictor.estimate");
   if (!trained_) {
     return common::Status::FailedPrecondition("EstimateScore before Train");

@@ -2,6 +2,7 @@
 #define BBV_CORE_PERFORMANCE_PREDICTOR_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -93,10 +94,11 @@ class PerformancePredictor {
   /// Estimated score from a precomputed percentile feature vector — the
   /// entry point for the streaming serving layer, whose mergeable sketches
   /// produce the same num_classes * percentile_points() features without
-  /// retaining rows. `statistics` must match the feature dimension the
-  /// regressor was trained on.
+  /// retaining rows. Takes a span so callers hand over their statistics
+  /// buffer without copying; `statistics` must match the feature dimension
+  /// the regressor was trained on.
   common::Result<double> EstimateScoreFromStatistics(
-      const std::vector<double>& statistics) const;
+      std::span<const double> statistics) const;
 
   /// Percentile grid the regressor's features are built on. Streaming
   /// consumers must query their sketches at exactly these points.

@@ -161,23 +161,31 @@ std::string Matrix::ToString() const {
   return os.str();
 }
 
-Matrix Softmax(const Matrix& logits) {
-  BBV_CHECK(logits.cols() > 0 || logits.rows() == 0)
+void SoftmaxRowsInPlace(std::span<double> data, size_t cols) {
+  BBV_CHECK(cols > 0 || data.empty())
       << "Softmax on a matrix with rows but no columns";
-  Matrix result(logits.rows(), logits.cols());
-  for (size_t i = 0; i < logits.rows(); ++i) {
-    const double* in = logits.RowData(i);
-    double* out = result.RowData(i);
-    const double max = *std::max_element(in, in + logits.cols());
+  if (data.empty()) return;
+  BBV_CHECK_EQ(data.size() % cols, 0u);
+  const size_t rows = data.size() / cols;
+  for (size_t i = 0; i < rows; ++i) {
+    double* out = data.data() + i * cols;
+    const double max = *std::max_element(out, out + cols);
     double sum = 0.0;
-    for (size_t j = 0; j < logits.cols(); ++j) {
-      out[j] = std::exp(in[j] - max);
+    for (size_t j = 0; j < cols; ++j) {
+      out[j] = std::exp(out[j] - max);
       sum += out[j];
     }
     BBV_DCHECK(sum > 0.0 && std::isfinite(sum))
         << "softmax row " << i << " normalizer " << sum;
-    for (size_t j = 0; j < logits.cols(); ++j) out[j] /= sum;
+    for (size_t j = 0; j < cols; ++j) out[j] /= sum;
   }
+}
+
+Matrix Softmax(const Matrix& logits) {
+  BBV_CHECK(logits.cols() > 0 || logits.rows() == 0)
+      << "Softmax on a matrix with rows but no columns";
+  Matrix result = logits;
+  SoftmaxRowsInPlace(result.data(), result.cols());
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define BBV_LINALG_MATRIX_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -110,6 +111,12 @@ class Matrix {
 /// Row-wise softmax; rows of the result sum to 1 and are computed with the
 /// max-subtraction trick for numerical stability.
 Matrix Softmax(const Matrix& logits);
+
+/// In-place row-wise softmax over row-major `data` holding rows of `cols`
+/// logits each (`data.size()` must be a multiple of `cols`). Shares the
+/// max-subtraction implementation with Softmax, so results are bit-identical;
+/// this is the allocation-free surface batch classifier inference uses.
+void SoftmaxRowsInPlace(std::span<double> data, size_t cols);
 
 /// Dot product of equal-length vectors.
 double Dot(const std::vector<double>& a, const std::vector<double>& b);

@@ -169,10 +169,17 @@ double RegressionTree::PredictRow(const double* row) const {
 std::vector<double> RegressionTree::Predict(
     const linalg::Matrix& features) const {
   std::vector<double> result(features.rows());
-  for (size_t i = 0; i < features.rows(); ++i) {
-    result[i] = PredictRow(features.RowData(i));
-  }
+  PredictInto(features, result);
   return result;
+}
+
+void RegressionTree::PredictInto(const linalg::Matrix& features,
+                                 std::span<double> out) const {
+  BBV_CHECK(!nodes_.empty()) << "Predict before Fit";
+  BBV_CHECK_EQ(out.size(), features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    out[i] = PredictRow(features.RowData(i));
+  }
 }
 
 // ---------------------------------------------------------------------------

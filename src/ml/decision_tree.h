@@ -2,6 +2,7 @@
 #define BBV_ML_DECISION_TREE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,17 @@ struct TreeOptions {
 /// gradient-boosted classifier.
 class RegressionTree {
  public:
+  /// One tree node in the pointer-free index representation the tree is
+  /// grown into. Exposed read-only (see nodes()) so ml::ForestKernel can
+  /// compile fitted ensembles into its flattened inference layout.
+  struct Node {
+    int32_t feature = -1;     // -1 marks a leaf
+    double threshold = 0.0;   // go left when x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double value = 0.0;       // leaf prediction
+  };
+
   explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
 
   /// Fits the tree on rows `rows` of `features` against `targets` (full
@@ -41,13 +53,26 @@ class RegressionTree {
   common::Status Fit(const linalg::Matrix& features,
                      const std::vector<double>& targets, common::Rng& rng);
 
-  /// Prediction for one feature row.
+  /// Prediction for one feature row. This is the scalar node-walking path —
+  /// the legacy reference the flattened ForestKernel is proven bit-identical
+  /// against — and the right call for single rows (e.g. while an ensemble is
+  /// still growing); batch prediction over a whole ensemble should go
+  /// through the kernel instead.
   double PredictRow(const double* row) const;
 
   /// Predictions for every row of `features`.
   std::vector<double> Predict(const linalg::Matrix& features) const;
 
+  /// Allocation-free batch surface: writes one prediction per row of
+  /// `features` into `out` (whose size must equal features.rows()).
+  void PredictInto(const linalg::Matrix& features,
+                   std::span<double> out) const;
+
   size_t NumNodes() const { return nodes_.size(); }
+
+  /// Read-only view of the grown nodes (node 0 is the root); the input
+  /// ml::ForestKernel::Compile flattens.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
   /// Persists the fitted tree structure (not the training options).
   void Save(common::BinaryWriter& writer) const;
@@ -56,14 +81,6 @@ class RegressionTree {
   static common::Result<RegressionTree> Load(common::BinaryReader& reader);
 
  private:
-  struct Node {
-    int32_t feature = -1;     // -1 marks a leaf
-    double threshold = 0.0;   // go left when x[feature] <= threshold
-    int32_t left = -1;
-    int32_t right = -1;
-    double value = 0.0;       // leaf prediction
-  };
-
   int32_t Grow(const linalg::Matrix& features,
                const std::vector<double>& targets, std::vector<size_t>& rows,
                size_t begin, size_t end, int depth, common::Rng& rng);

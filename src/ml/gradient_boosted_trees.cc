@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "common/check.h"
 
 namespace bbv::ml {
 
@@ -42,6 +45,7 @@ common::Status GradientBoostedTrees::Fit(const linalg::Matrix& features,
   const size_t sample_size = std::max<size_t>(
       2, static_cast<size_t>(options_.subsample * static_cast<double>(n)));
   std::vector<double> gradients(n, 0.0);
+  std::vector<double> round_predictions(n, 0.0);
   for (int round = 0; round < options_.num_rounds; ++round) {
     const linalg::Matrix probabilities = linalg::Softmax(scores);
     const std::vector<size_t> sample =
@@ -60,31 +64,40 @@ common::Status GradientBoostedTrees::Fit(const linalg::Matrix& features,
           sample.empty() ? tree.Fit(features, gradients, rng)
                          : tree.Fit(features, gradients, sample, rng);
       BBV_RETURN_NOT_OK(status);
+      tree.PredictInto(features, round_predictions);
       for (size_t i = 0; i < n; ++i) {
-        scores.At(i, k) +=
-            options_.learning_rate * tree.PredictRow(features.RowData(i));
+        scores.At(i, k) += options_.learning_rate * round_predictions[i];
       }
       trees_.push_back(std::move(tree));
     }
   }
+  kernel_ = ForestKernel::Compile(trees_);
   fitted_ = true;
   return common::Status::OK();
+}
+
+void GradientBoostedTrees::PredictProbaInto(const linalg::Matrix& features,
+                                            std::span<double> out) const {
+  BBV_CHECK(fitted_) << "PredictProba before Fit";
+  const auto m = static_cast<size_t>(num_classes_);
+  BBV_CHECK_EQ(out.size(), features.rows() * m);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    double* row = out.data() + i * m;
+    for (size_t k = 0; k < m; ++k) row[k] = base_scores_[k];
+  }
+  // Strided kernel accumulation reproduces the per-row boosting loop
+  // out[t % m] += lr * tree_t(row) in ensemble order, bit-for-bit.
+  kernel_.AccumulateInto(features, options_.learning_rate, m, out);
+  linalg::SoftmaxRowsInPlace(out, m);
 }
 
 linalg::Matrix GradientBoostedTrees::PredictProba(
     const linalg::Matrix& features) const {
   BBV_CHECK(fitted_) << "PredictProba before Fit";
-  const auto m = static_cast<size_t>(num_classes_);
-  linalg::Matrix scores(features.rows(), m);
-  for (size_t i = 0; i < features.rows(); ++i) {
-    const double* row = features.RowData(i);
-    double* out = scores.RowData(i);
-    for (size_t k = 0; k < m; ++k) out[k] = base_scores_[k];
-    for (size_t t = 0; t < trees_.size(); ++t) {
-      out[t % m] += options_.learning_rate * trees_[t].PredictRow(row);
-    }
-  }
-  return linalg::Softmax(scores);
+  linalg::Matrix probabilities(features.rows(),
+                               static_cast<size_t>(num_classes_));
+  PredictProbaInto(features, probabilities.data());
+  return probabilities;
 }
 
 }  // namespace bbv::ml
@@ -100,11 +113,10 @@ constexpr char kGbdtMagic[] = "BBVGB";
 constexpr uint32_t kGbdtVersion = 1;
 }  // namespace
 
-common::Status GradientBoostedTrees::Save(std::ostream& out) const {
+common::Status GradientBoostedTrees::Save(common::BinaryWriter& writer) const {
   if (!fitted_) {
     return common::Status::FailedPrecondition("Save before Fit");
   }
-  common::BinaryWriter writer(out);
   writer.WriteMagic(kGbdtMagic, kGbdtVersion);
   writer.WriteInt32(num_classes_);
   writer.WriteDouble(options_.learning_rate);
@@ -118,8 +130,7 @@ common::Status GradientBoostedTrees::Save(std::ostream& out) const {
 }
 
 common::Result<GradientBoostedTrees> GradientBoostedTrees::Load(
-    std::istream& in) {
-  common::BinaryReader reader(in);
+    common::BinaryReader& reader) {
   BBV_RETURN_NOT_OK(reader.ExpectMagic(kGbdtMagic, kGbdtVersion));
   BBV_ASSIGN_OR_RETURN(int32_t num_classes, reader.ReadInt32());
   if (num_classes < 2 || num_classes > 10'000) {
@@ -143,8 +154,20 @@ common::Result<GradientBoostedTrees> GradientBoostedTrees::Load(
     BBV_ASSIGN_OR_RETURN(RegressionTree tree, RegressionTree::Load(reader));
     model.trees_.push_back(std::move(tree));
   }
+  model.kernel_ = ForestKernel::Compile(model.trees_);
   model.fitted_ = true;
   return model;
+}
+
+common::Status GradientBoostedTrees::Save(std::ostream& out) const {
+  common::BinaryWriter writer(out);
+  return Save(writer);
+}
+
+common::Result<GradientBoostedTrees> GradientBoostedTrees::Load(
+    std::istream& in) {
+  common::BinaryReader reader(in);
+  return Load(reader);
 }
 
 }  // namespace bbv::ml

@@ -1,6 +1,7 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/parallel.h"
 #include "common/telemetry.h"
@@ -46,34 +47,26 @@ common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
             BBV_RETURN_NOT_OK(tree.Fit(features, targets, rows, tree_rng));
             return tree;
           }));
+  kernel_ = ForestKernel::Compile(trees_);
   return common::Status::OK();
 }
 
 double RandomForestRegressor::PredictRow(const double* row) const {
   BBV_CHECK(fitted()) << "Predict before Fit";
-  double sum = 0.0;
-  for (const RegressionTree& tree : trees_) {
-    sum += tree.PredictRow(row);
-  }
-  return sum / static_cast<double>(trees_.size());
+  return kernel_.PredictRowMean(row);
+}
+
+void RandomForestRegressor::PredictInto(const linalg::Matrix& features,
+                                        std::span<double> out) const {
+  BBV_CHECK(fitted()) << "Predict before Fit";
+  kernel_.PredictMeanInto(features, out);
 }
 
 std::vector<double> RandomForestRegressor::Predict(
     const linalg::Matrix& features) const {
-  // PredictRow stays uninstrumented: it is the per-row hot path (called in a
-  // tight loop here and from the predictor); timing it would dominate the
-  // work being measured.
-  const common::telemetry::TraceSpan span("forest.predict");
-  common::telemetry::IncrementCounter("forest.predict.rows", features.rows());
+  BBV_CHECK(fitted()) << "Predict before Fit";
   std::vector<double> result(features.rows());
-  const common::Status status = common::ParallelFor(
-      features.rows(),
-      [&](size_t i) {
-        result[i] = PredictRow(features.RowData(i));
-        return common::Status::OK();
-      },
-      {.min_items_per_thread = 512});
-  BBV_CHECK(status.ok()) << status.ToString();
+  PredictInto(features, result);
   return result;
 }
 
@@ -90,11 +83,10 @@ constexpr char kForestMagic[] = "BBVRF";
 constexpr uint32_t kForestVersion = 1;
 }  // namespace
 
-common::Status RandomForestRegressor::Save(std::ostream& out) const {
+common::Status RandomForestRegressor::Save(common::BinaryWriter& writer) const {
   if (!fitted()) {
     return common::Status::FailedPrecondition("Save before Fit");
   }
-  common::BinaryWriter writer(out);
   writer.WriteMagic(kForestMagic, kForestVersion);
   writer.WriteUint64(trees_.size());
   for (const RegressionTree& tree : trees_) {
@@ -104,8 +96,7 @@ common::Status RandomForestRegressor::Save(std::ostream& out) const {
 }
 
 common::Result<RandomForestRegressor> RandomForestRegressor::Load(
-    std::istream& in) {
-  common::BinaryReader reader(in);
+    common::BinaryReader& reader) {
   BBV_RETURN_NOT_OK(reader.ExpectMagic(kForestMagic, kForestVersion));
   BBV_ASSIGN_OR_RETURN(uint64_t count, reader.ReadUint64());
   if (count == 0 || count > 1'000'000) {
@@ -117,7 +108,19 @@ common::Result<RandomForestRegressor> RandomForestRegressor::Load(
     BBV_ASSIGN_OR_RETURN(RegressionTree tree, RegressionTree::Load(reader));
     forest.trees_.push_back(std::move(tree));
   }
+  forest.kernel_ = ForestKernel::Compile(forest.trees_);
   return forest;
+}
+
+common::Status RandomForestRegressor::Save(std::ostream& out) const {
+  common::BinaryWriter writer(out);
+  return Save(writer);
+}
+
+common::Result<RandomForestRegressor> RandomForestRegressor::Load(
+    std::istream& in) {
+  common::BinaryReader reader(in);
+  return Load(reader);
 }
 
 }  // namespace bbv::ml

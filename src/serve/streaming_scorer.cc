@@ -50,8 +50,9 @@ common::Status StreamingScorer::Ingest(const linalg::Matrix& probabilities) {
   // Reject NaN/Inf up front: the sketches treat non-finite input as a
   // programming error, but a serving stream must degrade recoverably.
   for (size_t i = 0; i < probabilities.rows(); ++i) {
+    const double* row = probabilities.RowData(i);
     for (size_t k = 0; k < probabilities.cols(); ++k) {
-      if (!std::isfinite(probabilities.At(i, k))) {
+      if (!std::isfinite(row[k])) {
         common::telemetry::IncrementCounter("serve.nonfinite_batches");
         return common::Status::InvalidArgument(
             "mini-batch contains a non-finite probability at row " +

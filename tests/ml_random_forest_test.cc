@@ -99,6 +99,18 @@ TEST(RandomForestTest, RejectsMalformedInputs) {
   EXPECT_FALSE(empty_forest.Fit(features, {1.0, 2.0, 3.0}, rng).ok());
 }
 
+TEST(RandomForestDeathTest, PredictBeforeFitDies) {
+  // An unfitted forest has no trees and no compiled kernel; inference on it
+  // is a programming error, not a recoverable condition.
+  const RandomForestRegressor forest;
+  const linalg::Matrix features(2, 3);
+  const double row[3] = {0.0, 0.0, 0.0};
+  std::vector<double> out(features.rows());
+  EXPECT_DEATH(forest.Predict(features), "Predict before Fit");
+  EXPECT_DEATH(forest.PredictInto(features, out), "Predict before Fit");
+  EXPECT_DEATH(forest.PredictRow(row), "Predict before Fit");
+}
+
 TEST(RandomForestTest, EnsembleBeatsSingleTreeOnNoisyData) {
   common::Rng rng(11);
   linalg::Matrix features;

@@ -112,6 +112,37 @@ TEST(ForestSerializationTest, PredictionsSurviveRoundTrip) {
   }
 }
 
+TEST(ForestSerializationTest, WriterCoreMatchesStreamWrapperBytes) {
+  // The stream overload is a thin wrapper over the BinaryWriter core; both
+  // must emit the same bytes so archives written either way (and any
+  // pre-redesign stream) stay interchangeable.
+  common::Rng rng(5);
+  linalg::Matrix features(120, 3);
+  std::vector<double> targets(120);
+  for (size_t i = 0; i < 120; ++i) {
+    for (size_t j = 0; j < 3; ++j) features.At(i, j) = rng.Uniform();
+    targets[i] = features.At(i, 1);
+  }
+  ml::RandomForestRegressor::Options options;
+  options.num_trees = 9;
+  ml::RandomForestRegressor forest(options);
+  ASSERT_TRUE(forest.Fit(features, targets, rng).ok());
+
+  std::ostringstream via_stream;
+  ASSERT_TRUE(forest.Save(via_stream).ok());
+  std::ostringstream via_writer;
+  common::BinaryWriter writer(via_writer);
+  ASSERT_TRUE(forest.Save(writer).ok());
+  EXPECT_EQ(via_stream.str(), via_writer.str());
+
+  // And the reader core restores from the same bytes.
+  std::istringstream in(via_writer.str());
+  common::BinaryReader reader(in);
+  const auto restored = ml::RandomForestRegressor::Load(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Predict(features), forest.Predict(features));
+}
+
 TEST(ForestSerializationTest, SaveBeforeFitFails) {
   ml::RandomForestRegressor forest;
   std::stringstream buffer;
@@ -153,6 +184,38 @@ TEST(GbdtSerializationTest, ProbabilitiesSurviveRoundTrip) {
   for (size_t i = 0; i < expected.data().size(); ++i) {
     EXPECT_DOUBLE_EQ(expected.data()[i], actual.data()[i]);
   }
+}
+
+TEST(GbdtSerializationTest, WriterCoreMatchesStreamWrapperBytes) {
+  common::Rng rng(6);
+  linalg::Matrix features(150, 3);
+  std::vector<int> labels(150);
+  for (size_t i = 0; i < 150; ++i) {
+    const int label = static_cast<int>(i % 2);
+    features.At(i, 0) = rng.Gaussian(static_cast<double>(label), 0.5);
+    features.At(i, 1) = rng.Uniform();
+    features.At(i, 2) = rng.Uniform();
+    labels[i] = label;
+  }
+  ml::GradientBoostedTrees::Options options;
+  options.num_rounds = 6;
+  ml::GradientBoostedTrees model(options);
+  ASSERT_TRUE(model.Fit(features, labels, 2, rng).ok());
+
+  std::ostringstream via_stream;
+  ASSERT_TRUE(model.Save(via_stream).ok());
+  std::ostringstream via_writer;
+  common::BinaryWriter writer(via_writer);
+  ASSERT_TRUE(model.Save(writer).ok());
+  EXPECT_EQ(via_stream.str(), via_writer.str());
+
+  std::istringstream in(via_writer.str());
+  common::BinaryReader reader(in);
+  const auto restored = ml::GradientBoostedTrees::Load(reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const linalg::Matrix expected = model.PredictProba(features);
+  const linalg::Matrix actual = restored->PredictProba(features);
+  EXPECT_EQ(expected.data(), actual.data());
 }
 
 TEST(GbdtSerializationTest, GarbageInputRejected) {
