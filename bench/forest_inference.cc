@@ -49,6 +49,8 @@ std::vector<double> LegacyForestPredict(const ml::RandomForestRegressor& forest,
         const double* row = features.RowData(i);
         double sum = 0.0;
         for (const ml::RegressionTree& tree : forest.trees()) {
+          // Scalar baseline the kernel speedup is measured against.
+          // bbv-lint: allow(batch-api) this is the comparison timing loop
           sum += tree.PredictRow(row);
         }
         result[i] = sum / static_cast<double>(forest.trees().size());
@@ -70,6 +72,8 @@ std::vector<double> LegacyGbtScores(const ml::GradientBoostedTrees& model,
     double* out = scores.data() + i * m;
     for (size_t k = 0; k < m; ++k) out[k] = model.base_scores()[k];
     for (size_t t = 0; t < model.trees().size(); ++t) {
+      // Scalar baseline the kernel speedup is measured against.
+      // bbv-lint: allow(batch-api) this is the comparison timing loop
       out[t % m] += model.learning_rate() * model.trees()[t].PredictRow(row);
     }
   }

@@ -75,6 +75,8 @@ void BM_RandomForestInference(benchmark::State& state) {
   BBV_CHECK(forest.Fit(features, targets, rng).ok());
   const std::vector<double> row = features.Row(0);
   for (auto _ : state) {
+    // Single-row latency microbenchmark;
+    // bbv-lint: allow(batch-api) the scalar path is the thing measured
     benchmark::DoNotOptimize(forest.PredictRow(row.data()));
   }
 }

@@ -1,0 +1,53 @@
+#ifndef BBV_COMMON_MUTEX_H_
+#define BBV_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace bbv::common {
+
+/// std::mutex wrapped as a clang thread-safety *capability*. The standard
+/// library's own mutex carries no annotations (libstdc++ ships none), so
+/// locking it is invisible to -Wthread-safety; this wrapper is what lets
+/// BBV_GUARDED_BY contracts on members actually be checked. It also
+/// satisfies BasicLockable (lower-case lock/unlock), so it can be passed
+/// directly to std::condition_variable_any::wait.
+class BBV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() BBV_ACQUIRE() { mutex_.lock(); }
+  void Unlock() BBV_RELEASE() { mutex_.unlock(); }
+
+  /// BasicLockable spelling for std::condition_variable_any. The analysis
+  /// does not track waits (the wait itself unlocks and relocks, leaving the
+  /// capability held across the call from the checker's point of view).
+  void lock() BBV_ACQUIRE() { mutex_.lock(); }
+  void unlock() BBV_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII lock for Mutex, visible to the analysis as a scoped capability —
+/// the std::lock_guard equivalent for annotated code.
+class BBV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) BBV_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() BBV_RELEASE() { mutex_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace bbv::common
+
+#endif  // BBV_COMMON_MUTEX_H_

@@ -54,19 +54,24 @@ int HardwareThreadCount() {
 ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
 
 ThreadPool::~ThreadPool() {
+  // Workers are moved out under the lock and joined outside it: joining
+  // while holding mutex_ would deadlock with WorkerLoop's final drain, and
+  // touching workers_ unlocked would break its BBV_GUARDED_BY contract.
+  std::vector<std::thread> workers;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
+    workers.swap(workers_);
   }
   wake_.notify_all();
-  for (std::thread& worker : workers_) {
+  for (std::thread& worker : workers) {
     worker.join();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     BBV_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
     tasks_.push_back(std::move(task));
   }
@@ -74,14 +79,14 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::EnsureWorkers(int count) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   while (static_cast<int>(workers_.size()) < count) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 int ThreadPool::num_workers() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return static_cast<int>(workers_.size());
 }
 
@@ -92,8 +97,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      const MutexLock lock(mutex_);
+      // Manual wait loop instead of the predicate overload: the predicate
+      // lambda would be analyzed as its own function, where -Wthread-safety
+      // cannot see that the wait holds mutex_.
+      while (!stopping_ && tasks_.empty()) wake_.wait(mutex_);
       if (tasks_.empty()) return;  // stopping and fully drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -158,16 +166,19 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
   constexpr size_t kNoIndex = std::numeric_limits<size_t>::max();
   struct SectionState {
     std::atomic<size_t> next_chunk{0};
-    std::mutex mutex;
-    std::condition_variable all_done;
-    int pending_helpers = 0;
-    size_t error_index;
-    Status error;
-    size_t exception_index;
-    std::exception_ptr exception;
+    Mutex mutex;
+    std::condition_variable_any all_done;
+    int pending_helpers BBV_GUARDED_BY(mutex) = 0;
+    size_t error_index BBV_GUARDED_BY(mutex) = 0;
+    Status error BBV_GUARDED_BY(mutex);
+    size_t exception_index BBV_GUARDED_BY(mutex) = 0;
+    std::exception_ptr exception BBV_GUARDED_BY(mutex);
   } state;
-  state.error_index = kNoIndex;
-  state.exception_index = kNoIndex;
+  {
+    const MutexLock lock(state.mutex);
+    state.error_index = kNoIndex;
+    state.exception_index = kNoIndex;
+  }
 
   // One slot per participant (helpers first, caller last) counting the
   // chunks it claimed; left empty when telemetry is off so the disabled
@@ -187,14 +198,14 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
         try {
           const Status status = body(i);
           if (!status.ok()) {
-            const std::lock_guard<std::mutex> lock(state.mutex);
+            const MutexLock lock(state.mutex);
             if (i < state.error_index) {
               state.error_index = i;
               state.error = status;
             }
           }
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(state.mutex);
+          const MutexLock lock(state.mutex);
           if (i < state.exception_index) {
             state.exception_index = i;
             state.exception = std::current_exception();
@@ -207,14 +218,17 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
   ThreadPool& pool = SharedThreadPool();
   const int helpers = threads - 1;
   pool.EnsureWorkers(helpers);
-  state.pending_helpers = helpers;
+  {
+    const MutexLock lock(state.mutex);
+    state.pending_helpers = helpers;
+  }
   for (int h = 0; h < helpers; ++h) {
     uint64_t* claimed =
         claimed_chunks.empty() ? nullptr
                                : &claimed_chunks[static_cast<size_t>(h)];
     pool.Submit([&state, &run_chunks, claimed] {
       run_chunks(claimed);
-      const std::lock_guard<std::mutex> lock(state.mutex);
+      const MutexLock lock(state.mutex);
       if (--state.pending_helpers == 0) state.all_done.notify_one();
     });
   }
@@ -224,9 +238,20 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
     const ScopedWorkerMark mark;
     run_chunks(claimed_chunks.empty() ? nullptr : &claimed_chunks.back());
   }
+  // Manual wait loop (not the predicate overload) so -Wthread-safety sees
+  // the guarded reads under the lock; the outcome is copied out while still
+  // holding it, because after this block state is read lock-free.
+  size_t error_index = kNoIndex;
+  Status error;
+  size_t exception_index = kNoIndex;
+  std::exception_ptr exception;
   {
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.all_done.wait(lock, [&state] { return state.pending_helpers == 0; });
+    const MutexLock lock(state.mutex);
+    while (state.pending_helpers != 0) state.all_done.wait(state.mutex);
+    error_index = state.error_index;
+    error = state.error;
+    exception_index = state.exception_index;
+    exception = state.exception;
   }
   if (!claimed_chunks.empty()) {
     // Helper slots were written before each helper's final pending_helpers
@@ -237,10 +262,10 @@ Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
         "parallel.section.chunk_imbalance",
         static_cast<double>(*max_claimed - *min_claimed));
   }
-  if (state.exception_index != kNoIndex) {
-    std::rethrow_exception(state.exception);
+  if (exception_index != kNoIndex) {
+    std::rethrow_exception(exception);
   }
-  if (state.error_index != kNoIndex) return state.error;
+  if (error_index != kNoIndex) return error;
   return Status::OK();
 }
 

@@ -5,14 +5,15 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace bbv::common {
 
@@ -60,11 +61,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  // condition_variable_any so it can wait on the annotated Mutex directly.
+  std::condition_variable_any wake_;
+  std::deque<std::function<void()>> tasks_ BBV_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ BBV_GUARDED_BY(mutex_);
+  bool stopping_ BBV_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool shared by all parallel sections, created on first
@@ -93,14 +95,15 @@ struct ParallelOptions {
 /// independent); the returned Status is the one from the lowest failing
 /// index, and an exception from the lowest throwing index is rethrown on the
 /// calling thread.
-Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
-                   const ParallelOptions& options = {});
+[[nodiscard]] Status ParallelFor(
+    size_t n, const std::function<Status(size_t)>& body,
+    const ParallelOptions& options = {});
 
 /// ParallelFor producing a value per index: returns the vector of all n
 /// results, or the lowest-index error. T does not need to be
 /// default-constructible.
 template <typename T>
-Result<std::vector<T>> ParallelMap(
+[[nodiscard]] Result<std::vector<T>> ParallelMap(
     size_t n, const std::function<Result<T>(size_t)>& body,
     const ParallelOptions& options = {}) {
   std::vector<std::optional<T>> slots(n);

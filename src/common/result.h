@@ -13,7 +13,7 @@ namespace bbv::common {
 /// value is absent. Accessing the value of an errored result aborts, so
 /// callers must test `ok()` (or use BBV_ASSIGN_OR_RETURN) first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value)  // NOLINT(google-explicit-constructor)

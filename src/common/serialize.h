@@ -50,14 +50,15 @@ class BinaryReader {
 
   /// Checks that the stream starts with `magic` and that the stored version
   /// equals `expected_version`.
-  Status ExpectMagic(const std::string& magic, uint32_t expected_version);
-  Result<uint32_t> ReadUint32();
-  Result<uint64_t> ReadUint64();
-  Result<int32_t> ReadInt32();
-  Result<double> ReadDouble();
-  Result<std::string> ReadString();
-  Result<std::vector<double>> ReadDoubleVector();
-  Result<std::vector<int32_t>> ReadInt32Vector();
+  [[nodiscard]] Status ExpectMagic(const std::string& magic,
+                                   uint32_t expected_version);
+  [[nodiscard]] Result<uint32_t> ReadUint32();
+  [[nodiscard]] Result<uint64_t> ReadUint64();
+  [[nodiscard]] Result<int32_t> ReadInt32();
+  [[nodiscard]] Result<double> ReadDouble();
+  [[nodiscard]] Result<std::string> ReadString();
+  [[nodiscard]] Result<std::vector<double>> ReadDoubleVector();
+  [[nodiscard]] Result<std::vector<int32_t>> ReadInt32Vector();
 
  private:
   /// Guard against adversarial / corrupt length prefixes.

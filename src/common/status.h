@@ -26,7 +26,7 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Result of a fallible operation: either OK or an error code plus message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

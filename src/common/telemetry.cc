@@ -140,7 +140,7 @@ const Registry::Shard& Registry::ShardFor(std::string_view name) const {
 
 Counter& Registry::counter(std::string_view name) {
   Shard& shard = ShardFor(name);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.counters.find(name);
   if (it != shard.counters.end()) return *it->second;
   return *shard.counters.emplace(std::string(name), std::make_unique<Counter>())
@@ -149,7 +149,7 @@ Counter& Registry::counter(std::string_view name) {
 
 Gauge& Registry::gauge(std::string_view name) {
   Shard& shard = ShardFor(name);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.gauges.find(name);
   if (it != shard.gauges.end()) return *it->second;
   return *shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
@@ -158,7 +158,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name) {
   Shard& shard = ShardFor(name);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.histograms.find(name);
   if (it != shard.histograms.end()) return *it->second;
   return *shard.histograms
@@ -169,7 +169,7 @@ Histogram& Registry::histogram(std::string_view name) {
 Snapshot Registry::TakeSnapshot() const {
   Snapshot snapshot;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     for (const auto& [name, counter] : shard.counters) {
       snapshot.counters.push_back({name, counter->value()});
     }
@@ -259,7 +259,7 @@ std::string Registry::ToJson() const {
 
 void Registry::ResetForTesting() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     for (const auto& [name, counter] : shard.counters) counter->Reset();
     for (const auto& [name, gauge] : shard.gauges) gauge->Reset();
     for (const auto& [name, histogram] : shard.histograms) histogram->Reset();

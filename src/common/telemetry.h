@@ -7,10 +7,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace bbv::common::telemetry {
 
@@ -151,10 +153,13 @@ class Registry {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+    mutable Mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        BBV_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+        BBV_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+        BBV_GUARDED_BY(mutex);
   };
   static constexpr size_t kNumShards = 8;
 

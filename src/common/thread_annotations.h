@@ -1,0 +1,58 @@
+#ifndef BBV_COMMON_THREAD_ANNOTATIONS_H_
+#define BBV_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety analysis annotations (-Wthread-safety). Under clang
+/// these attach lock-discipline contracts to members and functions so the
+/// compiler proves every guarded access holds the right mutex; under other
+/// compilers they expand to nothing. Style follows the abseil/LLVM macros.
+///
+///   class Counter {
+///     common::Mutex mutex_;
+///     int value_ BBV_GUARDED_BY(mutex_);
+///     void Add(int d) { const common::MutexLock lock(mutex_);
+///                       value_ += d; }
+///   };
+///
+/// The standard library's mutex types ship without annotations (libstdc++
+/// has none), so guarded members must be locked through the annotated
+/// common::Mutex / common::MutexLock wrappers in common/mutex.h for the
+/// analysis to see the acquire/release pairs.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BBV_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define BBV_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+/// Declares a class to be a lockable capability (e.g. common::Mutex).
+#define BBV_CAPABILITY(x) BBV_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. common::MutexLock).
+#define BBV_SCOPED_CAPABILITY BBV_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define BBV_GUARDED_BY(x) BBV_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define BBV_PT_GUARDED_BY(x) BBV_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function requires `...` to be held on entry (and does not release it).
+#define BBV_REQUIRES(...) \
+  BBV_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function acquires `...` and holds it on return.
+#define BBV_ACQUIRE(...) \
+  BBV_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Function releases `...`, which must be held on entry.
+#define BBV_RELEASE(...) \
+  BBV_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Escape hatch: the function's locking cannot be expressed to the analysis
+/// (e.g. condition_variable wait predicates, which run with the lock held by
+/// the wait itself). Use sparingly and document why at the use site.
+#define BBV_NO_THREAD_SAFETY_ANALYSIS \
+  BBV_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // BBV_COMMON_THREAD_ANNOTATIONS_H_

@@ -22,7 +22,7 @@ common::Status RelShiftDetector::Fit(const data::DataFrame& reference) {
       if (values.empty()) continue;
       numeric_reference_.emplace_back(column.name(), std::move(values));
     } else if (column.type() == data::ColumnType::kCategorical) {
-      std::unordered_map<std::string, double> counts;
+      std::map<std::string, double> counts;
       for (const auto& cell : column.cells()) {
         if (cell.is_string()) counts[cell.AsString()] += 1.0;
       }
@@ -81,7 +81,7 @@ common::Result<bool> RelShiftDetector::DetectsShift(
         }
         // Shared category universe: reference categories plus "other" for
         // unseen serving values (typos, encoding errors land there).
-        std::unordered_map<std::string, double> serving_counts;
+        std::map<std::string, double> serving_counts;
         double serving_other = 0.0;
         for (const auto& cell : serving.ColumnByName(name).cells()) {
           if (!cell.is_string()) continue;

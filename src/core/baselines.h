@@ -1,8 +1,8 @@
 #ifndef BBV_CORE_BASELINES_H_
 #define BBV_CORE_BASELINES_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -48,9 +48,10 @@ class RelShiftDetector : public ShiftDetector {
   bool fitted_ = false;
   /// Numeric column name -> reference values.
   std::vector<std::pair<std::string, std::vector<double>>> numeric_reference_;
-  /// Categorical column name -> (category -> count).
-  std::vector<std::pair<std::string,
-                        std::unordered_map<std::string, double>>>
+  /// Categorical column name -> (category -> count). An ordered map so the
+  /// chi-squared cell vectors are assembled in lexicographic category order
+  /// regardless of insertion history (determinism gate).
+  std::vector<std::pair<std::string, std::map<std::string, double>>>
       categorical_reference_;
 };
 

@@ -1,6 +1,6 @@
 #include "data/column.h"
 
-#include <unordered_set>
+#include <set>
 
 namespace bbv::data {
 
@@ -70,7 +70,7 @@ std::vector<double> Column::NumericValues() const {
 
 std::vector<std::string> Column::DistinctStrings() const {
   std::vector<std::string> result;
-  std::unordered_set<std::string> seen;
+  std::set<std::string> seen;
   for (const auto& cell : cells_) {
     if (!cell.is_string()) continue;
     if (seen.insert(cell.AsString()).second) {

@@ -1,8 +1,8 @@
 #ifndef BBV_FEATURIZE_ONE_HOT_ENCODER_H_
 #define BBV_FEATURIZE_ONE_HOT_ENCODER_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "common/serialize.h"
 #include "featurize/transformer.h"
@@ -27,7 +27,9 @@ class OneHotEncoder : public Transformer {
 
  private:
   bool fitted_ = false;
-  std::unordered_map<std::string, size_t> vocabulary_;
+  /// Category -> column index (index order is first appearance at fit time;
+  /// the ordered map keeps every traversal of the vocabulary deterministic).
+  std::map<std::string, size_t> vocabulary_;
 };
 
 }  // namespace bbv::featurize

@@ -178,6 +178,8 @@ void RegressionTree::PredictInto(const linalg::Matrix& features,
   BBV_CHECK(!nodes_.empty()) << "Predict before Fit";
   BBV_CHECK_EQ(out.size(), features.rows());
   for (size_t i = 0; i < features.rows(); ++i) {
+    // This loop IS the reference scalar walk the batch API falls back to.
+    // bbv-lint: allow(batch-api) production batch paths ride ForestKernel
     out[i] = PredictRow(features.RowData(i));
   }
 }

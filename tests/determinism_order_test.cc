@@ -1,0 +1,104 @@
+// Regression tests for the hash-order determinism fixes: the REL detector's
+// categorical counts, Column::DistinctStrings and the one-hot vocabulary
+// used to live in unordered containers, so their outputs depended on
+// libstdc++'s hash seed and insertion history. They now use ordered
+// containers; these tests pin the order-independence contract so a revert
+// back to hash iteration fails loudly instead of flaking the determinism
+// gate.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "data/column.h"
+#include "data/dataframe.h"
+#include "featurize/one_hot_encoder.h"
+
+namespace bbv {
+namespace {
+
+data::DataFrame CategoricalFrame(const std::vector<std::string>& values) {
+  data::DataFrame frame;
+  BBV_CHECK(frame.AddColumn(data::Column::Categorical("color", values)).ok());
+  return frame;
+}
+
+TEST(DeterminismOrderTest, DistinctStringsKeepsFirstSeenOrder) {
+  const data::Column column = data::Column::Categorical(
+      "c", {"zebra", "apple", "zebra", "mango", "apple", "kiwi"});
+  EXPECT_EQ(column.DistinctStrings(),
+            (std::vector<std::string>{"zebra", "apple", "mango", "kiwi"}));
+}
+
+TEST(DeterminismOrderTest, OneHotIndicesFollowFitAppearanceOrder) {
+  featurize::OneHotEncoder encoder;
+  ASSERT_TRUE(
+      encoder.Fit(data::Column::Categorical("c", {"z", "a", "m", "a"})).ok());
+  ASSERT_EQ(encoder.OutputDim(), 3u);
+  EXPECT_EQ(encoder.CategoryIndex("z"), 0);
+  EXPECT_EQ(encoder.CategoryIndex("a"), 1);
+  EXPECT_EQ(encoder.CategoryIndex("m"), 2);
+  EXPECT_EQ(encoder.CategoryIndex("unseen"), -1);
+
+  const linalg::Matrix encoded =
+      encoder.Transform(data::Column::Categorical("c", {"a", "z", "q"}));
+  ASSERT_EQ(encoded.rows(), 3u);
+  ASSERT_EQ(encoded.cols(), 3u);
+  EXPECT_EQ(encoded.At(0, 1), 1.0);
+  EXPECT_EQ(encoded.At(1, 0), 1.0);
+  for (size_t col = 0; col < encoded.cols(); ++col) {
+    EXPECT_EQ(encoded.At(2, col), 0.0) << "unseen row must be all-zero";
+  }
+}
+
+TEST(DeterminismOrderTest, RelDetectorIgnoresCategoryInsertionOrder) {
+  // Same category multiset, opposite first-appearance order. With hash-keyed
+  // reference counts the chi-squared cell vectors could be assembled in
+  // different orders for the two fits; the decision must be identical.
+  std::vector<std::string> reference_rows;
+  for (int i = 0; i < 40; ++i) {
+    reference_rows.push_back(i % 2 == 0 ? "red" : "blue");
+    reference_rows.push_back("green");
+  }
+  std::vector<std::string> reversed(reference_rows.rbegin(),
+                                    reference_rows.rend());
+
+  std::vector<std::string> serving_rows(60, "red");
+  for (int i = 0; i < 20; ++i) serving_rows.push_back("blue");
+
+  core::RelShiftDetector forward;
+  ASSERT_TRUE(forward.Fit(CategoricalFrame(reference_rows)).ok());
+  core::RelShiftDetector backward;
+  ASSERT_TRUE(backward.Fit(CategoricalFrame(reversed)).ok());
+
+  const auto forward_result =
+      forward.DetectsShift(CategoricalFrame(serving_rows));
+  const auto backward_result =
+      backward.DetectsShift(CategoricalFrame(serving_rows));
+  ASSERT_TRUE(forward_result.ok());
+  ASSERT_TRUE(backward_result.ok());
+  EXPECT_EQ(forward_result.value(), backward_result.value());
+  // The all-red skew is a textbook categorical shift — it must alarm.
+  EXPECT_TRUE(forward_result.value());
+}
+
+TEST(DeterminismOrderTest, RelDetectorIsRepeatableOnCleanData) {
+  std::vector<std::string> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back("red");
+    rows.push_back("blue");
+  }
+  core::RelShiftDetector detector;
+  ASSERT_TRUE(detector.Fit(CategoricalFrame(rows)).ok());
+  const auto first = detector.DetectsShift(CategoricalFrame(rows));
+  const auto second = detector.DetectsShift(CategoricalFrame(rows));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_FALSE(first.value()) << "identical data must not alarm";
+}
+
+}  // namespace
+}  // namespace bbv

@@ -1,0 +1,45 @@
+// batch-api fixture: PredictRow inside loop bodies. Batch inference must
+// ride ml::ForestKernel; the scalar walk is reserved for validation code.
+
+struct Model {
+  double PredictRow(const double* row) const;
+  double PredictRowMean(const double* row) const;
+};
+
+double SumLoop(const Model& model, const double* rows, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += model.PredictRow(rows + i);  // finding: call in a for body
+  }
+  int j = 0;
+  while (j < n) {
+    total += model.PredictRowMean(rows + j);  // finding: while bodies too
+    ++j;
+  }
+  // finding: single-statement loop bodies are tracked without braces
+  for (int k = 0; k < n; ++k) total += model.PredictRow(rows + k);
+  return total;
+}
+
+double SingleCall(const Model& model, const double* row) {
+  // Clean: one call outside any loop is the sanctioned scalar path.
+  return model.PredictRow(row);
+}
+
+const char* Docs() {
+  // Clean: PredictRow in a string literal (or this comment) must not fire
+  // even inside a loop.
+  for (int i = 0; i < 1; ++i) {
+    return "batch through PredictInto, not PredictRow(row) in a loop";
+  }
+  return "";
+}
+
+double Suppressed(const Model& model, const double* rows, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // bbv-lint: allow(batch-api) fixture shows a justified scalar loop
+    total += model.PredictRow(rows + i);
+  }
+  return total;
+}

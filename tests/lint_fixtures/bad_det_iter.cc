@@ -1,0 +1,28 @@
+// det-iter fixture: hash-ordered containers in result-affecting code. Linted
+// as src/fixture/bad_det_iter.cc (the rule only applies under src/).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double Accumulate() {
+  std::unordered_map<std::string, double> counts;  // finding: type mention
+  double total = 0.0;
+  for (const auto& [key, value] : counts) {  // finding: range-for traversal
+    total += value;
+  }
+  std::unordered_set<int> seen;  // finding: type mention
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // finding: .begin()
+    total += 1.0;
+  }
+  // Lookup-only access is not a traversal, so only the declaration above
+  // fires for `seen`, not this line.
+  if (seen.count(3) > 0) total += 1.0;
+  // Mentions in prose and string literals never fire:
+  // iterating a std::unordered_map here would be nondeterministic.
+  const char* doc = "std::unordered_set<int> order is unspecified";
+  (void)doc;
+  // bbv-lint: allow(det-iter) fixture shows a justified suppression
+  std::unordered_map<int, int> suppressed;
+  (void)suppressed;
+  return total;
+}

@@ -1,0 +1,12 @@
+// layering fixture: back-edges against the module DAG. Linted as
+// src/stats/bad_layering.cc, so layer-1 stats must not reach up into layer-2
+// ml or layer-3 core.
+#include "common/status.h"  // clean: includes always point down to layer 0
+#include "core/validator.h"  // finding: stats -> core climbs two layers
+#include "linalg/matrix.h"  // clean: stats -> linalg is an audited edge
+#include "ml/black_box.h"  // finding: stats -> ml climbs a layer
+
+// bbv-lint: allow(layering) fixture shows a justified suppression
+#include "serve/streaming_scorer.h"
+
+int Unused() { return 0; }

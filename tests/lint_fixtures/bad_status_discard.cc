@@ -1,0 +1,42 @@
+// status-discard fixture: Status/Result-returning calls used as bare
+// expression statements. The declarations below seed the analysis context
+// when the file is linted standalone.
+#include <string>
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+template <typename T>
+struct Result {
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+Status Flaky(int attempt);
+Result<int> Compute();
+
+struct Worker {
+  Status Run();
+};
+
+int Use(Worker& worker) {
+  DoWork();  // finding: bare call statement drops the Status
+  worker.Run();  // finding: member-call chains are matched too
+  Compute();  // finding: Result<T> is covered like Status
+  const Status checked = DoWork();  // clean: captured
+  if (!checked.ok()) return 1;
+  if (!Flaky(0).ok()) return 2;  // clean: consumed in a condition
+  return Flaky(1).ok() ? 0 : 3;  // clean: return expression
+}
+
+void Strings() {
+  // Mentions in prose and literals never fire: DoWork(); in a comment.
+  const std::string doc = "calling DoWork(); here is just text";
+  (void)doc;
+}
+
+void Suppressed() {
+  // bbv-lint: allow(status-discard) fixture shows a justified deliberate drop
+  DoWork();
+}

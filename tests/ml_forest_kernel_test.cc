@@ -73,6 +73,8 @@ std::vector<double> LegacyForestPredict(const RandomForestRegressor& forest,
   for (size_t i = 0; i < features.rows(); ++i) {
     double sum = 0.0;
     for (const RegressionTree& tree : forest.trees()) {
+      // Deliberate legacy per-row reference.
+      // bbv-lint: allow(batch-api) the kernel is validated against this
       sum += tree.PredictRow(features.RowData(i));
     }
     result[i] = sum / static_cast<double>(forest.trees().size());
@@ -91,6 +93,8 @@ linalg::Matrix LegacyGbtPredictProba(const GradientBoostedTrees& model,
     double* out = scores.RowData(i);
     for (size_t k = 0; k < m; ++k) out[k] = model.base_scores()[k];
     for (size_t t = 0; t < model.trees().size(); ++t) {
+      // Deliberate legacy per-row reference.
+      // bbv-lint: allow(batch-api) the kernel is validated against this
       out[t % m] += model.learning_rate() * model.trees()[t].PredictRow(row);
     }
   }
@@ -146,6 +150,8 @@ TEST(ForestKernelTest, ForestPredictionsBitIdenticalToLegacyNodeWalk) {
       }
       // The scalar convenience path rides the same kernel.
       for (size_t i = 0; i < serving.rows(); ++i) {
+        // The rule exists to keep per-row calls out of serving code;
+        // bbv-lint: allow(batch-api) validates scalar path against kernel
         EXPECT_EQ(forest.PredictRow(serving.RowData(i)),
                   legacy_predictions[i]);
       }

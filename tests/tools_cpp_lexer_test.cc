@@ -1,0 +1,177 @@
+#include "tools/cpp_lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bbv::tools {
+namespace {
+
+std::vector<std::string> TokenTexts(const LexedFile& lexed) {
+  std::vector<std::string> texts;
+  texts.reserve(lexed.tokens.size());
+  for (const Token& token : lexed.tokens) texts.push_back(token.text);
+  return texts;
+}
+
+const Token& Find(const LexedFile& lexed, const std::string& text) {
+  for (const Token& token : lexed.tokens) {
+    if (token.text == text) return token;
+  }
+  ADD_FAILURE() << "token '" << text << "' not found";
+  static const Token missing{};
+  return missing;
+}
+
+TEST(CppLexerTest, TokenizesIdentifiersNumbersAndPunct) {
+  const LexedFile lexed = Lex("int x = 42 + y;\n");
+  EXPECT_EQ(TokenTexts(lexed),
+            (std::vector<std::string>{"int", "x", "=", "42", "+", "y", ";"}));
+  EXPECT_EQ(Find(lexed, "42").kind, TokenKind::kNumber);
+  EXPECT_EQ(Find(lexed, "x").kind, TokenKind::kIdentifier);
+  EXPECT_EQ(Find(lexed, "=").kind, TokenKind::kPunct);
+}
+
+TEST(CppLexerTest, LineCommentsAreDropped) {
+  const LexedFile lexed = Lex("int a; // std::mt19937 in prose\nint b;\n");
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "mt19937");
+  }
+  EXPECT_EQ(Find(lexed, "b").line, 2u);
+}
+
+TEST(CppLexerTest, BlockCommentsAreDroppedAndLinesCounted) {
+  const LexedFile lexed = Lex("int a; /* line one\nline two\n*/ int b;\n");
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "one");
+  }
+  EXPECT_EQ(Find(lexed, "b").line, 3u);
+}
+
+TEST(CppLexerTest, StringLiteralsAreSingleTokens) {
+  const LexedFile lexed =
+      Lex("auto s = \"std::cout << assert(rand())\";\n");
+  const Token& str = Find(lexed, "\"std::cout << assert(rand())\"");
+  EXPECT_EQ(str.kind, TokenKind::kString);
+  // Nothing inside the literal leaks out as an identifier.
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "rand");
+    EXPECT_NE(token.text, "assert");
+  }
+}
+
+TEST(CppLexerTest, EscapedQuotesStayInsideTheLiteral) {
+  const LexedFile lexed = Lex(R"(auto s = "a\"b"; int c;)");
+  EXPECT_EQ(Find(lexed, "c").kind, TokenKind::kIdentifier);
+  EXPECT_EQ(Find(lexed, R"("a\"b")").kind, TokenKind::kString);
+}
+
+TEST(CppLexerTest, RawStringsSwallowEverythingToTheDelimiter) {
+  const std::string source =
+      "auto s = R\"x(line \" one\nrand() )\" two)x\"; int after;\n";
+  const LexedFile lexed = Lex(source);
+  for (const Token& token : lexed.tokens) {
+    EXPECT_NE(token.text, "rand");
+  }
+  const Token& after = Find(lexed, "after");
+  EXPECT_EQ(after.line, 2u);  // the raw string spans one newline
+}
+
+TEST(CppLexerTest, CharLiteralsAreSingleTokens) {
+  const LexedFile lexed = Lex("char q = '\"'; char e = '\\''; int z;\n");
+  EXPECT_EQ(Find(lexed, "z").kind, TokenKind::kIdentifier);
+  size_t chars = 0;
+  for (const Token& token : lexed.tokens) {
+    if (token.kind == TokenKind::kChar) ++chars;
+  }
+  EXPECT_EQ(chars, 2u);
+}
+
+TEST(CppLexerTest, DigitSeparatorsDoNotSplitNumbers) {
+  const LexedFile lexed = Lex("auto n = 1'000'000; auto f = 1.5e-3;\n");
+  EXPECT_EQ(Find(lexed, "1'000'000").kind, TokenKind::kNumber);
+  EXPECT_EQ(Find(lexed, "1.5e-3").kind, TokenKind::kNumber);
+}
+
+TEST(CppLexerTest, LineSplicesJoinLogicalLines) {
+  // The spliced identifier is one token, attributed to the line it starts
+  // on; the following token is on the correct physical line.
+  const LexedFile lexed = Lex("int ab\\\ncd = 1;\nint ef;\n");
+  const Token& spliced = Find(lexed, "abcd");
+  EXPECT_EQ(spliced.kind, TokenKind::kIdentifier);
+  EXPECT_EQ(spliced.line, 1u);
+  EXPECT_EQ(Find(lexed, "ef").line, 3u);
+}
+
+TEST(CppLexerTest, SplicedDirectiveStaysOneDirective) {
+  const LexedFile lexed = Lex("#define FOO \\\n  42\nint x;\n");
+  const Token& directive = Find(lexed, "#define");
+  EXPECT_EQ(directive.kind, TokenKind::kDirective);
+  EXPECT_TRUE(directive.in_directive);
+  EXPECT_TRUE(Find(lexed, "42").in_directive);
+  EXPECT_FALSE(Find(lexed, "x").in_directive);
+}
+
+TEST(CppLexerTest, IncludeOperandsBecomeHeaderNames) {
+  const LexedFile lexed =
+      Lex("#include <vector>\n#include \"common/status.h\"\n");
+  EXPECT_EQ(Find(lexed, "<vector>").kind, TokenKind::kHeaderName);
+  EXPECT_EQ(Find(lexed, "\"common/status.h\"").kind, TokenKind::kHeaderName);
+}
+
+TEST(CppLexerTest, AngleBracketsOutsideIncludesAreOperators) {
+  const LexedFile lexed = Lex("bool b = a < c && d > e;\n");
+  EXPECT_EQ(Find(lexed, "<").kind, TokenKind::kPunct);
+  EXPECT_EQ(Find(lexed, ">").kind, TokenKind::kPunct);
+}
+
+TEST(CppLexerTest, NestedParensAndBracesCarryDepths) {
+  const LexedFile lexed = Lex("void f() { if (g(h(1))) { int x; } }\n");
+  EXPECT_EQ(Find(lexed, "x").brace_depth, 2);
+  EXPECT_EQ(Find(lexed, "1").paren_depth, 3);
+  // A closer carries the depth of its matching opener.
+  int final_brace_depth = -1;
+  for (const Token& token : lexed.tokens) {
+    if (token.text == "}") final_brace_depth = token.brace_depth;
+  }
+  EXPECT_EQ(final_brace_depth, 0);
+}
+
+TEST(CppLexerTest, MultiCharOperatorsAreSingleTokens) {
+  const LexedFile lexed = Lex("a <<= b; c->d; e::f; g != h; i <=> j;\n");
+  EXPECT_EQ(Find(lexed, "<<=").kind, TokenKind::kPunct);
+  EXPECT_EQ(Find(lexed, "->").kind, TokenKind::kPunct);
+  EXPECT_EQ(Find(lexed, "::").kind, TokenKind::kPunct);
+  EXPECT_EQ(Find(lexed, "!=").kind, TokenKind::kPunct);
+  EXPECT_EQ(Find(lexed, "<=>").kind, TokenKind::kPunct);
+}
+
+TEST(CppLexerTest, SuppressionsAreHarvestedFromComments) {
+  const LexedFile lexed = Lex(
+      "int a;  // bbv-lint: allow(rng) fixture needs raw entropy\n"
+      "int b;\n"
+      "/* bbv-lint: allow(float-eq) exact sentinel compare */\n"
+      "int c;\n");
+  EXPECT_TRUE(IsSuppressed(lexed, 1, "rng"));
+  EXPECT_TRUE(IsSuppressed(lexed, 2, "rng"));  // line-below coverage
+  EXPECT_FALSE(IsSuppressed(lexed, 1, "float-eq"));
+  EXPECT_TRUE(IsSuppressed(lexed, 4, "float-eq"));
+  EXPECT_FALSE(IsSuppressed(lexed, 2, "thread"));
+}
+
+TEST(CppLexerTest, SuppressionInStringLiteralDoesNotCount) {
+  const LexedFile lexed =
+      Lex("auto s = \"bbv-lint: allow(rng) not a comment\";\nint x;\n");
+  EXPECT_FALSE(IsSuppressed(lexed, 1, "rng"));
+  EXPECT_FALSE(IsSuppressed(lexed, 2, "rng"));
+}
+
+TEST(CppLexerTest, UnterminatedLiteralStopsAtLineEnd) {
+  // Malformed input must not swallow the rest of the file.
+  const LexedFile lexed = Lex("auto s = \"never closed\nint x;\n");
+  EXPECT_EQ(Find(lexed, "x").kind, TokenKind::kIdentifier);
+}
+
+}  // namespace
+}  // namespace bbv::tools

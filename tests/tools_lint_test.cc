@@ -13,7 +13,10 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
+
+#include "json_test_util.h"
 
 namespace bbv::tools {
 namespace {
@@ -187,6 +190,226 @@ TEST(LintRulesTest, SuppressionMarkerSilencesFindings) {
 TEST(LintRulesTest, FormatIsPathLineRuleMessage) {
   const LintFinding finding{"src/a.cc", 12, "rng", "banned"};
   EXPECT_EQ(FormatFinding(finding), "src/a.cc:12: [rng] banned");
+}
+
+TEST(LintRulesTest, FlagsUnorderedContainersInLibraryCode) {
+  const auto findings =
+      LintFile("src/fixture/bad_det_iter.cc", FixturePath("bad_det_iter.cc"));
+  // Two type mentions, one range-for and one .begin() traversal; the
+  // suppressed declaration and the lookup-only access stay silent.
+  EXPECT_EQ(CountRule(findings, "det-iter"), 4u);
+}
+
+TEST(LintRulesTest, DetIterRuleScopedToSrc) {
+  std::ifstream input(FixturePath("bad_det_iter.cc"));
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  // Tools and tests may use hash containers; only src/ is result-affecting.
+  const auto findings =
+      LintFileContents("tools/bad_det_iter.cc", buffer.str());
+  EXPECT_EQ(CountRule(findings, "det-iter"), 0u);
+}
+
+TEST(LintRulesTest, DetIterTraversalNeedsADeclaredVariable) {
+  // A range-for over an ordered map is fine even when an unordered variable
+  // exists elsewhere in the file.
+  const auto findings = LintFileContents(
+      "src/fixture/ordered.cc",
+      "#include <map>\n"
+      "double Sum(const std::map<int, double>& m) {\n"
+      "  double total = 0.0;\n"
+      "  for (const auto& [k, v] : m) total += v;\n"
+      "  return total;\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "det-iter"), 0u);
+}
+
+TEST(LintRulesTest, ModuleLayersMatchTheDocumentedDag) {
+  EXPECT_EQ(ModuleLayer("common"), 0);
+  EXPECT_EQ(ModuleLayer("stats"), 1);
+  EXPECT_EQ(ModuleLayer("linalg"), 1);
+  EXPECT_EQ(ModuleLayer("data"), 1);
+  EXPECT_EQ(ModuleLayer("ml"), 2);
+  EXPECT_EQ(ModuleLayer("errors"), 2);
+  EXPECT_EQ(ModuleLayer("featurize"), 2);
+  EXPECT_EQ(ModuleLayer("datasets"), 2);
+  EXPECT_EQ(ModuleLayer("core"), 3);
+  EXPECT_EQ(ModuleLayer("serve"), 3);
+  EXPECT_EQ(ModuleLayer("automl"), 3);
+  EXPECT_EQ(ModuleLayer("no_such_module"), -1);
+}
+
+TEST(LintRulesTest, AllowedEdgesPointDownOrRideTheAuditList) {
+  EXPECT_TRUE(IsAllowedModuleEdge("core", "common"));
+  EXPECT_TRUE(IsAllowedModuleEdge("ml", "data"));
+  EXPECT_TRUE(IsAllowedModuleEdge("stats", "stats"));
+  // The four audited same-layer edges.
+  EXPECT_TRUE(IsAllowedModuleEdge("stats", "linalg"));
+  EXPECT_TRUE(IsAllowedModuleEdge("ml", "featurize"));
+  EXPECT_TRUE(IsAllowedModuleEdge("errors", "ml"));
+  EXPECT_TRUE(IsAllowedModuleEdge("serve", "core"));
+  // Reversals and climbs are rejected.
+  EXPECT_FALSE(IsAllowedModuleEdge("linalg", "stats"));
+  EXPECT_FALSE(IsAllowedModuleEdge("common", "core"));
+  EXPECT_FALSE(IsAllowedModuleEdge("stats", "ml"));
+  EXPECT_FALSE(IsAllowedModuleEdge("core", "serve"));
+}
+
+TEST(LintRulesTest, FlagsBackEdgeIncludes) {
+  const auto findings =
+      LintFile("src/stats/bad_layering.cc", FixturePath("bad_layering.cc"));
+  // stats -> core and stats -> ml fire; common/linalg includes and the
+  // suppressed serve include stay silent.
+  EXPECT_EQ(CountRule(findings, "layering"), 2u);
+  for (const LintFinding& finding : findings) {
+    if (finding.rule != "layering") continue;
+    EXPECT_NE(finding.message.find("stats"), std::string::npos);
+  }
+}
+
+TEST(LintRulesTest, LayeringIgnoresSystemAndUnknownIncludes) {
+  const auto findings = LintFileContents(
+      "src/stats/clean_includes.cc",
+      "#include <vector>\n#include \"third_party/some_lib.h\"\n");
+  EXPECT_EQ(CountRule(findings, "layering"), 0u);
+}
+
+TEST(LintRulesTest, FindsConstructedModuleCycle) {
+  const std::vector<ModuleEdge> edges = {
+      {"data", "ml", 1, false},
+      {"ml", "stats", 2, true},
+      {"stats", "data", 1, false},
+  };
+  const auto cycle = FindModuleCycle(edges);
+  ASSERT_GE(cycle.size(), 4u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(LintRulesTest, AcyclicGraphAndSelfEdgesHaveNoCycle) {
+  const std::vector<ModuleEdge> acyclic = {
+      {"ml", "stats", 1, true},
+      {"stats", "common", 3, true},
+      {"ml", "common", 2, true},
+  };
+  EXPECT_TRUE(FindModuleCycle(acyclic).empty());
+  const std::vector<ModuleEdge> self_only = {{"ml", "ml", 5, true}};
+  EXPECT_TRUE(FindModuleCycle(self_only).empty());
+}
+
+TEST(LintRulesTest, DotExportNamesModulesAndMarksViolations) {
+  const std::vector<ModuleEdge> edges = {
+      {"linalg", "stats", 1, false},
+      {"stats", "common", 4, true},
+  };
+  const std::string dot = ModuleGraphDot(edges);
+  EXPECT_NE(dot.find("digraph bbv_modules"), std::string::npos);
+  EXPECT_NE(dot.find("\"stats\" -> \"common\""), std::string::npos);
+  EXPECT_NE(dot.find("\"linalg\" -> \"stats\""), std::string::npos);
+  EXPECT_NE(dot.find("red"), std::string::npos);  // the violating edge
+}
+
+TEST(LintRulesTest, FlagsDiscardedStatusCalls) {
+  const auto findings = LintFile("src/fixture/bad_status_discard.cc",
+                                 FixturePath("bad_status_discard.cc"));
+  // Bare DoWork(), worker.Run() and Compute() statements; captures,
+  // conditions, returns, strings and the suppressed call stay silent.
+  EXPECT_EQ(CountRule(findings, "status-discard"), 3u);
+  bool names_callee = false;
+  for (const LintFinding& finding : findings) {
+    if (finding.rule == "status-discard" &&
+        finding.message.find("DoWork") != std::string::npos) {
+      names_callee = true;
+    }
+  }
+  EXPECT_TRUE(names_callee);
+}
+
+TEST(LintRulesTest, AmbiguousStatusNamesAreSkipped) {
+  // A name declared with both Status and void return types anywhere in the
+  // tree is ambiguous; the name-based rule defers to [[nodiscard]].
+  AnalysisContext context;
+  context.status_functions.insert("DoWork");
+  context.void_functions.insert("DoWork");
+  const auto findings = LintFileContentsWithContext(
+      "src/fixture/ambiguous.cc", "void Use() {\n  DoWork();\n}\n", context);
+  EXPECT_EQ(CountRule(findings, "status-discard"), 0u);
+}
+
+TEST(LintRulesTest, FlagsPredictRowInLoops) {
+  const auto findings =
+      LintFile("src/fixture/bad_batch_api.cc", FixturePath("bad_batch_api.cc"));
+  // The braced for body, the while body and the single-statement for body;
+  // the lone call, the string literal and the suppressed loop stay silent.
+  EXPECT_EQ(CountRule(findings, "batch-api"), 3u);
+}
+
+TEST(LintRulesTest, PredictRowInStringLiteralDoesNotFire) {
+  const auto findings = LintFileContents(
+      "src/fixture/doc_string.cc",
+      "const char* Doc() {\n"
+      "  for (int i = 0; i < 3; ++i) {\n"
+      "    return \"never call PredictRow(row) per row\";\n"
+      "  }\n"
+      "  return \"\";\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
+}
+
+TEST(LintRulesTest, PredictRowOutsideLoopsIsClean) {
+  const auto findings = LintFileContents(
+      "src/fixture/single_row.cc",
+      "double One(const Model& m, const double* row) {\n"
+      "  return m.PredictRow(row);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
+}
+
+TEST(LintRulesTest, AnalyzeTreePopulatesTheModuleGraph) {
+  const std::filesystem::path repo_root =
+      std::filesystem::path(BBV_TEST_SOURCE_DIR).parent_path();
+  const TreeAnalysis analysis = AnalyzeTree(repo_root.string());
+  EXPECT_GT(analysis.num_files_scanned, 0u);
+  ASSERT_FALSE(analysis.edges.empty());
+  bool saw_core_to_common = false;
+  for (const ModuleEdge& edge : analysis.edges) {
+    EXPECT_TRUE(edge.allowed) << edge.from << " -> " << edge.to;
+    if (edge.from == "core" && edge.to == "common") saw_core_to_common = true;
+  }
+  EXPECT_TRUE(saw_core_to_common);
+  EXPECT_TRUE(FindModuleCycle(analysis.edges).empty());
+  // Edges arrive sorted by (from, to) so diffs of --dot output are stable.
+  for (size_t i = 1; i < analysis.edges.size(); ++i) {
+    const ModuleEdge& a = analysis.edges[i - 1];
+    const ModuleEdge& b = analysis.edges[i];
+    EXPECT_LE(std::tie(a.from, a.to), std::tie(b.from, b.to));
+  }
+}
+
+TEST(LintRulesTest, FindingsJsonIsWellFormedAndCountsRules) {
+  TreeAnalysis analysis;
+  analysis.num_files_scanned = 3;
+  analysis.findings.push_back(
+      {"src/a.cc", 7, "det-iter", "message with \"quotes\" and \\ slash"});
+  analysis.findings.push_back({"src/b.cc", 9, "det-iter", "second"});
+  analysis.findings.push_back({"src/b.cc", 12, "layering", "third"});
+  const std::string json = FindingsJson(analysis);
+  EXPECT_TRUE(bbv::testing::JsonParses(json)) << json;
+  EXPECT_NE(json.find("\"tool\": \"bbv_lint\""), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"num_findings\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"det-iter\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"layering\": 1"), std::string::npos);
+  // Every rule id appears in rule_counts, including untriggered ones.
+  EXPECT_NE(json.find("\"batch-api\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"status-discard\": 0"), std::string::npos);
+}
+
+TEST(LintRulesTest, EmptyFindingsJsonStillParses) {
+  TreeAnalysis analysis;
+  analysis.num_files_scanned = 177;
+  const std::string json = FindingsJson(analysis);
+  EXPECT_TRUE(bbv::testing::JsonParses(json)) << json;
+  EXPECT_NE(json.find("\"num_findings\": 0"), std::string::npos);
 }
 
 TEST(LintRulesTest, LiveRepositoryIsClean) {

@@ -1,36 +1,102 @@
-// Repo-specific lint gate. Walks src/, tools/ and bench/ under the given
-// repo root (default: current directory) and enforces the invariants
-// documented in tools/lint_rules.h. Exits non-zero when any finding remains
-// unsuppressed, so it runs as a ctest test and as a CI job.
+// Repo-specific lint gate. Walks src/, tools/, bench/ and tests/ under the
+// given repo root (default: current directory) and enforces the invariants
+// documented in tools/lint_rules.h on a real token stream. Exits non-zero
+// when any finding remains unsuppressed, so it runs as a ctest test and as a
+// CI job.
 //
-// Usage: bbv_lint [repo_root]
+// Usage: bbv_lint [--dot[=PATH]] [--json=PATH] [repo_root]
+//
+//   --dot[=PATH]   Write the observed module-dependency graph as Graphviz
+//                  (stdout when PATH is omitted). DAG-violating edges are
+//                  drawn red.
+//   --json=PATH    Write findings and per-rule counts as JSON following the
+//                  bench/bench_util.h BENCH_*.json conventions, so CI can
+//                  diff finding counts across revisions.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "tools/lint_rules.h"
 
+namespace {
+
+bool WriteFileOrStdout(const std::string& path, const std::string& payload,
+                       const char* what) {
+  if (path.empty()) {
+    std::cout << payload;
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out << payload;
+  if (!out) {
+    std::cerr << "bbv_lint: could not write " << what << " to " << path
+              << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string root = argc > 1 ? argv[1] : ".";
-  size_t num_files_scanned = 0;
-  const std::vector<bbv::tools::LintFinding> findings =
-      bbv::tools::LintTree(root, &num_files_scanned);
-  if (num_files_scanned == 0) {
+  std::string root = ".";
+  bool emit_dot = false;
+  std::string dot_path;   // empty = stdout
+  std::string json_path;  // empty = no JSON export
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dot") {
+      emit_dot = true;
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      emit_dot = true;
+      dot_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "Usage: bbv_lint [--dot[=PATH]] [--json=PATH] "
+                   "[repo_root]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "bbv_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      root = arg;
+    }
+  }
+
+  const bbv::tools::TreeAnalysis analysis = bbv::tools::AnalyzeTree(root);
+  if (analysis.num_files_scanned == 0) {
     std::cerr << "bbv_lint: no .h/.cc files found under " << root
-              << "/{src,tools,bench} — wrong repo root?\n";
+              << "/{src,tools,bench,tests} — wrong repo root?\n";
     return 2;
   }
-  for (const bbv::tools::LintFinding& finding : findings) {
+
+  if (emit_dot &&
+      !WriteFileOrStdout(dot_path, bbv::tools::ModuleGraphDot(analysis.edges),
+                         "module graph")) {
+    return 2;
+  }
+  if (!json_path.empty() &&
+      !WriteFileOrStdout(json_path, bbv::tools::FindingsJson(analysis),
+                         "findings JSON")) {
+    return 2;
+  }
+
+  for (const bbv::tools::LintFinding& finding : analysis.findings) {
     std::cerr << bbv::tools::FormatFinding(finding) << "\n";
   }
-  if (!findings.empty()) {
-    std::cerr << findings.size() << " lint finding(s) in " << root << "\n"
+  if (!analysis.findings.empty()) {
+    std::cerr << analysis.findings.size() << " lint finding(s) in " << root
+              << "\n"
               << "Suppress a deliberate violation with a trailing or "
                  "preceding comment: // bbv-lint: allow(<rule>) <reason>\n";
     return 1;
   }
-  std::cout << "bbv_lint: clean (" << num_files_scanned << " file"
-            << (num_files_scanned == 1 ? "" : "s") << ")\n";
+  if (!emit_dot || !dot_path.empty()) {
+    std::cout << "bbv_lint: clean (" << analysis.num_files_scanned << " file"
+              << (analysis.num_files_scanned == 1 ? "" : "s") << ")\n";
+  }
   return 0;
 }

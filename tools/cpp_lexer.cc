@@ -1,0 +1,290 @@
+#include "tools/cpp_lexer.h"
+
+#include <cctype>
+
+namespace bbv::tools {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Multi-character operators, longest first so maximal munch holds.
+const char* const kMultiCharOps[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--", "##",
+};
+
+/// Harvests every "bbv-lint: allow(<rule>)" marker in `comment` (which may
+/// span lines); `line_at` maps a byte offset inside the comment to its
+/// 1-based physical line.
+template <typename LineAt>
+void HarvestSuppressions(const std::string& comment, const LineAt& line_at,
+                         std::map<size_t, std::set<std::string>>* out) {
+  const std::string marker = "bbv-lint: allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    const size_t rule_begin = pos + marker.size();
+    const size_t rule_end = comment.find(')', rule_begin);
+    if (rule_end == std::string::npos) break;
+    (*out)[line_at(pos)].insert(
+        comment.substr(rule_begin, rule_end - rule_begin));
+    pos = rule_end;
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& contents) {
+  // Phase 1: remove line splices (backslash-newline), remembering the
+  // physical line of every surviving byte. Everything downstream indexes
+  // `code` and reads provenance from `line_of`.
+  std::string code;
+  std::vector<size_t> line_of;
+  code.reserve(contents.size());
+  line_of.reserve(contents.size());
+  size_t line = 1;
+  for (size_t i = 0; i < contents.size();) {
+    if (contents[i] == '\\' && i + 1 < contents.size() &&
+        (contents[i + 1] == '\n' ||
+         (contents[i + 1] == '\r' && i + 2 < contents.size() &&
+          contents[i + 2] == '\n'))) {
+      ++line;
+      i += contents[i + 1] == '\r' ? 3 : 2;
+      continue;
+    }
+    code.push_back(contents[i]);
+    line_of.push_back(line);
+    if (contents[i] == '\n') ++line;
+    ++i;
+  }
+
+  LexedFile out;
+  out.num_lines = line;
+  const size_t n = code.size();
+  size_t i = 0;
+  int brace_depth = 0;
+  int paren_depth = 0;
+  bool in_directive = false;
+  bool expect_header = false;  // directly after #include
+
+  const auto emit = [&](TokenKind kind, size_t begin, size_t end) {
+    Token token;
+    token.kind = kind;
+    token.text = code.substr(begin, end - begin);
+    token.line = line_of[begin];
+    token.brace_depth = brace_depth;
+    token.paren_depth = paren_depth;
+    token.in_directive = in_directive;
+    out.tokens.push_back(std::move(token));
+  };
+
+  // Scans a quoted/char literal starting at the opening quote; returns the
+  // index one past the closing quote (or n for unterminated input).
+  const auto scan_quoted = [&](size_t begin, char quote) {
+    size_t j = begin + 1;
+    while (j < n) {
+      if (code[j] == '\\') {
+        j += 2;
+        continue;
+      }
+      if (code[j] == quote) return j + 1;
+      if (code[j] == '\n') return j;  // unterminated: stop at line end
+      ++j;
+    }
+    return n;
+  };
+
+  while (i < n) {
+    const char c = code[i];
+
+    if (c == '\n') {
+      in_directive = false;
+      expect_header = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Comments: dropped from the token stream, mined for suppressions.
+    if (c == '/' && i + 1 < n && code[i + 1] == '/') {
+      size_t j = i + 2;
+      while (j < n && code[j] != '\n') ++j;
+      const std::string text = code.substr(i, j - i);
+      HarvestSuppressions(
+          text, [&](size_t off) { return line_of[i + off]; },
+          &out.suppressions);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && code[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(code[j] == '*' && code[j + 1] == '/')) ++j;
+      const size_t end = j + 1 < n ? j + 2 : n;
+      const std::string text = code.substr(i, end - i);
+      HarvestSuppressions(
+          text, [&](size_t off) { return line_of[i + off]; },
+          &out.suppressions);
+      i = end;
+      continue;
+    }
+
+    // Preprocessor directive: '#' begins one; it runs to the (unspliced)
+    // end of line. The directive name becomes a single "#name" token.
+    if (c == '#' && !in_directive) {
+      in_directive = true;
+      size_t j = i + 1;
+      while (j < n && (code[j] == ' ' || code[j] == '\t')) ++j;
+      size_t name_end = j;
+      while (name_end < n && IsIdentChar(code[name_end])) ++name_end;
+      std::string name = "#";
+      name.append(code, j, name_end - j);
+      Token token;
+      token.kind = TokenKind::kDirective;
+      token.text = name;
+      token.line = line_of[i];
+      token.brace_depth = brace_depth;
+      token.paren_depth = paren_depth;
+      token.in_directive = true;
+      out.tokens.push_back(std::move(token));
+      if (name == "#include") expect_header = true;
+      i = name_end;
+      continue;
+    }
+
+    // #include operand: <...> or "..." as one header-name token.
+    if (expect_header && (c == '<' || c == '"')) {
+      const char close = c == '<' ? '>' : '"';
+      size_t j = i + 1;
+      while (j < n && code[j] != close && code[j] != '\n') ++j;
+      const size_t end = j < n && code[j] == close ? j + 1 : j;
+      emit(TokenKind::kHeaderName, i, end);
+      expect_header = false;
+      i = end;
+      continue;
+    }
+
+    // Identifiers, including string-literal prefixes and raw strings.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(code[j])) ++j;
+      const std::string ident = code.substr(i, j - i);
+      if (j < n && (code[j] == '"' || code[j] == '\'')) {
+        const bool raw = !ident.empty() && ident.back() == 'R';
+        const std::string prefix = raw ? ident.substr(0, ident.size() - 1)
+                                       : ident;
+        const bool known_prefix = prefix.empty() || prefix == "u8" ||
+                                  prefix == "u" || prefix == "U" ||
+                                  prefix == "L";
+        if (known_prefix && raw && code[j] == '"') {
+          // R"delim( ... )delim" — no escapes, may span lines.
+          size_t delim_end = j + 1;
+          while (delim_end < n && code[delim_end] != '(') ++delim_end;
+          std::string closer = ")";
+          closer.append(code, j + 1, delim_end - j - 1);
+          closer.push_back('"');
+          const size_t body = delim_end < n ? delim_end + 1 : n;
+          const size_t close = code.find(closer, body);
+          const size_t end =
+              close == std::string::npos ? n : close + closer.size();
+          emit(TokenKind::kString, i, end);
+          i = end;
+          continue;
+        }
+        if (known_prefix && !raw) {
+          const size_t end = scan_quoted(j, code[j]);
+          emit(code[j] == '"' ? TokenKind::kString : TokenKind::kChar, i,
+               end);
+          i = end;
+          continue;
+        }
+      }
+      emit(TokenKind::kIdentifier, i, j);
+      i = j;
+      continue;
+    }
+
+    // Plain string and character literals.
+    if (c == '"' || c == '\'') {
+      const size_t end = scan_quoted(i, c);
+      emit(c == '"' ? TokenKind::kString : TokenKind::kChar, i, end);
+      i = end;
+      continue;
+    }
+
+    // pp-number: covers ints, floats, hex, exponents and digit separators.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(code[i + 1]))) {
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = code[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') &&
+            (code[j - 1] == 'e' || code[j - 1] == 'E' ||
+             code[j - 1] == 'p' || code[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      emit(TokenKind::kNumber, i, j);
+      i = j;
+      continue;
+    }
+
+    // Punctuation: longest-match multi-character operators, then depth
+    // bookkeeping for single braces/parens (a closer carries the depth of
+    // its matching opener).
+    bool matched_multi = false;
+    for (const char* op : kMultiCharOps) {
+      const size_t len = std::char_traits<char>::length(op);
+      if (code.compare(i, len, op) == 0) {
+        emit(TokenKind::kPunct, i, i + len);
+        i += len;
+        matched_multi = true;
+        break;
+      }
+    }
+    if (matched_multi) continue;
+    if (c == '{' || c == '(') {
+      emit(TokenKind::kPunct, i, i + 1);
+      if (c == '{') ++brace_depth;
+      if (c == '(') ++paren_depth;
+    } else if (c == '}' || c == ')') {
+      if (c == '}' && brace_depth > 0) --brace_depth;
+      if (c == ')' && paren_depth > 0) --paren_depth;
+      emit(TokenKind::kPunct, i, i + 1);
+    } else {
+      emit(TokenKind::kPunct, i, i + 1);
+    }
+    ++i;
+  }
+  return out;
+}
+
+bool IsSuppressed(const LexedFile& lexed, size_t line,
+                  const std::string& rule) {
+  for (size_t candidate : {line, line - 1}) {
+    if (candidate == 0) continue;
+    const auto it = lexed.suppressions.find(candidate);
+    if (it != lexed.suppressions.end() && it->second.count(rule) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace bbv::tools

@@ -1,0 +1,61 @@
+#ifndef BBV_TOOLS_CPP_LEXER_H_
+#define BBV_TOOLS_CPP_LEXER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bbv::tools {
+
+/// A minimal C++ tokenizer purpose-built for the bbv_lint analyzer. It is
+/// not a conforming preprocessor — it does not expand macros or evaluate
+/// conditionals — but it is exact about the things lint rules trip over:
+/// comments, string/char literals (including raw strings), line splices,
+/// multi-character operators and preprocessor directives all become single
+/// tokens with file-position provenance, so rules match real code tokens
+/// instead of regexes over text that might be prose or test data.
+enum class TokenKind {
+  kIdentifier,   ///< Identifiers and keywords (no keyword table is kept).
+  kNumber,       ///< pp-number: integer and floating literals of any base.
+  kString,       ///< "..." and R"delim(...)delim", text includes quotes.
+  kChar,         ///< '...' character literal, text includes quotes.
+  kPunct,        ///< Operators and punctuation; multi-char ops are one token.
+  kDirective,    ///< '#name' of a preprocessor directive, e.g. "#include".
+  kHeaderName,   ///< <...> or "..." operand of an #include directive.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;       ///< Exact source spelling (splices removed).
+  size_t line = 0;        ///< 1-based physical line the token starts on.
+  int brace_depth = 0;    ///< {}-nesting at the token; a '}' matches its '{'.
+  int paren_depth = 0;    ///< ()-nesting at the token; a ')' matches its '('.
+  bool in_directive = false;  ///< Token belongs to a preprocessor directive.
+};
+
+/// Result of lexing one translation unit.
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Lint-suppression markers harvested from comments: 1-based line number
+  /// -> rule ids named in "bbv-lint: allow(<rule>)" markers on that line.
+  std::map<size_t, std::set<std::string>> suppressions;
+  size_t num_lines = 0;
+};
+
+/// Lexes `contents` (one file's bytes). Never fails: malformed input
+/// (unterminated literals/comments) is tokenized best-effort to the end of
+/// the file, which is the right behavior for a linter that must not crash
+/// on code the compiler will reject anyway.
+LexedFile Lex(const std::string& contents);
+
+/// True when `lexed` carries a "bbv-lint: allow(<rule>)" marker on `line`
+/// or the line directly above it (1-based), mirroring the documented
+/// suppression contract of tools/lint_rules.h.
+bool IsSuppressed(const LexedFile& lexed, size_t line,
+                  const std::string& rule);
+
+}  // namespace bbv::tools
+
+#endif  // BBV_TOOLS_CPP_LEXER_H_

@@ -4,18 +4,18 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <regex>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "tools/cpp_lexer.h"
 
 namespace bbv::tools {
 
 namespace {
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 bool StartsWith(const std::string& text, const std::string& prefix) {
   return text.rfind(prefix, 0) == 0;
@@ -26,106 +26,53 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-std::vector<std::string> SplitLines(const std::string& contents) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : contents) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  if (!current.empty()) lines.push_back(current);
-  return lines;
+bool IsIdent(const Token& token, const char* text) {
+  return token.kind == TokenKind::kIdentifier && token.text == text;
 }
 
-/// Blanks out comments and string/char literal contents so token scans do not
-/// trip on prose or test data. Tracks /* */ state across lines; raw string
-/// literals are not handled (none of the enforced tokens appear in them).
-std::vector<std::string> StripCommentsAndStrings(
-    const std::vector<std::string>& lines) {
-  std::vector<std::string> stripped;
-  stripped.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string out(line.size(), ' ');
-    size_t i = 0;
-    while (i < line.size()) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          i += 2;
-        } else {
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-        break;  // rest of the line is a comment
-      }
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        out[i] = quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\') {
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            out[i] = quote;
-            ++i;
-            break;
-          }
-          ++i;
-        }
-        continue;
-      }
-      out[i] = c;
-      ++i;
-    }
-    stripped.push_back(std::move(out));
-  }
-  return stripped;
+bool IsPunct(const Token& token, const char* text) {
+  return token.kind == TokenKind::kPunct && token.text == text;
 }
 
-/// Position of `token` in `line` at word boundaries, or npos. When
-/// `require_call` is set the token must be followed by '(' (after optional
-/// spaces), which keeps identifiers like `operand` from matching `rand`.
-size_t FindToken(const std::string& line, const std::string& token,
-                 bool require_call = false) {
-  size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
-    size_t after = pos + token.size();
-    const bool right_ok = after >= line.size() || !IsWordChar(line[after]);
-    bool call_ok = true;
-    if (require_call) {
-      while (after < line.size() && line[after] == ' ') ++after;
-      call_ok = after < line.size() && line[after] == '(';
-    }
-    if (left_ok && right_ok && call_ok) return pos;
-    ++pos;
-  }
-  return std::string::npos;
+/// True when the pp-number token spells a floating-point literal: it has a
+/// fraction dot or a decimal exponent (hex literals are never flagged).
+bool IsFloatingLiteral(const Token& token) {
+  if (token.kind != TokenKind::kNumber) return false;
+  const std::string& text = token.text;
+  if (StartsWith(text, "0x") || StartsWith(text, "0X")) return false;
+  if (text.find('.') != std::string::npos) return true;
+  return text.find('e') != std::string::npos ||
+         text.find('E') != std::string::npos;
 }
 
-/// True when the (unstripped) source suppresses `rule` for a finding on
-/// 0-based line `index`: the marker may sit on the flagged line or the one
-/// above it.
-bool IsSuppressed(const std::vector<std::string>& lines, size_t index,
-                  const std::string& rule) {
-  const std::string marker = "bbv-lint: allow(" + rule + ")";
-  if (lines[index].find(marker) != std::string::npos) return true;
-  return index > 0 && lines[index - 1].find(marker) != std::string::npos;
+/// Index one past a balanced <...> template argument list starting at
+/// `open` (which must be a '<'), treating '>>' as two closers. Returns
+/// `open` when tokens[open] is not '<' (no template arguments present).
+size_t SkipTemplateArgs(const std::vector<Token>& tokens, size_t open) {
+  if (open >= tokens.size() || !IsPunct(tokens[open], "<")) return open;
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.kind != TokenKind::kPunct) continue;
+    if (token.text == "<") ++depth;
+    if (token.text == ">") --depth;
+    if (token.text == ">>") depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return tokens.size();
+}
+
+/// Index of the ')' matching the '(' at `open`, or tokens.size().
+size_t FindMatchingParen(const std::vector<Token>& tokens, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < tokens.size(); ++i) {
+    if (IsPunct(tokens[i], "(")) ++depth;
+    if (IsPunct(tokens[i], ")")) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
 }
 
 std::string ExpectedGuard(const std::string& path_from_root) {
@@ -144,227 +91,604 @@ std::string ExpectedGuard(const std::string& path_from_root) {
   return guard;
 }
 
-void CheckIncludeGuard(const std::string& path,
-                       const std::vector<std::string>& lines,
+void Report(const std::string& path, const LexedFile& lexed, size_t line,
+            const std::string& rule, std::string message,
+            std::vector<LintFinding>& findings) {
+  if (IsSuppressed(lexed, line, rule)) return;
+  findings.push_back({path, line, rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Ported rules (previously regex-based, now token-exact)
+// ---------------------------------------------------------------------------
+
+void CheckIncludeGuard(const std::string& path, const LexedFile& lexed,
                        std::vector<LintFinding>& findings) {
   const std::string expected = ExpectedGuard(path);
   const std::string rule = "include-guard";
-  for (size_t i = 0; i < lines.size(); ++i) {
-    std::istringstream tokens(lines[i]);
-    std::string directive;
-    tokens >> directive;
-    if (directive != "#ifndef") continue;
-    std::string guard;
-    tokens >> guard;
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kDirective ||
+        tokens[i].text != "#ifndef") {
+      continue;
+    }
+    const std::string guard =
+        i + 1 < tokens.size() ? tokens[i + 1].text : "<missing>";
     if (guard != expected) {
-      if (!IsSuppressed(lines, i, rule)) {
-        findings.push_back({path, i + 1, rule,
-                            "include guard '" + guard + "' should be '" +
-                                expected + "'"});
-      }
+      Report(path, lexed, tokens[i].line, rule,
+             "include guard '" + guard + "' should be '" + expected + "'",
+             findings);
       return;
     }
-    const std::string define = "#define " + expected;
-    if (i + 1 >= lines.size() ||
-        lines[i + 1].find(define) == std::string::npos) {
-      if (!IsSuppressed(lines, i, rule)) {
-        findings.push_back({path, i + 1, rule,
-                            "#ifndef " + expected +
-                                " is not followed by '" + define + "'"});
+    // The matching #define must be the next directive.
+    for (size_t j = i + 2; j < tokens.size(); ++j) {
+      if (tokens[j].kind != TokenKind::kDirective) continue;
+      if (tokens[j].text == "#define" && j + 1 < tokens.size() &&
+          tokens[j + 1].text == expected) {
+        return;
       }
+      break;
     }
+    Report(path, lexed, tokens[i].line, rule,
+           "#ifndef " + expected + " is not followed by '#define " + expected +
+               "'",
+           findings);
     return;
   }
-  if (!lines.empty() && IsSuppressed(lines, 0, rule)) return;
-  findings.push_back(
-      {path, 1, rule, "header is missing include guard " + expected});
+  Report(path, lexed, 1, rule, "header is missing include guard " + expected,
+         findings);
 }
 
-void CheckBannedRandomness(const std::string& path,
-                           const std::vector<std::string>& lines,
-                           const std::vector<std::string>& stripped,
+bool IncludesHeader(const Token& token, const char* header) {
+  return token.kind == TokenKind::kHeaderName && token.text == header;
+}
+
+void CheckBannedRandomness(const std::string& path, const LexedFile& lexed,
                            std::vector<LintFinding>& findings) {
   const std::string rule = "rng";
-  struct Ban {
-    const char* token;
-    bool require_call;
-    const char* why;
-  };
-  static const Ban kBans[] = {
-      {"rand", true, "use common::Rng (seeded, reproducible)"},
-      {"srand", true, "use common::Rng (seeded, reproducible)"},
-      {"mt19937", false, "use common::Rng instead of std::mt19937"},
-      {"mt19937_64", false, "use common::Rng instead of std::mt19937_64"},
-      {"random_device", false,
-       "nondeterministic entropy breaks reproducibility; seed common::Rng"},
-  };
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    for (const Ban& ban : kBans) {
-      if (FindToken(stripped[i], ban.token, ban.require_call) !=
-              std::string::npos &&
-          !IsSuppressed(lines, i, rule)) {
-        findings.push_back({path, i + 1, rule,
-                            std::string("banned '") + ban.token + "': " +
-                                ban.why});
-        break;  // one rng finding per line is enough
-      }
-    }
-    // time(nullptr) / time(0) seeds are wall-clock dependent.
-    const size_t time_pos = FindToken(stripped[i], "time", true);
-    if (time_pos != std::string::npos) {
-      static const std::regex kTimeSeed(R"(\btime\s*\(\s*(nullptr|0|NULL)\s*\))");
-      if (std::regex_search(stripped[i], kTimeSeed) &&
-          !IsSuppressed(lines, i, rule)) {
-        findings.push_back({path, i + 1, rule,
-                            "banned wall-clock seed time(...); use an "
-                            "explicit common::Rng seed"});
-      }
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    const bool next_is_call =
+        i + 1 < tokens.size() && IsPunct(tokens[i + 1], "(");
+    if (IsIdent(token, "mt19937")) {
+      Report(path, lexed, token.line, rule,
+             "banned 'mt19937': use common::Rng instead of std::mt19937",
+             findings);
+    } else if (IsIdent(token, "mt19937_64")) {
+      Report(path, lexed, token.line, rule,
+             "banned 'mt19937_64': use common::Rng instead of "
+             "std::mt19937_64",
+             findings);
+    } else if (IsIdent(token, "random_device")) {
+      Report(path, lexed, token.line, rule,
+             "banned 'random_device': nondeterministic entropy breaks "
+             "reproducibility; seed common::Rng",
+             findings);
+    } else if ((IsIdent(token, "rand") || IsIdent(token, "srand")) &&
+               next_is_call) {
+      Report(path, lexed, token.line, rule,
+             "banned '" + token.text +
+                 "': use common::Rng (seeded, reproducible)",
+             findings);
+    } else if (IsIdent(token, "time") && next_is_call &&
+               i + 3 < tokens.size() && IsPunct(tokens[i + 3], ")") &&
+               (tokens[i + 2].text == "nullptr" ||
+                tokens[i + 2].text == "NULL" || tokens[i + 2].text == "0")) {
+      Report(path, lexed, token.line, rule,
+             "banned wall-clock seed time(...); use an explicit common::Rng "
+             "seed",
+             findings);
     }
   }
 }
 
-void CheckFloatEquality(const std::string& path,
-                        const std::vector<std::string>& lines,
-                        const std::vector<std::string>& stripped,
+void CheckFloatEquality(const std::string& path, const LexedFile& lexed,
                         std::vector<LintFinding>& findings) {
   const std::string rule = "float-eq";
-  // A floating literal on either side of ==/!=.
-  static const std::regex kLitThenEq(
-      R"(((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)\s*(==|!=))");
-  static const std::regex kEqThenLit(
-      R"((==|!=)\s*[-+]?((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+))");
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    if (std::regex_search(stripped[i], kLitThenEq) ||
-        std::regex_search(stripped[i], kEqThenLit)) {
-      if (!IsSuppressed(lines, i, rule)) {
-        findings.push_back({path, i + 1, rule,
-                            "==/!= against a floating-point literal; compare "
-                            "with a tolerance or restructure the guard"});
-      }
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsPunct(tokens[i], "==") && !IsPunct(tokens[i], "!=")) continue;
+    const bool lit_before = i > 0 && IsFloatingLiteral(tokens[i - 1]);
+    // Right side may carry a sign: == -1.0 / != +0.5.
+    size_t right = i + 1;
+    if (right < tokens.size() &&
+        (IsPunct(tokens[right], "-") || IsPunct(tokens[right], "+"))) {
+      ++right;
+    }
+    const bool lit_after =
+        right < tokens.size() && IsFloatingLiteral(tokens[right]);
+    if (lit_before || lit_after) {
+      Report(path, lexed, tokens[i].line, rule,
+             "==/!= against a floating-point literal; compare with a "
+             "tolerance or restructure the guard",
+             findings);
     }
   }
 }
 
-void CheckNoStdout(const std::string& path,
-                   const std::vector<std::string>& lines,
-                   const std::vector<std::string>& stripped,
+void CheckNoStdout(const std::string& path, const LexedFile& lexed,
                    std::vector<LintFinding>& findings) {
-  const std::string rule = "stdout";
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    if (stripped[i].find("std::cout") != std::string::npos &&
-        !IsSuppressed(lines, i, rule)) {
-      findings.push_back({path, i + 1, rule,
-                          "std::cout in library code; report through Status "
-                          "or return values"});
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (IsIdent(tokens[i], "std") && IsPunct(tokens[i + 1], "::") &&
+        IsIdent(tokens[i + 2], "cout")) {
+      Report(path, lexed, tokens[i].line, "stdout",
+             "std::cout in library code; report through Status or return "
+             "values",
+             findings);
     }
   }
 }
 
-void CheckNoAssert(const std::string& path,
-                   const std::vector<std::string>& lines,
-                   const std::vector<std::string>& stripped,
+void CheckNoAssert(const std::string& path, const LexedFile& lexed,
                    std::vector<LintFinding>& findings) {
   const std::string rule = "assert";
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    const bool include_hit =
-        stripped[i].find("<cassert>") != std::string::npos ||
-        stripped[i].find("<assert.h>") != std::string::npos;
-    // Word-boundary match keeps static_assert (preceded by '_') clean.
-    const bool call_hit =
-        FindToken(stripped[i], "assert", true) != std::string::npos;
-    if ((include_hit || call_hit) && !IsSuppressed(lines, i, rule)) {
-      findings.push_back({path, i + 1, rule,
-                          "C assert(); use BBV_CHECK/BBV_DCHECK for "
-                          "file:line context and streamed diagnostics"});
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (IncludesHeader(token, "<cassert>") ||
+        IncludesHeader(token, "<assert.h>") ||
+        (IsIdent(token, "assert") && i + 1 < tokens.size() &&
+         IsPunct(tokens[i + 1], "("))) {
+      Report(path, lexed, token.line, rule,
+             "C assert(); use BBV_CHECK/BBV_DCHECK for file:line context and "
+             "streamed diagnostics",
+             findings);
     }
   }
 }
 
-void CheckNoRawThreads(const std::string& path,
-                       const std::vector<std::string>& lines,
-                       const std::vector<std::string>& stripped,
+void CheckNoRawThreads(const std::string& path, const LexedFile& lexed,
                        std::vector<LintFinding>& findings) {
   const std::string rule = "thread";
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    // <thread> also covers std::this_thread; <future> covers std::async's
-    // return machinery. Either include outside the parallel home is a smell
-    // on its own.
-    const bool include_hit =
-        stripped[i].find("<thread>") != std::string::npos ||
-        stripped[i].find("<future>") != std::string::npos;
-    const bool token_hit =
-        FindToken(stripped[i], "std::thread") != std::string::npos ||
-        FindToken(stripped[i], "std::jthread") != std::string::npos ||
-        FindToken(stripped[i], "std::async") != std::string::npos;
-    if ((include_hit || token_hit) && !IsSuppressed(lines, i, rule)) {
-      findings.push_back({path, i + 1, rule,
-                          "raw thread primitive outside src/common/parallel; "
-                          "route concurrency through common::ParallelFor/"
-                          "ParallelMap so the determinism contract holds"});
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    const bool std_member =
+        token.kind == TokenKind::kIdentifier &&
+        (token.text == "thread" || token.text == "jthread" ||
+         token.text == "async") &&
+        i >= 2 && IsPunct(tokens[i - 1], "::") && IsIdent(tokens[i - 2], "std");
+    if (IncludesHeader(token, "<thread>") ||
+        IncludesHeader(token, "<future>") || std_member) {
+      Report(path, lexed, token.line, rule,
+             "raw thread primitive outside src/common/parallel; route "
+             "concurrency through common::ParallelFor/ParallelMap so the "
+             "determinism contract holds",
+             findings);
     }
   }
 }
 
-void CheckNoAdHocTiming(const std::string& path,
-                        const std::vector<std::string>& lines,
-                        const std::vector<std::string>& stripped,
+void CheckNoAdHocTiming(const std::string& path, const LexedFile& lexed,
                         std::vector<LintFinding>& findings) {
   const std::string rule = "timing";
-  for (size_t i = 0; i < stripped.size(); ++i) {
-    const bool include_hit =
-        stripped[i].find("<chrono>") != std::string::npos ||
-        stripped[i].find("<ctime>") != std::string::npos ||
-        stripped[i].find("<sys/time.h>") != std::string::npos;
-    const bool token_hit =
-        FindToken(stripped[i], "std::chrono") != std::string::npos ||
-        FindToken(stripped[i], "clock_gettime", true) != std::string::npos ||
-        FindToken(stripped[i], "gettimeofday", true) != std::string::npos;
-    if ((include_hit || token_hit) && !IsSuppressed(lines, i, rule)) {
-      findings.push_back({path, i + 1, rule,
-                          "ad-hoc timing outside telemetry/bench_util; use "
-                          "common::telemetry::TraceSpan (library code) or "
-                          "bench::WallTimer (benchmarks)"});
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    const bool std_chrono =
+        IsIdent(token, "chrono") && i >= 2 && IsPunct(tokens[i - 1], "::") &&
+        IsIdent(tokens[i - 2], "std");
+    const bool timing_call =
+        (IsIdent(token, "clock_gettime") || IsIdent(token, "gettimeofday")) &&
+        i + 1 < tokens.size() && IsPunct(tokens[i + 1], "(");
+    if (IncludesHeader(token, "<chrono>") || IncludesHeader(token, "<ctime>") ||
+        IncludesHeader(token, "<sys/time.h>") || std_chrono || timing_call) {
+      Report(path, lexed, token.line, rule,
+             "ad-hoc timing outside telemetry/bench_util; use "
+             "common::telemetry::TraceSpan (library code) or bench::WallTimer "
+             "(benchmarks)",
+             findings);
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// det-iter: hash-ordered containers in result-affecting code
+// ---------------------------------------------------------------------------
+
+bool IsUnorderedTypeName(const Token& token) {
+  return token.kind == TokenKind::kIdentifier &&
+         (token.text == "unordered_map" || token.text == "unordered_set" ||
+          token.text == "unordered_multimap" ||
+          token.text == "unordered_multiset");
+}
+
+/// Records variable/member names declared with an unordered container type:
+/// `std::unordered_map<K, V> name` (optionally through const/&/* or a
+/// trailing reference) — the traversal check then recognizes loops over
+/// those names anywhere in the tree.
+void CollectUnorderedVariables(const LexedFile& lexed,
+                               AnalysisContext* context) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!IsUnorderedTypeName(tokens[i]) || tokens[i].in_directive) continue;
+    size_t j = SkipTemplateArgs(tokens, i + 1);
+    while (j < tokens.size() &&
+           (IsPunct(tokens[j], "&") || IsPunct(tokens[j], "*") ||
+            IsPunct(tokens[j], "&&") || IsIdent(tokens[j], "const"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+      context->unordered_variables.insert(tokens[j].text);
+    }
+  }
+}
+
+void CheckDeterministicIteration(const std::string& path,
+                                 const LexedFile& lexed,
+                                 const AnalysisContext& context,
+                                 std::vector<LintFinding>& findings) {
+  const std::string rule = "det-iter";
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    // (a) Naming the type at all in result-affecting code is already a
+    // hazard: members escape through structured bindings and aliases that a
+    // token-level traversal check cannot follow.
+    if (IsUnorderedTypeName(token) && !token.in_directive) {
+      Report(path, lexed, token.line, rule,
+             "hash-ordered container '" + token.text +
+                 "' in result-affecting code: iteration order is unspecified "
+                 "and leaks into accumulation order, feature indices and "
+                 "serialized bytes; use std::map/std::set or a sorted vector "
+                 "(or suppress with a justification that it is never "
+                 "traversed)",
+             findings);
+    }
+    // (b) Range-for whose range expression mentions a variable declared
+    // with an unordered type anywhere in the tree.
+    if (IsIdent(token, "for") && !token.in_directive &&
+        i + 1 < tokens.size() && IsPunct(tokens[i + 1], "(")) {
+      const size_t close = FindMatchingParen(tokens, i + 1);
+      for (size_t j = i + 2; j < close; ++j) {
+        if (!IsPunct(tokens[j], ":") ||
+            tokens[j].paren_depth != tokens[i + 1].paren_depth + 1) {
+          continue;
+        }
+        for (size_t k = j + 1; k < close; ++k) {
+          if (tokens[k].kind == TokenKind::kIdentifier &&
+              context.unordered_variables.count(tokens[k].text) > 0) {
+            Report(path, lexed, token.line, rule,
+                   "range-for over hash-ordered container '" + tokens[k].text +
+                       "': traversal order is unspecified; iterate a sorted "
+                       "view instead",
+                   findings);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    // (c) Iterator traversal: name.begin() / name.cbegin() and friends.
+    if (token.kind == TokenKind::kIdentifier &&
+        context.unordered_variables.count(token.text) > 0 &&
+        i + 3 < tokens.size() &&
+        (IsPunct(tokens[i + 1], ".") || IsPunct(tokens[i + 1], "->")) &&
+        (IsIdent(tokens[i + 2], "begin") || IsIdent(tokens[i + 2], "cbegin") ||
+         IsIdent(tokens[i + 2], "rbegin") ||
+         IsIdent(tokens[i + 2], "crbegin")) &&
+        IsPunct(tokens[i + 3], "(")) {
+      Report(path, lexed, token.line, rule,
+             "iterator traversal of hash-ordered container '" + token.text +
+                 "': traversal order is unspecified; iterate a sorted view "
+                 "instead",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// layering: the module DAG, from #include directives
+// ---------------------------------------------------------------------------
+
+struct ModuleLayerEntry {
+  const char* name;
+  int layer;
+};
+
+constexpr ModuleLayerEntry kModuleLayers[] = {
+    {"common", 0},  {"stats", 1},     {"linalg", 1},   {"data", 1},
+    {"ml", 2},      {"errors", 2},    {"featurize", 2}, {"datasets", 2},
+    {"core", 3},    {"serve", 3},     {"automl", 3},
+};
+
+/// Audited same-layer dependencies; every entry needs a design reason (see
+/// DESIGN.md "Module layering").
+constexpr std::pair<const char*, const char*> kIntraLayerEdges[] = {
+    {"stats", "linalg"},   // quantile sketch surfaces feature matrices
+    {"ml", "featurize"},   // BlackBox bundles its featurization pipeline
+    {"errors", "ml"},      // entropy-based corruption reads model confidence
+    {"serve", "core"},     // streaming scorer wraps PerformancePredictor
+};
+
+std::string SourceModule(const std::string& path_from_root) {
+  if (!StartsWith(path_from_root, "src/")) return "";
+  const size_t slash = path_from_root.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path_from_root.substr(4, slash - 4);
+}
+
+/// Module named by a quoted project include ("module/header.h"), or "".
+std::string IncludeTargetModule(const Token& token) {
+  if (token.kind != TokenKind::kHeaderName || token.text.size() < 2 ||
+      token.text.front() != '"') {
+    return "";
+  }
+  const std::string inner = token.text.substr(1, token.text.size() - 2);
+  const size_t slash = inner.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string module = inner.substr(0, slash);
+  return ModuleLayer(module) >= 0 ? module : "";
+}
+
+void CheckLayering(const std::string& path, const LexedFile& lexed,
+                   std::vector<LintFinding>& findings) {
+  const std::string from = SourceModule(path);
+  if (from.empty() || ModuleLayer(from) < 0) return;
+  for (const Token& token : lexed.tokens) {
+    const std::string to = IncludeTargetModule(token);
+    if (to.empty()) continue;
+    if (!IsAllowedModuleEdge(from, to)) {
+      Report(path, lexed, token.line, "layering",
+             "include edge " + from + " -> " + to +
+                 " violates the module DAG common -> {stats,linalg,data} -> "
+                 "{ml,errors,featurize,datasets} -> {core,serve,automl}; "
+                 "invert the dependency or move the shared code down a layer",
+             findings);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// status-discard: Status/Result used as a bare expression statement
+// ---------------------------------------------------------------------------
+
+/// Records function names declared with a Status or Result<...> return
+/// type: `Status Name(` / `Result<T> Name(`, possibly namespace-qualified.
+/// Purely name-based (no overload resolution) — a false positive needs a
+/// suppression, a false negative is still caught by [[nodiscard]].
+void CollectStatusFunctions(const LexedFile& lexed, AnalysisContext* context) {
+  const std::vector<Token>& tokens = lexed.tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].in_directive) continue;
+    size_t name_index = 0;
+    bool is_void = false;
+    if (IsIdent(tokens[i], "Status")) {
+      name_index = i + 1;
+    } else if (IsIdent(tokens[i], "Result") && i + 1 < tokens.size() &&
+               IsPunct(tokens[i + 1], "<")) {
+      name_index = SkipTemplateArgs(tokens, i + 1);
+    } else if (IsIdent(tokens[i], "void")) {
+      name_index = i + 1;
+      is_void = true;
+    } else {
+      continue;
+    }
+    if (name_index + 1 >= tokens.size()) continue;
+    if (tokens[name_index].kind != TokenKind::kIdentifier) continue;
+    if (!IsPunct(tokens[name_index + 1], "(")) continue;
+    // `Status::OK(...)`-style qualified member access is a call, not a
+    // declaration; require the type name to not be a qualifier.
+    if (name_index == i + 1 && IsPunct(tokens[i + 1], "::")) continue;
+    if (is_void) {
+      context->void_functions.insert(tokens[name_index].text);
+    } else {
+      context->status_functions.insert(tokens[name_index].text);
+    }
+  }
+}
+
+void CheckStatusDiscard(const std::string& path, const LexedFile& lexed,
+                        const AnalysisContext& context,
+                        std::vector<LintFinding>& findings) {
+  const std::string rule = "status-discard";
+  const std::vector<Token>& tokens = lexed.tokens;
+  bool at_statement_start = true;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].in_directive) continue;
+    const bool starts_here = at_statement_start;
+    at_statement_start = tokens[i].kind == TokenKind::kPunct &&
+                         (tokens[i].text == ";" || tokens[i].text == "{" ||
+                          tokens[i].text == "}");
+    if (!starts_here || tokens[i].kind != TokenKind::kIdentifier) continue;
+    // Match a pure call statement: ident ((::|.|->) ident)* ( ... ) ;
+    size_t j = i;
+    std::string callee = tokens[j].text;
+    while (j + 2 < tokens.size() &&
+           (IsPunct(tokens[j + 1], "::") || IsPunct(tokens[j + 1], ".") ||
+            IsPunct(tokens[j + 1], "->")) &&
+           tokens[j + 2].kind == TokenKind::kIdentifier) {
+      j += 2;
+      callee = tokens[j].text;
+    }
+    if (j + 1 >= tokens.size() || !IsPunct(tokens[j + 1], "(")) continue;
+    const size_t close = FindMatchingParen(tokens, j + 1);
+    if (close + 1 >= tokens.size() || !IsPunct(tokens[close + 1], ";")) {
+      continue;
+    }
+    if (context.status_functions.count(callee) == 0) continue;
+    // Names also declared void somewhere are ambiguous; the compiler's
+    // [[nodiscard]] warning covers those call sites instead.
+    if (context.void_functions.count(callee) > 0) continue;
+    Report(path, lexed, tokens[i].line, rule,
+           "result of Status/Result-returning '" + callee +
+               "' is discarded; check it, propagate with BBV_RETURN_NOT_OK, "
+               "or suppress with a justification for the deliberate drop",
+           findings);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// batch-api: per-row prediction inside loops
+// ---------------------------------------------------------------------------
+
+void CheckBatchApi(const std::string& path, const LexedFile& lexed,
+                   std::vector<LintFinding>& findings) {
+  const std::string rule = "batch-api";
+  const std::vector<Token>& tokens = lexed.tokens;
+  struct LoopFrame {
+    bool braced = false;
+    int brace_depth = 0;  ///< Depth of the body brace / of the statement.
+  };
+  std::vector<LoopFrame> loops;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.in_directive) continue;
+    const bool loop_keyword = (IsIdent(token, "for") ||
+                               IsIdent(token, "while")) &&
+                              i + 1 < tokens.size() &&
+                              IsPunct(tokens[i + 1], "(");
+    if (loop_keyword || IsIdent(token, "do")) {
+      size_t body = i + 1;
+      if (loop_keyword) body = FindMatchingParen(tokens, i + 1) + 1;
+      if (body < tokens.size() && IsPunct(tokens[body], "{")) {
+        loops.push_back({true, tokens[body].brace_depth});
+      } else if (body < tokens.size()) {
+        loops.push_back({false, token.brace_depth});
+      }
+      continue;
+    }
+    if (IsPunct(token, "}")) {
+      while (!loops.empty() && loops.back().braced &&
+             loops.back().brace_depth == token.brace_depth) {
+        loops.pop_back();
+        // A brace body can itself be the single statement of an outer loop.
+        while (!loops.empty() && !loops.back().braced &&
+               loops.back().brace_depth == token.brace_depth) {
+          loops.pop_back();
+        }
+      }
+      continue;
+    }
+    if (IsPunct(token, ";") && token.paren_depth == 0) {
+      while (!loops.empty() && !loops.back().braced &&
+             loops.back().brace_depth == token.brace_depth) {
+        loops.pop_back();
+      }
+      continue;
+    }
+    if (!loops.empty() &&
+        (IsIdent(token, "PredictRow") || IsIdent(token, "PredictRowMean")) &&
+        i + 1 < tokens.size() && IsPunct(tokens[i + 1], "(")) {
+      Report(path, lexed, token.line, rule,
+             "'" + token.text +
+                 "' inside a loop re-opens the per-row inference path; batch "
+                 "through ml::ForestKernel PredictInto/PredictProbaInto (the "
+                 "scalar walk is reserved for kernel validation)",
+             findings);
+    }
+  }
+}
+
+/// Applies every rule applicable to `path`.
+std::vector<LintFinding> LintLexed(const std::string& path,
+                                   const LexedFile& lexed,
+                                   const AnalysisContext& context) {
+  std::vector<LintFinding> findings;
+  if (EndsWith(path, ".h")) {
+    CheckIncludeGuard(path, lexed, findings);
+  }
+  const bool is_rng_home = path == "src/common/rng.h" ||
+                           path == "src/common/rng.cc";
+  if (!is_rng_home) {
+    CheckBannedRandomness(path, lexed, findings);
+  }
+  const bool is_parallel_home = path == "src/common/parallel.h" ||
+                                path == "src/common/parallel.cc";
+  if (!is_parallel_home) {
+    CheckNoRawThreads(path, lexed, findings);
+  }
+  const bool is_timing_home = path == "src/common/telemetry.h" ||
+                              path == "src/common/telemetry.cc" ||
+                              path == "bench/bench_util.h" ||
+                              path == "bench/bench_util.cc";
+  if (!is_timing_home) {
+    CheckNoAdHocTiming(path, lexed, findings);
+  }
+  if (StartsWith(path, "src/stats/") || StartsWith(path, "src/ml/")) {
+    CheckFloatEquality(path, lexed, findings);
+  }
+  if (StartsWith(path, "src/")) {
+    CheckNoStdout(path, lexed, findings);
+    CheckDeterministicIteration(path, lexed, context, findings);
+    CheckLayering(path, lexed, findings);
+  }
+  CheckNoAssert(path, lexed, findings);
+  CheckStatusDiscard(path, lexed, context, findings);
+  CheckBatchApi(path, lexed, findings);
+  return findings;
+}
+
+void CollectEdges(const std::string& path, const LexedFile& lexed,
+                  std::map<std::pair<std::string, std::string>, size_t>*
+                      edge_counts) {
+  const std::string from = SourceModule(path);
+  if (from.empty() || ModuleLayer(from) < 0) return;
+  for (const Token& token : lexed.tokens) {
+    const std::string to = IncludeTargetModule(token);
+    if (to.empty()) continue;
+    ++(*edge_counts)[{from, to}];
+  }
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* const kAllRuleIds[] = {
+    "assert",       "batch-api", "det-iter",       "float-eq",
+    "include-guard", "layering",  "rng",            "status-discard",
+    "stdout",       "thread",    "timing",
+};
 
 }  // namespace
 
+void CollectContext(const std::string& path_from_root,
+                    const std::string& contents, AnalysisContext* context) {
+  const LexedFile lexed = Lex(contents);
+  CollectStatusFunctions(lexed, context);
+  // Only library code feeds the det-iter traversal set: fixture and test
+  // helpers may reuse names without making src/ loops nondeterministic.
+  if (StartsWith(path_from_root, "src/")) {
+    CollectUnorderedVariables(lexed, context);
+  }
+}
+
 std::vector<LintFinding> LintFileContents(const std::string& path_from_root,
                                           const std::string& contents) {
-  std::vector<LintFinding> findings;
-  const std::vector<std::string> lines = SplitLines(contents);
-  const std::vector<std::string> stripped = StripCommentsAndStrings(lines);
+  AnalysisContext context;
+  const LexedFile lexed = Lex(contents);
+  CollectStatusFunctions(lexed, &context);
+  CollectUnorderedVariables(lexed, &context);
+  return LintLexed(path_from_root, lexed, context);
+}
 
-  if (EndsWith(path_from_root, ".h")) {
-    CheckIncludeGuard(path_from_root, lines, findings);
-  }
-  const bool is_rng_home = path_from_root == "src/common/rng.h" ||
-                           path_from_root == "src/common/rng.cc";
-  if (!is_rng_home) {
-    CheckBannedRandomness(path_from_root, lines, stripped, findings);
-  }
-  const bool is_parallel_home = path_from_root == "src/common/parallel.h" ||
-                                path_from_root == "src/common/parallel.cc";
-  if (!is_parallel_home) {
-    CheckNoRawThreads(path_from_root, lines, stripped, findings);
-  }
-  const bool is_timing_home = path_from_root == "src/common/telemetry.h" ||
-                              path_from_root == "src/common/telemetry.cc" ||
-                              path_from_root == "bench/bench_util.h" ||
-                              path_from_root == "bench/bench_util.cc";
-  if (!is_timing_home) {
-    CheckNoAdHocTiming(path_from_root, lines, stripped, findings);
-  }
-  if (StartsWith(path_from_root, "src/stats/") ||
-      StartsWith(path_from_root, "src/ml/")) {
-    CheckFloatEquality(path_from_root, lines, stripped, findings);
-  }
-  if (StartsWith(path_from_root, "src/")) {
-    CheckNoStdout(path_from_root, lines, stripped, findings);
-  }
-  CheckNoAssert(path_from_root, lines, stripped, findings);
-  return findings;
+std::vector<LintFinding> LintFileContentsWithContext(
+    const std::string& path_from_root, const std::string& contents,
+    const AnalysisContext& context) {
+  return LintLexed(path_from_root, Lex(contents), context);
 }
 
 std::vector<LintFinding> LintFile(const std::string& path_from_root,
@@ -378,13 +702,12 @@ std::vector<LintFinding> LintFile(const std::string& path_from_root,
   return LintFileContents(path_from_root, buffer.str());
 }
 
-std::vector<LintFinding> LintTree(const std::string& repo_root,
-                                  size_t* num_files_scanned) {
+TreeAnalysis AnalyzeTree(const std::string& repo_root) {
   namespace fs = std::filesystem;
-  std::vector<LintFinding> findings;
-  size_t scanned = 0;
+  TreeAnalysis analysis;
   const fs::path root(repo_root);
-  for (const char* subdir : {"src", "tools", "bench"}) {
+  std::vector<std::pair<std::string, std::string>> files;  // path, contents
+  for (const char* subdir : {"src", "tools", "bench", "tests"}) {
     const fs::path base = root / subdir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
@@ -393,20 +716,173 @@ std::vector<LintFinding> LintTree(const std::string& repo_root,
       if (extension != ".h" && extension != ".cc") continue;
       const std::string relative =
           fs::relative(entry.path(), root).generic_string();
-      ++scanned;
-      std::vector<LintFinding> file_findings =
-          LintFile(relative, entry.path().string());
-      findings.insert(findings.end(), file_findings.begin(),
-                      file_findings.end());
+      // Fixtures are deliberately violating; they are linted one-by-one in
+      // tools_lint_test, never as part of the tree gate.
+      if (StartsWith(relative, "tests/lint_fixtures/")) continue;
+      std::ifstream input(entry.path(), std::ios::binary);
+      if (!input) {
+        analysis.findings.push_back(
+            {relative, 0, "io", "could not read file"});
+        continue;
+      }
+      std::ostringstream buffer;
+      buffer << input.rdbuf();
+      files.emplace_back(relative, buffer.str());
     }
   }
-  if (num_files_scanned != nullptr) *num_files_scanned = scanned;
-  std::sort(findings.begin(), findings.end(),
+  std::sort(files.begin(), files.end());
+  analysis.num_files_scanned = files.size();
+
+  // Pass 1: cross-file facts (Status-returning names, unordered variables)
+  // and the module include graph.
+  AnalysisContext context;
+  std::map<std::pair<std::string, std::string>, size_t> edge_counts;
+  for (const auto& [path, contents] : files) {
+    CollectContext(path, contents, &context);
+    CollectEdges(path, Lex(contents), &edge_counts);
+  }
+  for (const auto& [edge, count] : edge_counts) {
+    analysis.edges.push_back(
+        {edge.first, edge.second, count,
+         IsAllowedModuleEdge(edge.first, edge.second)});
+  }
+
+  // Pass 2: every rule, with the tree-wide context.
+  for (const auto& [path, contents] : files) {
+    std::vector<LintFinding> file_findings =
+        LintFileContentsWithContext(path, contents, context);
+    analysis.findings.insert(analysis.findings.end(), file_findings.begin(),
+                             file_findings.end());
+  }
+  std::sort(analysis.findings.begin(), analysis.findings.end(),
             [](const LintFinding& a, const LintFinding& b) {
               if (a.file != b.file) return a.file < b.file;
               return a.line < b.line;
             });
-  return findings;
+  return analysis;
+}
+
+std::vector<LintFinding> LintTree(const std::string& repo_root,
+                                  size_t* num_files_scanned) {
+  TreeAnalysis analysis = AnalyzeTree(repo_root);
+  if (num_files_scanned != nullptr) {
+    *num_files_scanned = analysis.num_files_scanned;
+  }
+  return std::move(analysis.findings);
+}
+
+int ModuleLayer(const std::string& module) {
+  for (const ModuleLayerEntry& entry : kModuleLayers) {
+    if (module == entry.name) return entry.layer;
+  }
+  return -1;
+}
+
+bool IsAllowedModuleEdge(const std::string& from, const std::string& to) {
+  if (from == to) return true;
+  const int from_layer = ModuleLayer(from);
+  const int to_layer = ModuleLayer(to);
+  if (from_layer < 0 || to_layer < 0) return false;
+  if (to_layer < from_layer) return true;
+  for (const auto& [extra_from, extra_to] : kIntraLayerEdges) {
+    if (from == extra_from && to == extra_to) return true;
+  }
+  return false;
+}
+
+std::string ModuleGraphDot(const std::vector<ModuleEdge>& edges) {
+  std::ostringstream out;
+  out << "digraph bbv_modules {\n";
+  out << "  rankdir = \"BT\";\n";
+  out << "  node [shape = box, fontname = \"Helvetica\"];\n";
+  int max_layer = 0;
+  for (const ModuleLayerEntry& entry : kModuleLayers) {
+    max_layer = std::max(max_layer, entry.layer);
+  }
+  for (int layer = 0; layer <= max_layer; ++layer) {
+    out << "  { rank = same;";
+    for (const ModuleLayerEntry& entry : kModuleLayers) {
+      if (entry.layer == layer) out << " \"" << entry.name << "\";";
+    }
+    out << " }\n";
+  }
+  for (const ModuleEdge& edge : edges) {
+    if (edge.from == edge.to) continue;  // self-edges add no information
+    out << "  \"" << edge.from << "\" -> \"" << edge.to << "\" [label = \""
+        << edge.count << "\"";
+    if (!edge.allowed) {
+      out << ", color = red, penwidth = 2.0";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<std::string> FindModuleCycle(
+    const std::vector<ModuleEdge>& edges) {
+  std::map<std::string, std::vector<std::string>> adjacency;
+  for (const ModuleEdge& edge : edges) {
+    if (edge.from != edge.to) adjacency[edge.from].push_back(edge.to);
+  }
+  std::map<std::string, int> state;  // 0 unvisited, 1 in stack, 2 done
+  std::vector<std::string> stack;
+  std::vector<std::string> cycle;
+
+  const std::function<bool(const std::string&)> visit =
+      [&](const std::string& node) {
+        state[node] = 1;
+        stack.push_back(node);
+        for (const std::string& next : adjacency[node]) {
+          if (state[next] == 1) {
+            const auto begin =
+                std::find(stack.begin(), stack.end(), next);
+            cycle.assign(begin, stack.end());
+            cycle.push_back(next);
+            return true;
+          }
+          if (state[next] == 0 && visit(next)) return true;
+        }
+        stack.pop_back();
+        state[node] = 2;
+        return false;
+      };
+  for (const auto& [node, unused] : adjacency) {
+    if (state[node] == 0 && visit(node)) return cycle;
+  }
+  return {};
+}
+
+std::string FindingsJson(const TreeAnalysis& analysis) {
+  std::map<std::string, size_t> rule_counts;
+  for (const char* rule : kAllRuleIds) rule_counts[rule] = 0;
+  for (const LintFinding& finding : analysis.findings) {
+    ++rule_counts[finding.rule];
+  }
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"bbv_lint\",\n";
+  out << "  \"files_scanned\": " << analysis.num_files_scanned << ",\n";
+  out << "  \"num_findings\": " << analysis.findings.size() << ",\n";
+  out << "  \"rule_counts\": {\n";
+  size_t emitted = 0;
+  for (const auto& [rule, count] : rule_counts) {
+    out << "    \"" << rule << "\": " << count
+        << (++emitted < rule_counts.size() ? "," : "") << "\n";
+  }
+  out << "  },\n";
+  out << "  \"findings\": [\n";
+  for (size_t i = 0; i < analysis.findings.size(); ++i) {
+    const LintFinding& finding = analysis.findings[i];
+    out << "    {\"file\": \"" << JsonEscape(finding.file)
+        << "\", \"line\": " << finding.line << ", \"rule\": \""
+        << JsonEscape(finding.rule) << "\", \"message\": \""
+        << JsonEscape(finding.message) << "\"}"
+        << (i + 1 < analysis.findings.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
 }
 
 std::string FormatFinding(const LintFinding& finding) {
