@@ -33,7 +33,37 @@ std::string BinaryBasename(const char* argv0) {
   return name.empty() ? "bench" : name;
 }
 
+/// Identifies the compiler that produced this binary, so committed baseline
+/// JSONs record which toolchain the numbers belong to. Clang must be probed
+/// first: it also defines __GNUC__ for compatibility.
+std::string CompilerId() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
 }  // namespace
+
+ScopedThreadsEnv::ScopedThreadsEnv(int threads) {
+  const char* previous = std::getenv("BBV_THREADS");
+  had_previous_ = previous != nullptr;
+  if (had_previous_) previous_ = previous;
+  ::setenv("BBV_THREADS", std::to_string(threads).c_str(), 1);
+}
+
+ScopedThreadsEnv::~ScopedThreadsEnv() {
+  if (had_previous_) {
+    ::setenv("BBV_THREADS", previous_.c_str(), 1);
+  } else {
+    ::unsetenv("BBV_THREADS");
+  }
+}
 
 RunConfig ParseArgs(int argc, char** argv) {
   RunConfig config;
@@ -187,9 +217,10 @@ Summary Summarize(const std::vector<double>& values) {
   return summary;
 }
 
-void WriteBenchJson(const std::string& path, const std::string& bench,
-                    const RunConfig& config,
-                    const std::vector<BenchResult>& results) {
+void WriteBenchJson(
+    const std::string& path, const std::string& bench, const RunConfig& config,
+    const std::vector<BenchResult>& results,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
   std::ofstream out(path, std::ios::trunc);
   BBV_CHECK(out.good()) << "cannot open " << path << " for writing";
   out << "{\n";
@@ -198,6 +229,11 @@ void WriteBenchJson(const std::string& path, const std::string& bench,
   out << "  \"seed\": " << config.seed << ",\n";
   out << "  \"hardware_concurrency\": " << common::HardwareThreadCount()
       << ",\n";
+  out << "  \"bbv_threads\": " << common::ConfiguredThreadCount() << ",\n";
+  out << "  \"compiler\": \"" << CompilerId() << "\",\n";
+  for (const auto& [key, value] : metadata) {
+    out << "  \"" << key << "\": \"" << value << "\",\n";
+  }
   out << "  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& result = results[i];
@@ -214,6 +250,12 @@ void WriteBenchJson(const std::string& path, const std::string& bench,
   out << "}\n";
   out.flush();
   BBV_CHECK(out.good()) << "short write to " << path;
+}
+
+void WriteBenchJson(const std::string& path, const std::string& bench,
+                    const RunConfig& config,
+                    const std::vector<BenchResult>& results) {
+  WriteBenchJson(path, bench, config, results, {});
 }
 
 void MaybeWriteTelemetryJson(const RunConfig& config) {

@@ -117,6 +117,21 @@ Summary Summarize(const std::vector<double>& values);
 void PrintHeader(const std::string& figure, const std::string& description,
                  const RunConfig& config);
 
+/// Sets BBV_THREADS for one scope and restores the previous value after.
+/// Shared by the scaling/inference benches and the determinism tests so
+/// every thread-count sweep manipulates the environment the same way.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(int threads);
+  ~ScopedThreadsEnv();
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
 /// One measured benchmark configuration (e.g. one workload at one thread
 /// count). `extras` holds additional numeric facts — determinism flags,
 /// item counts — merged verbatim into the emitted JSON object.
@@ -129,8 +144,17 @@ struct BenchResult {
 };
 
 /// Writes a BENCH_*.json file: run metadata (benchmark name, mode, seed,
-/// hardware concurrency) plus one object per result. Aborts on I/O failure
-/// so CI never uploads a silently truncated artifact.
+/// hardware concurrency, effective BBV_THREADS, compiler id) plus one
+/// object per result. `metadata` appends benchmark-specific string fields
+/// (kernel/binning configuration and the like) to the run header; parsers
+/// must skip fields they do not know. Aborts on I/O failure so CI never
+/// uploads a silently truncated artifact.
+void WriteBenchJson(
+    const std::string& path, const std::string& bench, const RunConfig& config,
+    const std::vector<BenchResult>& results,
+    const std::vector<std::pair<std::string, std::string>>& metadata);
+
+/// Metadata-free convenience overload.
 void WriteBenchJson(const std::string& path, const std::string& bench,
                     const RunConfig& config,
                     const std::vector<BenchResult>& results);

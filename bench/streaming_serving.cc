@@ -29,30 +29,6 @@ namespace {
 constexpr size_t kNumClasses = 4;
 constexpr size_t kStreamBatchRows = 4096;
 
-/// Sets BBV_THREADS for one scope and restores the previous value after.
-class ScopedThreadsEnv {
- public:
-  explicit ScopedThreadsEnv(int threads) {
-    const char* previous = std::getenv("BBV_THREADS");
-    had_previous_ = previous != nullptr;
-    if (had_previous_) previous_ = previous;
-    ::setenv("BBV_THREADS", std::to_string(threads).c_str(), 1);
-  }
-  ~ScopedThreadsEnv() {
-    if (had_previous_) {
-      ::setenv("BBV_THREADS", previous_.c_str(), 1);
-    } else {
-      ::unsetenv("BBV_THREADS");
-    }
-  }
-  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
-  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
-
- private:
-  bool had_previous_ = false;
-  std::string previous_;
-};
-
 /// Synthetic predict_proba stream: exponential draws per class, normalized
 /// to a probability simplex (Dirichlet(1) rows). Generated once, serially,
 /// so every configuration consumes the exact same multiset.

@@ -139,9 +139,11 @@ common::Status PerformancePredictor::TrainFromStatistics(
   if (options_.tree_count_grid.size() > 1 &&
       scores.size() >= static_cast<size_t>(options_.cv_folds)) {
     for (int tree_count : options_.tree_count_grid) {
-      auto factory = [tree_count]() {
+      const bool binned = options_.binned_split_search;
+      auto factory = [tree_count, binned]() {
         ml::RandomForestRegressor::Options forest_options;
         forest_options.num_trees = tree_count;
+        forest_options.tree.binned_split_search = binned;
         return ml::RandomForestRegressor(forest_options);
       };
       BBV_ASSIGN_OR_RETURN(
@@ -158,6 +160,7 @@ common::Status PerformancePredictor::TrainFromStatistics(
 
   ml::RandomForestRegressor::Options forest_options;
   forest_options.num_trees = best_trees;
+  forest_options.tree.binned_split_search = options_.binned_split_search;
   regressor_ = ml::RandomForestRegressor(forest_options);
   BBV_RETURN_NOT_OK(regressor_.Fit(features, scores, rng));
   trained_ = true;

@@ -1,8 +1,11 @@
 #include "ml/decision_tree.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
+
+#include "ml/feature_binning.h"
 
 namespace bbv::ml {
 
@@ -30,6 +33,77 @@ struct SplitCandidate {
   double gain = 0.0;
 };
 
+/// Shared sorted view for the exact split searches: fills `points` with
+/// (feature value, payload) pairs over rows[begin, end), sorted ascending
+/// by value (payload order breaks ties, deterministically). Returns false
+/// when the feature is constant across the node, i.e. unsplittable — the
+/// single guard both the regression and the Gini search used to duplicate.
+template <typename Payload>
+bool FillSortedFeaturePoints(const linalg::Matrix& features,
+                             const std::vector<size_t>& rows, size_t begin,
+                             size_t end, size_t feature,
+                             const std::vector<Payload>& payload,
+                             std::vector<std::pair<double, Payload>>& points) {
+  points.clear();
+  for (size_t i = begin; i < end; ++i) {
+    points.emplace_back(features.At(rows[i], feature), payload[rows[i]]);
+  }
+  std::sort(points.begin(), points.end());
+  return points.front().first < points.back().first;
+}
+
+/// Histogram split search for one feature of the node rows[begin, end):
+/// accumulates per-bin (count, target sum) in a single unsorted pass over
+/// the node's rows and scans the <= 255 candidate cuts. Gain uses the SSE
+/// decomposition  node_sse - l_sse - r_sse = S_l^2/n_l + S_r^2/n_r - S^2/n,
+/// which needs no per-bin squared sums. The winning threshold is the raw
+/// cut value, so the later value-space partition splits rows exactly where
+/// the histogram counted them (codes are lower-bound indices:
+/// code(v) <= b  <=>  v <= cut[b]).
+void BestBinnedSplit(const FeatureBinning& binning,
+                     const std::vector<double>& targets,
+                     const std::vector<size_t>& rows, size_t begin, size_t end,
+                     size_t feature, double sum, size_t min_samples_leaf,
+                     SplitCandidate& best) {
+  const size_t num_cuts = binning.NumCuts(feature);
+  if (num_cuts == 0) return;  // globally constant column
+  const uint8_t* codes = binning.Codes(feature);
+  std::array<double, FeatureBinning::kMaxCuts + 1> bin_sum;
+  std::array<size_t, FeatureBinning::kMaxCuts + 1> bin_count;
+  std::fill_n(bin_sum.begin(), num_cuts + 1, 0.0);
+  std::fill_n(bin_count.begin(), num_cuts + 1, size_t{0});
+  for (size_t i = begin; i < end; ++i) {
+    const size_t row = rows[i];
+    const size_t code = codes[row];
+    bin_count[code] += 1;
+    bin_sum[code] += targets[row];
+  }
+  const size_t count = end - begin;
+  const double n = static_cast<double>(count);
+  double left_sum = 0.0;
+  size_t left_count = 0;
+  for (size_t b = 0; b < num_cuts; ++b) {
+    left_count += bin_count[b];
+    left_sum += bin_sum[b];
+    if (left_count == count) break;  // remaining bins are empty on this node
+    if (left_count == 0 || left_count < min_samples_leaf ||
+        count - left_count < min_samples_leaf) {
+      continue;
+    }
+    const double nl = static_cast<double>(left_count);
+    const double nr = static_cast<double>(count - left_count);
+    const double right_sum = sum - left_sum;
+    const double gain = left_sum * left_sum / nl +
+                        right_sum * right_sum / nr - sum * sum / n;
+    if (gain > best.gain) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = binning.CutValue(feature, b);
+      best.gain = gain;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -39,7 +113,8 @@ struct SplitCandidate {
 common::Status RegressionTree::Fit(const linalg::Matrix& features,
                                    const std::vector<double>& targets,
                                    const std::vector<size_t>& rows,
-                                   common::Rng& rng) {
+                                   common::Rng& rng,
+                                   const FeatureBinning* binning) {
   if (features.rows() != targets.size()) {
     return common::Status::InvalidArgument(
         "features and targets disagree on the number of rows");
@@ -47,18 +122,34 @@ common::Status RegressionTree::Fit(const linalg::Matrix& features,
   if (rows.empty()) {
     return common::Status::InvalidArgument("cannot fit a tree on zero rows");
   }
+  FeatureBinning local_binning;
+  binning_ = nullptr;
+  if (options_.binned_split_search) {
+    if (binning == nullptr) {
+      local_binning = FeatureBinning::Build(features);
+      binning = &local_binning;
+    }
+    if (binning->num_rows() != features.rows() ||
+        binning->num_features() != features.cols()) {
+      return common::Status::InvalidArgument(
+          "feature binning does not match the training matrix shape");
+    }
+    binning_ = binning;
+  }
   nodes_.clear();
   std::vector<size_t> mutable_rows = rows;
   Grow(features, targets, mutable_rows, 0, mutable_rows.size(), 0, rng);
+  binning_ = nullptr;
   return common::Status::OK();
 }
 
 common::Status RegressionTree::Fit(const linalg::Matrix& features,
                                    const std::vector<double>& targets,
-                                   common::Rng& rng) {
+                                   common::Rng& rng,
+                                   const FeatureBinning* binning) {
   std::vector<size_t> rows(features.rows());
   std::iota(rows.begin(), rows.end(), 0);
-  return Fit(features, targets, rows, rng);
+  return Fit(features, targets, rows, rng, binning);
 }
 
 int32_t RegressionTree::Grow(const linalg::Matrix& features,
@@ -91,12 +182,15 @@ int32_t RegressionTree::Grow(const linalg::Matrix& features,
   points.reserve(count);
   for (size_t feature :
        CandidateFeatures(features.cols(), options_.feature_fraction, rng)) {
-    points.clear();
-    for (size_t i = begin; i < end; ++i) {
-      points.emplace_back(features.At(rows[i], feature), targets[rows[i]]);
+    if (binning_ != nullptr) {
+      BestBinnedSplit(*binning_, targets, rows, begin, end, feature, sum,
+                      options_.min_samples_leaf, best);
+      continue;
     }
-    std::sort(points.begin(), points.end());
-    if (points.front().first == points.back().first) continue;
+    if (!FillSortedFeaturePoints(features, rows, begin, end, feature, targets,
+                                 points)) {
+      continue;
+    }
     double left_sum = 0.0;
     double left_sum_squares = 0.0;
     for (size_t i = 0; i + 1 < count; ++i) {
@@ -242,12 +336,10 @@ int32_t DecisionTreeClassifier::Grow(const linalg::Matrix& features,
   std::vector<double> left_counts(m);
   for (size_t feature :
        CandidateFeatures(features.cols(), options_.feature_fraction, rng)) {
-    points.clear();
-    for (size_t i = begin; i < end; ++i) {
-      points.emplace_back(features.At(rows[i], feature), labels[rows[i]]);
+    if (!FillSortedFeaturePoints(features, rows, begin, end, feature, labels,
+                                 points)) {
+      continue;
     }
-    std::sort(points.begin(), points.end());
-    if (points.front().first == points.back().first) continue;
     std::fill(left_counts.begin(), left_counts.end(), 0.0);
     double left_gini_sum = 0.0;  // sum of squared left counts
     for (size_t i = 0; i + 1 < count; ++i) {

@@ -14,6 +14,8 @@
 
 namespace bbv::ml {
 
+class FeatureBinning;
+
 /// Shared tree-growing configuration.
 struct TreeOptions {
   int max_depth = 6;
@@ -23,6 +25,14 @@ struct TreeOptions {
   double feature_fraction = 1.0;
   /// Minimum impurity decrease to accept a split.
   double min_impurity_decrease = 1e-9;
+  /// Opt-in histogram split search for RegressionTree: scan the uint8
+  /// quantile-bin histograms of a FeatureBinning (built once per ensemble
+  /// Fit, or locally when the caller passes none) instead of re-sorting the
+  /// node's (value, target) pairs per feature per node. Thresholds are
+  /// restricted to the <= 255 per-feature cut values, so binned trees are a
+  /// (deterministic, thread-count independent) approximation of the exact
+  /// search; exact stays the default. Ignored by DecisionTreeClassifier.
+  bool binned_split_search = false;
 };
 
 /// CART regression tree (variance-reduction splits, mean leaves). Used as
@@ -44,14 +54,19 @@ class RegressionTree {
   explicit RegressionTree(TreeOptions options = {}) : options_(options) {}
 
   /// Fits the tree on rows `rows` of `features` against `targets` (full
-  /// column, indexed by row id).
+  /// column, indexed by row id). When options.binned_split_search is set,
+  /// `binning` is the shared pre-binning of `features` (row-count and
+  /// feature-count matched); pass nullptr to have the tree build a local
+  /// one. `binning` is ignored by the exact (default) search.
   common::Status Fit(const linalg::Matrix& features,
                      const std::vector<double>& targets,
-                     const std::vector<size_t>& rows, common::Rng& rng);
+                     const std::vector<size_t>& rows, common::Rng& rng,
+                     const FeatureBinning* binning = nullptr);
 
   /// Convenience: fit on all rows.
   common::Status Fit(const linalg::Matrix& features,
-                     const std::vector<double>& targets, common::Rng& rng);
+                     const std::vector<double>& targets, common::Rng& rng,
+                     const FeatureBinning* binning = nullptr);
 
   /// Prediction for one feature row. This is the scalar node-walking path —
   /// the legacy reference the flattened ForestKernel is proven bit-identical
@@ -87,6 +102,8 @@ class RegressionTree {
 
   TreeOptions options_;
   std::vector<Node> nodes_;
+  /// Active only inside Fit when the binned search is enabled.
+  const FeatureBinning* binning_ = nullptr;
 };
 
 /// CART classification tree (Gini splits, class-frequency leaves). Included

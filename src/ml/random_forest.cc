@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/telemetry.h"
+#include "ml/feature_binning.h"
 
 namespace bbv::ml {
 
@@ -33,6 +34,14 @@ common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
   // pre-forked stream, so the serialized ensemble is bit-identical at every
   // thread count.
   std::vector<common::Rng> tree_rngs = rng.ForkStreams(num_trees);
+  // One shared pre-binning per Fit (deterministic, read-only across the
+  // tree workers) when the histogram split search is enabled.
+  FeatureBinning binning;
+  const FeatureBinning* binning_ptr = nullptr;
+  if (options_.tree.binned_split_search) {
+    binning = FeatureBinning::Build(features);
+    binning_ptr = &binning;
+  }
   trees_.clear();
   BBV_ASSIGN_OR_RETURN(
       trees_,
@@ -44,10 +53,11 @@ common::Status RandomForestRegressor::Fit(const linalg::Matrix& features,
               rows[i] = tree_rng.UniformInt(n);
             }
             RegressionTree tree(options_.tree);
-            BBV_RETURN_NOT_OK(tree.Fit(features, targets, rows, tree_rng));
+            BBV_RETURN_NOT_OK(
+                tree.Fit(features, targets, rows, tree_rng, binning_ptr));
             return tree;
           }));
-  kernel_ = ForestKernel::Compile(trees_);
+  kernel_ = ForestKernel::Compile(trees_, options_.kernel);
   return common::Status::OK();
 }
 

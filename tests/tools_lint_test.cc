@@ -364,6 +364,57 @@ TEST(LintRulesTest, PredictRowOutsideLoopsIsClean) {
   EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
 }
 
+TEST(LintRulesTest, PredictRowInParallelForLambdaIsFlagged) {
+  // A ParallelFor callable runs once per item: per-row inference inside it
+  // is a loop body even without a lexical loop keyword. bench/ harnesses
+  // are covered like everything else.
+  const auto findings = LintFileContents(
+      "bench/fixture/parallel_predict.cc",
+      "void All(const Model& m, const Matrix& x, double* out) {\n"
+      "  ParallelFor(x.rows(), [&](size_t i) {\n"
+      "    out[i] = m.PredictRow(x.RowData(i));\n"
+      "    return Status::OK();\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 1u);
+}
+
+TEST(LintRulesTest, PredictRowInParallelMapWithTemplateArgsIsFlagged) {
+  const auto findings = LintFileContents(
+      "src/fixture/parallel_map_predict.cc",
+      "std::vector<double> All(const Model& m, const Matrix& x) {\n"
+      "  return common::ParallelMap<double>(x.rows(), [&](size_t i) {\n"
+      "    return m.PredictRow(x.RowData(i));\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 1u);
+}
+
+TEST(LintRulesTest, SuppressedParallelForPredictRowIsClean) {
+  const auto findings = LintFileContents(
+      "bench/fixture/parallel_predict.cc",
+      "void All(const Model& m, const Matrix& x, double* out) {\n"
+      "  ParallelFor(x.rows(), [&](size_t i) {\n"
+      "    // bbv-lint: allow(batch-api) scalar timing baseline\n"
+      "    out[i] = m.PredictRow(x.RowData(i));\n"
+      "    return Status::OK();\n"
+      "  });\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
+}
+
+TEST(LintRulesTest, PredictRowAfterParallelForCallIsClean) {
+  // The call frame expires at the matching ')': per-row calls after the
+  // parallel section are single-row latency paths, not hidden loops.
+  const auto findings = LintFileContents(
+      "src/fixture/after_parallel.cc",
+      "double One(const Model& m, const Matrix& x, double* out) {\n"
+      "  ParallelFor(x.rows(), [&](size_t i) { out[i] = 0.0; });\n"
+      "  return m.PredictRow(x.RowData(0));\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
+}
+
 TEST(LintRulesTest, AnalyzeTreePopulatesTheModuleGraph) {
   const std::filesystem::path repo_root =
       std::filesystem::path(BBV_TEST_SOURCE_DIR).parent_path();

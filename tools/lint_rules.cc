@@ -531,11 +531,39 @@ void CheckBatchApi(const std::string& path, const LexedFile& lexed,
   struct LoopFrame {
     bool braced = false;
     int brace_depth = 0;  ///< Depth of the body brace / of the statement.
+    /// ParallelFor/ParallelMap call frame: the body callable runs once per
+    /// item, so it is a loop body even without a loop keyword. Call frames
+    /// expire at `close` (the call's matching ')') instead of via the
+    /// brace/semicolon handlers below, which cannot see them: inside the
+    /// argument list paren_depth is at least 1.
+    bool call = false;
+    size_t close = 0;
   };
   std::vector<LoopFrame> loops;
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& token = tokens[i];
     if (token.in_directive) continue;
+    // Expire finished parallel-call frames first; everything above the
+    // lowest expired frame was pushed inside that call's argument list
+    // (single-statement loop frames in a lambda never hit the
+    // paren_depth == 0 semicolon handler, so they expire here too).
+    for (size_t frame = 0; frame < loops.size(); ++frame) {
+      if (loops[frame].call && i > loops[frame].close) {
+        loops.resize(frame);
+        break;
+      }
+    }
+    if (IsIdent(token, "ParallelFor") || IsIdent(token, "ParallelMap")) {
+      size_t open = i + 1;
+      if (open < tokens.size() && IsPunct(tokens[open], "<")) {
+        open = SkipTemplateArgs(tokens, open);
+      }
+      if (open < tokens.size() && IsPunct(tokens[open], "(")) {
+        loops.push_back({false, token.brace_depth, true,
+                         FindMatchingParen(tokens, open)});
+      }
+      continue;
+    }
     const bool loop_keyword = (IsIdent(token, "for") ||
                                IsIdent(token, "while")) &&
                               i + 1 < tokens.size() &&

@@ -63,6 +63,10 @@ struct LintFinding {
 ///  - "batch-api": PredictRow/PredictRowMean inside a loop body re-opens the
 ///    per-row inference path the PR 5 kernel gate closed; batch prediction
 ///    must flow through ml::ForestKernel PredictInto/PredictProbaInto.
+///    ParallelFor/ParallelMap callables count as loop bodies (the callable
+///    runs once per item), so per-row calls hidden in a parallel lambda —
+///    including in bench/ harnesses — are flagged too; deliberate scalar
+///    baselines carry an allow(batch-api) suppression.
 ///
 /// A finding on line N is suppressed when line N or line N-1 contains the
 /// comment marker "bbv-lint: allow(<rule>)"; every suppression must carry a
