@@ -1,0 +1,407 @@
+// Multi-tenant serving load benchmark: replays a skewed-popularity, bursty
+// request trace (Zipf tenant popularity, batched flushes, mid-trace
+// predictor hot-swaps, LRU eviction pressure) through the
+// serve::ValidatorService at several BBV_THREADS settings and validates
+// that every response estimate and every tenant's serialized sketch state
+// is bit-identical to a standalone per-tenant StreamingScorer replay of
+// the same trace. Reports throughput plus flush-latency percentiles
+// (p50/p99/p999) from the telemetry histograms.
+//
+// --fast: 200 tenants, ~1e5 rows. --full: 1000 tenants, ~1e6 rows.
+// Non-zero exit on any divergence from the standalone path.
+//
+// With --json[=PATH] the measurements land in BENCH_serving_load.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "core/performance_predictor.h"
+#include "core/prediction_statistics.h"
+#include "linalg/matrix.h"
+#include "serve/streaming_scorer.h"
+#include "serve/validator_service.h"
+
+namespace bbv::bench {
+namespace {
+
+constexpr size_t kNumPredictors = 3;
+constexpr size_t kFlushEvery = 64;
+constexpr size_t kSwappedTenants = 8;
+
+/// Binary predict_proba batch: a `good_fraction` of the rows put 0.99 on
+/// their winner, the rest 0.51 (same family the predictor trains on).
+linalg::Matrix MixtureBatch(double good_fraction, size_t rows) {
+  linalg::Matrix batch(rows, 2);
+  const size_t good_rows =
+      static_cast<size_t>(good_fraction * static_cast<double>(rows) + 0.5);
+  for (size_t i = 0; i < rows; ++i) {
+    const double confidence = i < good_rows ? 0.99 : 0.51;
+    const size_t winner = i % 2;
+    batch.At(i, winner) = confidence;
+    batch.At(i, 1 - winner) = 1.0 - confidence;
+  }
+  return batch;
+}
+
+/// Meta-trains one shared performance predictor on synthetic
+/// (statistics, score) pairs; distinct seeds grow distinct forests so
+/// hot-swaps visibly change the serving estimates.
+std::shared_ptr<const core::PerformancePredictor> TrainPredictor(
+    uint64_t seed) {
+  common::Rng rng(seed);
+  core::PerformancePredictor::Options options;
+  options.tree_count_grid = {30};
+  core::PerformancePredictor predictor(options);
+  std::vector<std::vector<double>> statistics;
+  std::vector<double> scores;
+  for (size_t rows : {400ul, 410ul, 420ul}) {
+    for (int level = 0; level <= 10; ++level) {
+      const double fraction = static_cast<double>(level) / 10.0;
+      statistics.push_back(
+          core::PredictionStatistics(MixtureBatch(fraction, rows)));
+      scores.push_back(0.51 + 0.48 * fraction);
+    }
+  }
+  BBV_CHECK(
+      predictor.TrainFromStatistics(statistics, scores, 0.99, rng).ok());
+  return std::make_shared<const core::PerformancePredictor>(
+      std::move(predictor));
+}
+
+/// One replayed operation: a scoring mini-batch for a tenant, or a
+/// predictor hot-swap.
+struct TraceOp {
+  size_t tenant = 0;
+  bool is_swap = false;
+  linalg::Matrix batch;
+  size_t predictor_index = 0;
+};
+
+/// Zipf(1.1) popularity CDF over `tenants` ranks: rank 0 is the hottest.
+std::vector<double> ZipfCdf(size_t tenants) {
+  std::vector<double> cdf(tenants, 0.0);
+  double total = 0.0;
+  for (size_t t = 0; t < tenants; ++t) {
+    total += 1.0 / std::pow(static_cast<double>(t + 1), 1.1);
+    cdf[t] = total;
+  }
+  for (double& value : cdf) value /= total;
+  return cdf;
+}
+
+/// Builds the bursty trace: tenants drawn from the Zipf CDF, each arrival
+/// emitting a burst of 1-3 consecutive mini-batches, until `target_rows`
+/// rows are queued; then hot-swap ops for the hottest tenants are spliced
+/// in at the trace midpoint. Generated once so every configuration replays
+/// the exact same multiset.
+std::vector<TraceOp> BuildTrace(size_t tenants, size_t target_rows,
+                                uint64_t seed) {
+  const std::vector<double> cdf = ZipfCdf(tenants);
+  common::Rng rng(seed);
+  std::vector<TraceOp> trace;
+  size_t rows_emitted = 0;
+  while (rows_emitted < target_rows) {
+    const double u = rng.Uniform();
+    const size_t tenant = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    const size_t burst = 1 + static_cast<size_t>(rng.Uniform() * 3.0);
+    for (size_t b = 0; b < burst && rows_emitted < target_rows; ++b) {
+      TraceOp op;
+      op.tenant = std::min(tenant, tenants - 1);
+      const size_t rows = 60 + static_cast<size_t>(rng.Uniform() * 80.0);
+      op.batch = MixtureBatch(rng.Uniform(), rows);
+      rows_emitted += rows;
+      trace.push_back(std::move(op));
+    }
+  }
+  // Hot-swap the hottest tenants to the "next" predictor mid-trace, so the
+  // epoch machinery runs under load.
+  std::vector<TraceOp> swaps;
+  for (size_t t = 0; t < std::min(kSwappedTenants, tenants); ++t) {
+    TraceOp op;
+    op.tenant = t;
+    op.is_swap = true;
+    op.predictor_index = (t + 1) % kNumPredictors;
+    swaps.push_back(std::move(op));
+  }
+  trace.insert(trace.begin() + static_cast<ptrdiff_t>(trace.size() / 2),
+               std::make_move_iterator(swaps.begin()),
+               std::make_move_iterator(swaps.end()));
+  return trace;
+}
+
+std::string ScorerBytes(const serve::StreamingScorer& scorer) {
+  std::ostringstream out;
+  BBV_CHECK(scorer.SaveState(out).ok());
+  return out.str();
+}
+
+/// Ground truth: replays the trace per tenant through standalone
+/// StreamingScorers (scalar estimate per request, swaps applied at the
+/// same per-tenant positions).
+struct StandaloneResult {
+  /// One estimate per scoring op, in trace order.
+  std::vector<double> estimates;
+  /// Serialized final state per tenant (empty string = never scored).
+  std::vector<std::string> states;
+};
+
+StandaloneResult ReplayStandalone(
+    const std::vector<TraceOp>& trace, size_t tenants,
+    const std::vector<std::shared_ptr<const core::PerformancePredictor>>&
+        predictors) {
+  StandaloneResult result;
+  std::vector<std::optional<serve::StreamingScorer>> scorers(tenants);
+  for (size_t t = 0; t < tenants; ++t) {
+    auto scorer =
+        serve::StreamingScorer::Create(predictors[t % kNumPredictors], {});
+    BBV_CHECK(scorer.ok());
+    scorers[t].emplace(std::move(*scorer));
+  }
+  for (const TraceOp& op : trace) {
+    serve::StreamingScorer& scorer = *scorers[op.tenant];
+    if (op.is_swap) {
+      BBV_CHECK(scorer.SwapPredictor(predictors[op.predictor_index]).ok());
+      continue;
+    }
+    BBV_CHECK(scorer.Ingest(op.batch).ok());
+    const auto estimate = scorer.EstimateScore();
+    BBV_CHECK(estimate.ok()) << estimate.status().ToString();
+    result.estimates.push_back(*estimate);
+  }
+  result.states.resize(tenants);
+  for (size_t t = 0; t < tenants; ++t) {
+    if (scorers[t]->rows_ingested() == 0) continue;
+    result.states[t] = ScorerBytes(*scorers[t]);
+  }
+  return result;
+}
+
+/// One service replay of the trace at the ambient BBV_THREADS setting.
+struct ServiceResult {
+  std::vector<double> estimates;
+  double wall_seconds = 0.0;
+  double flush_p50 = 0.0;
+  double flush_p99 = 0.0;
+  double flush_p999 = 0.0;
+  double kernel_batches = 0.0;
+  double coalesced_requests = 0.0;
+  double evictions = 0.0;
+  double rehydrations = 0.0;
+  bool states_match_standalone = true;
+};
+
+ServiceResult RunService(
+    const std::vector<TraceOp>& trace, size_t tenants,
+    const std::vector<std::shared_ptr<const core::PerformancePredictor>>&
+        predictors,
+    const StandaloneResult& standalone) {
+  namespace telemetry = common::telemetry;
+  telemetry::Registry::Global().ResetForTesting();
+
+  serve::ValidatorService::Options options;
+  options.max_resident_tenants = std::max<size_t>(1, tenants / 4);
+  serve::ValidatorService service(options);
+  std::vector<std::string> ids;
+  for (size_t t = 0; t < tenants; ++t) {
+    ids.push_back("model-" + std::to_string(t));
+    BBV_CHECK(
+        service.CreateTenant(ids[t], predictors[t % kNumPredictors]).ok());
+  }
+
+  ServiceResult result;
+  // request id -> index into the scoring-op estimate vector (or SIZE_MAX
+  // for swaps).
+  std::map<uint64_t, size_t> scoring_index;
+  size_t scoring_ops = 0;
+  for (const TraceOp& op : trace) {
+    if (!op.is_swap) ++scoring_ops;
+  }
+  result.estimates.assign(scoring_ops, 0.0);
+
+  WallTimer timer;
+  size_t since_flush = 0;
+  size_t next_scoring = 0;
+  const auto collect = [&](const std::vector<
+                           serve::ValidatorService::ScoreResponse>&
+                               responses) {
+    for (const auto& response : responses) {
+      BBV_CHECK(response.status.ok())
+          << response.model_id << ": " << response.status.ToString();
+      const auto it = scoring_index.find(response.request_id);
+      if (it == scoring_index.end()) continue;  // swap response
+      result.estimates[it->second] = response.estimate;
+    }
+  };
+  for (const TraceOp& op : trace) {
+    if (op.is_swap) {
+      service.SubmitSwap(ids[op.tenant], predictors[op.predictor_index]);
+    } else {
+      const uint64_t id = service.Submit(ids[op.tenant], op.batch);
+      scoring_index.emplace(id, next_scoring++);
+    }
+    if (++since_flush >= kFlushEvery) {
+      collect(service.Flush());
+      since_flush = 0;
+    }
+  }
+  collect(service.Flush());
+  result.wall_seconds = timer.Seconds();
+  BBV_CHECK(next_scoring == scoring_ops);
+
+  // Final state must be bitwise the standalone replay's, resident or
+  // evicted alike.
+  for (size_t t = 0; t < tenants; ++t) {
+    if (standalone.states[t].empty()) continue;
+    std::ostringstream out;
+    BBV_CHECK(service.SaveTenantState(ids[t], out).ok());
+    if (out.str() != standalone.states[t]) {
+      result.states_match_standalone = false;
+      break;
+    }
+  }
+
+  const telemetry::Snapshot snapshot =
+      telemetry::Registry::Global().TakeSnapshot();
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name == "serve.service.flush") {
+      result.flush_p50 = histogram.p50;
+      result.flush_p99 = histogram.p99;
+      result.flush_p999 = histogram.p999;
+    }
+  }
+  result.kernel_batches = static_cast<double>(
+      telemetry::ReadCounter("serve.service.kernel_batches"));
+  result.coalesced_requests = static_cast<double>(
+      telemetry::ReadCounter("serve.service.coalesced_requests"));
+  result.evictions =
+      static_cast<double>(telemetry::ReadCounter("serve.service.evictions"));
+  result.rehydrations = static_cast<double>(
+      telemetry::ReadCounter("serve.service.rehydrations"));
+  return result;
+}
+
+}  // namespace
+}  // namespace bbv::bench
+
+int main(int argc, char** argv) {
+  using namespace bbv::bench;  // NOLINT(google-build-using-namespace)
+  RunConfig config = ParseArgs(argc, argv);
+  PrintHeader("serving_load",
+              "multi-tenant validator service under a skewed bursty trace",
+              config);
+  bbv::common::telemetry::SetEnabled(true);
+
+  const size_t tenants = config.fast ? 200 : 1000;
+  const size_t target_rows = config.fast ? 100000 : 1000000;
+  std::vector<std::shared_ptr<const bbv::core::PerformancePredictor>>
+      predictors;
+  for (size_t p = 0; p < kNumPredictors; ++p) {
+    predictors.push_back(TrainPredictor(config.seed + 1 + p));
+  }
+  const std::vector<TraceOp> trace =
+      BuildTrace(tenants, target_rows, config.seed);
+  size_t total_rows = 0;
+  size_t scoring_ops = 0;
+  for (const TraceOp& op : trace) {
+    if (op.is_swap) continue;
+    total_rows += op.batch.rows();
+    ++scoring_ops;
+  }
+  std::printf("tenants=%zu requests=%zu rows=%zu swaps=%zu\n", tenants,
+              scoring_ops, total_rows, trace.size() - scoring_ops);
+
+  const StandaloneResult standalone =
+      ReplayStandalone(trace, tenants, predictors);
+
+  std::vector<BenchResult> results;
+  bool all_identical = true;
+  bool all_deterministic = true;
+  std::vector<double> serial_estimates;
+  double serial_seconds = 0.0;
+  for (int threads : {1, 4, 8}) {
+    ScopedThreadsEnv env(threads);
+    const ServiceResult run =
+        RunService(trace, tenants, predictors, standalone);
+    const bool identical = run.estimates == standalone.estimates &&
+                           run.states_match_standalone;
+    all_identical = all_identical && identical;
+    if (threads == 1) {
+      serial_estimates = run.estimates;
+      serial_seconds = run.wall_seconds;
+    }
+    const bool deterministic = run.estimates == serial_estimates;
+    all_deterministic = all_deterministic && deterministic;
+
+    BenchResult result;
+    result.name = "serving_load";
+    result.threads = threads;
+    result.wall_seconds = run.wall_seconds;
+    result.speedup_vs_serial =
+        run.wall_seconds > 0.0 ? serial_seconds / run.wall_seconds : 0.0;
+    result.extras.emplace_back("tenants", static_cast<double>(tenants));
+    result.extras.emplace_back("requests", static_cast<double>(scoring_ops));
+    result.extras.emplace_back("rows", static_cast<double>(total_rows));
+    result.extras.emplace_back(
+        "rows_per_second",
+        run.wall_seconds > 0.0
+            ? static_cast<double>(total_rows) / run.wall_seconds
+            : 0.0);
+    result.extras.emplace_back("flush_p50_seconds", run.flush_p50);
+    result.extras.emplace_back("flush_p99_seconds", run.flush_p99);
+    result.extras.emplace_back("flush_p999_seconds", run.flush_p999);
+    result.extras.emplace_back("kernel_batches", run.kernel_batches);
+    result.extras.emplace_back("coalesced_requests", run.coalesced_requests);
+    result.extras.emplace_back("evictions", run.evictions);
+    result.extras.emplace_back("rehydrations", run.rehydrations);
+    result.extras.emplace_back("identical_to_standalone",
+                               identical ? 1.0 : 0.0);
+    result.extras.emplace_back("deterministic", deterministic ? 1.0 : 0.0);
+    results.push_back(result);
+    std::printf(
+        "serving_load threads=%d wall=%.3fs rows/s=%.0f p50=%.4fs "
+        "p99=%.4fs p999=%.4fs coalesced=%.0f/%.0f evict=%.0f rehydrate=%.0f "
+        "identical=%s\n",
+        threads, run.wall_seconds,
+        run.wall_seconds > 0.0
+            ? static_cast<double>(total_rows) / run.wall_seconds
+            : 0.0,
+        run.flush_p50, run.flush_p99, run.flush_p999, run.coalesced_requests,
+        run.kernel_batches, run.evictions, run.rehydrations,
+        identical ? "yes" : "NO");
+  }
+
+  if (!config.json_path.empty()) {
+    WriteBenchJson(config.json_path, "serving_load", config, results);
+    std::printf("wrote %s\n", config.json_path.c_str());
+  }
+  MaybeWriteTelemetryJson(config);
+  if (!config.telemetry_json_path.empty()) {
+    std::printf("wrote %s\n", config.telemetry_json_path.c_str());
+  }
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: service responses or tenant states diverge from the "
+                 "standalone StreamingScorer replay\n");
+    return 1;
+  }
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: service results depend on BBV_THREADS — the "
+                 "determinism contract is broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -186,6 +186,7 @@ Snapshot Registry::TakeSnapshot() const {
       entry.p50 = histogram->ApproxPercentile(50.0);
       entry.p95 = histogram->ApproxPercentile(95.0);
       entry.p99 = histogram->ApproxPercentile(99.0);
+      entry.p999 = histogram->ApproxPercentile(99.9);
       snapshot.histograms.push_back(std::move(entry));
     }
   }
@@ -249,7 +250,8 @@ std::string Registry::ToJson() const {
        << ", \"total\": " << histogram.total << ", \"min\": " << histogram.min
        << ", \"max\": " << histogram.max << ", \"p50\": " << histogram.p50
        << ", \"p95\": " << histogram.p95 << ", \"p99\": " << histogram.p99
-       << "}" << (i + 1 < snapshot.histograms.size() ? "," : "") << "\n";
+       << ", \"p999\": " << histogram.p999 << "}"
+       << (i + 1 < snapshot.histograms.size() ? "," : "") << "\n";
   }
   os << "    ]\n";
   os << "  }\n";

@@ -13,14 +13,24 @@ namespace bbv::core {
 
 namespace {
 
-/// Shared validation for Create() and the CHECK-ing constructor; returns a
-/// non-OK status describing the first violated invariant.
-common::Status ValidateMonitorArguments(const ml::BlackBox* model,
-                                        const PerformancePredictor& predictor,
-                                        const ModelMonitor::Options& options) {
-  if (model == nullptr) {
-    return common::Status::InvalidArgument("ModelMonitor needs a model");
+/// Reference-score invariant shared by monitor construction and hot-swap:
+/// a degenerate reference silently clamps relative_drop so alarms can never
+/// fire against it.
+common::Status ValidatePredictorReference(
+    const PerformancePredictor& predictor) {
+  const double reference = predictor.test_score();
+  if (!std::isfinite(reference) || reference <= 0.0) {
+    return common::Status::InvalidArgument(
+        "reference score must be finite and strictly positive, got " +
+        std::to_string(reference));
   }
+  return common::Status::OK();
+}
+
+/// Shared validation for the factories and the CHECK-ing constructor;
+/// returns a non-OK status describing the first violated invariant.
+common::Status ValidateMonitorArguments(const PerformancePredictor& predictor,
+                                        const ModelMonitor::Options& options) {
   if (!predictor.trained()) {
     return common::Status::FailedPrecondition(
         "ModelMonitor needs a trained predictor");
@@ -39,15 +49,9 @@ common::Status ValidateMonitorArguments(const ml::BlackBox* model,
         "sketch_resolution_bits must lie in [1, 24] when window_batches is "
         "set");
   }
-  const double reference = predictor.test_score();
-  if (!std::isfinite(reference) || reference <= 0.0) {
-    // A non-positive reference used to silently clamp relative_drop to 0,
-    // so alarms could never fire against it; reject it up front instead.
-    return common::Status::InvalidArgument(
-        "reference score must be finite and strictly positive, got " +
-        std::to_string(reference));
-  }
-  return common::Status::OK();
+  // A non-positive reference used to silently clamp relative_drop to 0,
+  // so alarms could never fire against it; reject it up front instead.
+  return ValidatePredictorReference(predictor);
 }
 
 }  // namespace
@@ -55,21 +59,57 @@ common::Status ValidateMonitorArguments(const ml::BlackBox* model,
 common::Result<ModelMonitor> ModelMonitor::Create(
     const ml::BlackBox* model, PerformancePredictor predictor,
     Options options) {
-  BBV_RETURN_NOT_OK(ValidateMonitorArguments(model, predictor, options));
-  return ModelMonitor(model, std::move(predictor), options);
+  if (model == nullptr) {
+    return common::Status::InvalidArgument("ModelMonitor needs a model");
+  }
+  BBV_RETURN_NOT_OK(ValidateMonitorArguments(predictor, options));
+  return ModelMonitor(model, model->Name(),
+                      std::make_shared<const PerformancePredictor>(
+                          std::move(predictor)),
+                      options);
+}
+
+common::Result<ModelMonitor> ModelMonitor::CreateForProba(
+    std::string name, std::shared_ptr<const PerformancePredictor> predictor,
+    Options options) {
+  if (predictor == nullptr) {
+    return common::Status::InvalidArgument(
+        "CreateForProba needs a predictor");
+  }
+  BBV_RETURN_NOT_OK(ValidateMonitorArguments(*predictor, options));
+  return ModelMonitor(nullptr, std::move(name), std::move(predictor),
+                      options);
 }
 
 ModelMonitor::ModelMonitor(const ml::BlackBox* model,
                            PerformancePredictor predictor, Options options)
-    : model_(model), predictor_(std::move(predictor)), options_(options) {
+    : ModelMonitor(model, model != nullptr ? model->Name() : std::string(),
+                   std::make_shared<const PerformancePredictor>(
+                       std::move(predictor)),
+                   options) {
+  BBV_CHECK(model != nullptr) << "ModelMonitor needs a model";
+}
+
+ModelMonitor::ModelMonitor(
+    const ml::BlackBox* model, std::string name,
+    std::shared_ptr<const PerformancePredictor> predictor, Options options)
+    : model_(model),
+      name_(std::move(name)),
+      predictor_(std::move(predictor)),
+      options_(options) {
   const common::Status valid =
-      ValidateMonitorArguments(model_, predictor_, options_);
+      ValidateMonitorArguments(*predictor_, options_);
   BBV_CHECK(valid.ok()) << valid.ToString();
 }
 
 common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
     const data::DataFrame& serving) {
   const common::telemetry::TraceSpan span("monitor.observe");
+  if (model_ == nullptr) {
+    return common::Status::FailedPrecondition(
+        "Observe on a proba-only monitor (no black box attached); use "
+        "ObserveFromProba");
+  }
   BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
                        model_->PredictProba(serving));
   BBV_ASSIGN_OR_RETURN(BatchReport report, ObserveFromProba(probabilities));
@@ -104,7 +144,7 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
     }
   }
   BBV_ASSIGN_OR_RETURN(double estimate,
-                       predictor_.EstimateScoreFromProba(probabilities));
+                       predictor_->EstimateScoreFromProba(probabilities));
   if (!std::isfinite(estimate)) {
     // Never let NaN/Inf flow into reports, history or alarm decisions.
     common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
@@ -114,7 +154,7 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   BatchReport report;
   report.rows = probabilities.rows();
   report.estimated_score = estimate;
-  report.reference_score = predictor_.test_score();
+  report.reference_score = predictor_->test_score();
   // The constructor guarantees a finite, strictly positive reference.
   report.relative_drop =
       (report.reference_score - estimate) / report.reference_score;
@@ -136,8 +176,8 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
     }
     BBV_ASSIGN_OR_RETURN(
         double windowed_estimate,
-        predictor_.EstimateScoreFromStatistics(
-            merged.PercentileFeatures(predictor_.percentile_points())));
+        predictor_->EstimateScoreFromStatistics(
+            merged.PercentileFeatures(predictor_->percentile_points())));
     if (!std::isfinite(windowed_estimate)) {
       common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
       return common::Status::Internal(
@@ -166,6 +206,7 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   common::telemetry::IncrementCounter("monitor.batches");
   common::telemetry::IncrementCounter("monitor.rows", probabilities.rows());
   report.alarms_total = alarms_raised_;
+  report.epoch = epoch_;
   report.estimate_calls_total =
       common::telemetry::ReadCounter("predictor.estimate.calls");
   report.latency_seconds = span.ElapsedSeconds();
@@ -179,6 +220,24 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   return report;
 }
 
+common::Status ModelMonitor::SwapPredictor(
+    std::shared_ptr<const PerformancePredictor> predictor) {
+  if (predictor == nullptr || !predictor->trained()) {
+    return common::Status::FailedPrecondition(
+        "SwapPredictor needs a trained performance predictor");
+  }
+  BBV_RETURN_NOT_OK(ValidatePredictorReference(*predictor));
+  // Epoch boundary: the retained window sketches were served under the old
+  // predictor's reference score; scoring them with the new predictor would
+  // alarm against a reference they never ran under. Drop them so the first
+  // post-swap report windows over exactly the batches of the new epoch.
+  window_.clear();
+  predictor_ = std::move(predictor);
+  ++epoch_;
+  common::telemetry::IncrementCounter("monitor.predictor_swaps");
+  return common::Status::OK();
+}
+
 double ModelMonitor::AlarmRate() const {
   return batches_observed_ == 0
              ? 0.0
@@ -188,10 +247,10 @@ double ModelMonitor::AlarmRate() const {
 
 std::string ModelMonitor::Summary() const {
   std::ostringstream os;
-  os << "ModelMonitor(" << model_->Name() << "): " << batches_observed_
+  os << "ModelMonitor(" << name_ << "): " << batches_observed_
      << " batches observed, " << alarms_raised_ << " alarms (rate "
      << AlarmRate() << ")\n";
-  os << "reference score: " << predictor_.test_score() << " (alarm at >= "
+  os << "reference score: " << predictor_->test_score() << " (alarm at >= "
      << options_.alarm_threshold << " relative drop)\n";
   if (windowed()) {
     os << "sliding window: last " << options_.window_batches
@@ -233,11 +292,12 @@ std::string ModelMonitor::ExportJson() const {
   os.precision(17);
   os << "{\n";
   os << "  \"monitor\": {\n";
-  os << "    \"model\": \"" << model_->Name() << "\",\n";
-  os << "    \"reference_score\": " << predictor_.test_score() << ",\n";
+  os << "    \"model\": \"" << name_ << "\",\n";
+  os << "    \"reference_score\": " << predictor_->test_score() << ",\n";
   os << "    \"alarm_threshold\": " << options_.alarm_threshold << ",\n";
   os << "    \"history_limit\": " << options_.history_limit << ",\n";
   os << "    \"window_batches\": " << options_.window_batches << ",\n";
+  os << "    \"predictor_epoch\": " << epoch_ << ",\n";
   os << "    \"batches_observed\": " << batches_observed_ << ",\n";
   os << "    \"alarms_raised\": " << alarms_raised_ << ",\n";
   os << "    \"alarm_rate\": " << AlarmRate() << ",\n";
@@ -251,7 +311,8 @@ std::string ModelMonitor::ExportJson() const {
        << ", \"alarm\": " << (report.alarm ? "true" : "false")
        << ", \"latency_seconds\": " << report.latency_seconds
        << ", \"estimate_calls_total\": " << report.estimate_calls_total
-       << ", \"alarms_total\": " << report.alarms_total;
+       << ", \"alarms_total\": " << report.alarms_total
+       << ", \"epoch\": " << report.epoch;
     if (windowed()) {
       os << ", \"windowed_estimate\": " << report.windowed_estimate
          << ", \"windowed_relative_drop\": " << report.windowed_relative_drop

@@ -2,6 +2,7 @@
 #define BBV_CORE_MONITOR_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -76,6 +77,11 @@ class ModelMonitor {
     size_t window_batches_used = 0;
     /// Rows covered by the windowed estimate.
     uint64_t window_rows = 0;
+    /// Predictor epoch this batch was scored under: 0 for the predictor the
+    /// monitor was created with, incremented by every SwapPredictor. In
+    /// windowed mode a swap also clears the window ring, so all
+    /// window_batches_used batches of a report belong to the same epoch.
+    uint64_t epoch = 0;
   };
 
   /// Validating factory: rejects a null model, an untrained predictor, an
@@ -89,6 +95,16 @@ class ModelMonitor {
                                              PerformancePredictor predictor) {
     return Create(model, std::move(predictor), Options{});
   }
+
+  /// Proba-only factory for serving systems that run model inference
+  /// elsewhere (the multi-tenant service): no black box is attached, so
+  /// Observe() is unavailable — feed precomputed probabilities through
+  /// ObserveFromProba. `name` labels the monitor in Summary()/ExportJson();
+  /// the predictor is shared, not copied, so thousands of tenants can
+  /// monitor against one deployed forest.
+  static common::Result<ModelMonitor> CreateForProba(
+      std::string name,
+      std::shared_ptr<const PerformancePredictor> predictor, Options options);
 
   /// `model` must outlive the monitor; `predictor` must be trained with a
   /// finite, strictly positive reference score (BBV_CHECK-enforced).
@@ -104,6 +120,21 @@ class ModelMonitor {
   /// non-finite estimates (neither pollutes the history).
   common::Result<BatchReport> ObserveFromProba(
       const linalg::Matrix& probabilities);
+
+  /// Deploys a retrained predictor (tenant hot-swap). This is an *epoch
+  /// boundary*: the windowed ring is cleared, because its sketches were
+  /// scored under the old predictor's reference — mixing them into a window
+  /// estimated by the new predictor would alarm (or fail to alarm) against
+  /// a reference the batches were never served under. The first report
+  /// after a swap therefore has window_batches_used == 1 and carries the
+  /// incremented epoch. Rejects a null/untrained predictor and a
+  /// non-finite or non-positive reference score (the monitor keeps its old
+  /// predictor on rejection).
+  common::Status SwapPredictor(
+      std::shared_ptr<const PerformancePredictor> predictor);
+
+  /// Epoch boundaries crossed so far (== accepted SwapPredictor calls).
+  uint64_t epoch() const { return epoch_; }
 
   const std::vector<BatchReport>& history() const { return history_; }
   size_t batches_observed() const { return batches_observed_; }
@@ -123,9 +154,22 @@ class ModelMonitor {
   /// True when the monitor alarms on windowed estimates.
   bool windowed() const { return options_.window_batches > 0; }
 
+  /// Drops the windowed ring without observing anything — the same epoch
+  /// boundary SwapPredictor enforces, for callers that invalidate the
+  /// window by other means (e.g. the tenant registry evicting a cold
+  /// tenant and rehydrating it later). No-op in classic mode.
+  void ClearWindow() { window_.clear(); }
+
  private:
+  ModelMonitor(const ml::BlackBox* model, std::string name,
+               std::shared_ptr<const PerformancePredictor> predictor,
+               Options options);
+
   const ml::BlackBox* model_;
-  PerformancePredictor predictor_;
+  /// Label for Summary()/ExportJson(): the model's name, or the caller-
+  /// supplied name for proba-only monitors.
+  std::string name_;
+  std::shared_ptr<const PerformancePredictor> predictor_;
   Options options_;
   std::vector<BatchReport> history_;
   /// Ring of per-batch sketch banks, newest at the back; bounded by
@@ -133,6 +177,7 @@ class ModelMonitor {
   std::deque<stats::QuantileSketchBank> window_;
   size_t batches_observed_ = 0;
   size_t alarms_raised_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace bbv::core

@@ -1,6 +1,7 @@
 #include "core/performance_predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/parallel.h"
@@ -209,11 +210,27 @@ common::Result<PerformancePredictor> PerformancePredictor::Load(
   if (predictor.options_.percentile_points.empty()) {
     return common::Status::InvalidArgument("corrupt percentile grid");
   }
+  // The quantile machinery BBV_CHECKs that the grid is sorted and within
+  // [0, 100]; a predictor file is untrusted input, so reject a bad grid here
+  // instead of aborting at the first serving-time estimate.
+  for (size_t i = 0; i < predictor.options_.percentile_points.size(); ++i) {
+    const double point = predictor.options_.percentile_points[i];
+    if (!std::isfinite(point) || point < 0.0 || point > 100.0 ||
+        (i > 0 && point <= predictor.options_.percentile_points[i - 1])) {
+      return common::Status::InvalidArgument("corrupt percentile grid");
+    }
+  }
   BBV_ASSIGN_OR_RETURN(int32_t tree_count, reader.ReadInt32());
   predictor.selected_tree_count_ = tree_count;
   BBV_ASSIGN_OR_RETURN(uint64_t examples, reader.ReadUint64());
   predictor.num_training_examples_ = examples;
   BBV_ASSIGN_OR_RETURN(uint64_t feature_dimension, reader.ReadUint64());
+  // The feature vector is num_classes * |grid| by construction; anything
+  // else is corrupt and would wedge every class-count check downstream.
+  if (feature_dimension == 0 ||
+      feature_dimension % predictor.options_.percentile_points.size() != 0) {
+    return common::Status::InvalidArgument("corrupt feature dimension");
+  }
   predictor.feature_dimension_ = feature_dimension;
   BBV_ASSIGN_OR_RETURN(predictor.regressor_,
                        ml::RandomForestRegressor::Load(reader));
@@ -265,6 +282,31 @@ common::Result<double> PerformancePredictor::EstimateScoreFromStatistics(
   }
   common::telemetry::IncrementCounter("predictor.estimate.calls");
   return regressor_.PredictRow(statistics.data());
+}
+
+common::Status PerformancePredictor::EstimateScoresFromStatistics(
+    const linalg::Matrix& statistics, std::span<double> out) const {
+  const common::telemetry::TraceSpan span("predictor.estimate_batch");
+  if (!trained_) {
+    return common::Status::FailedPrecondition("EstimateScore before Train");
+  }
+  if (statistics.cols() != feature_dimension_) {
+    return common::Status::InvalidArgument(
+        "feature matrix has " + std::to_string(statistics.cols()) +
+        " columns but the predictor was trained on " +
+        std::to_string(feature_dimension_));
+  }
+  if (out.size() != statistics.rows()) {
+    return common::Status::InvalidArgument(
+        "output span holds " + std::to_string(out.size()) +
+        " slots for " + std::to_string(statistics.rows()) + " feature rows");
+  }
+  if (statistics.rows() == 0) return common::Status::OK();
+  common::telemetry::IncrementCounter("predictor.estimate.calls",
+                                      statistics.rows());
+  common::telemetry::IncrementCounter("predictor.estimate.batches");
+  regressor_.PredictInto(statistics, out);
+  return common::Status::OK();
 }
 
 }  // namespace bbv::core

@@ -106,6 +106,16 @@ class PerformancePredictor {
   common::Result<double> EstimateScoreFromStatistics(
       std::span<const double> statistics) const;
 
+  /// Batch variant for the multi-tenant serving layer: one percentile
+  /// feature row per pending request, all scored through a single
+  /// ForestKernel batch call instead of one scalar walk per request.
+  /// Bit-identical per row to EstimateScoreFromStatistics — the kernel's
+  /// exact batch path accumulates trees in the same order as the scalar
+  /// walk. `statistics` must have feature_dimension() columns and
+  /// `out.size()` rows.
+  common::Status EstimateScoresFromStatistics(const linalg::Matrix& statistics,
+                                              std::span<double> out) const;
+
   /// Percentile grid the regressor's features are built on. Streaming
   /// consumers must query their sketches at exactly these points.
   const std::vector<double>& percentile_points() const {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +53,12 @@ class StreamingScorer {
       core::PerformancePredictor predictor) {
     return Create(std::move(predictor), Options{});
   }
+  /// Shared-ownership variant for the multi-tenant service, where one
+  /// retrained predictor is deployed to many tenants without copying the
+  /// forest per tenant. Rejects a null or untrained predictor.
+  static common::Result<StreamingScorer> Create(
+      std::shared_ptr<const core::PerformancePredictor> predictor,
+      Options options);
 
   /// Folds one mini-batch of predicted class probabilities into the
   /// per-class sketches. Rejects empty batches, batches whose class count
@@ -72,9 +79,21 @@ class StreamingScorer {
   common::Result<double> EstimateScore() const;
 
   /// Merges another scorer's sketch state into this one (shard fan-in).
-  /// Both scorers must use the same grid, and class counts must agree when
-  /// both have ingested data.
+  /// Both scorers must use the same grid, and the other scorer's class
+  /// count must be compatible with this scorer's predictor.
   common::Status MergeFrom(const StreamingScorer& other);
+
+  /// Replaces the predictor behind the scorer (tenant hot-swap after a
+  /// retrain). The ingested sketch state is kept: the sketches summarize
+  /// raw class probabilities, so any predictor expecting the same class
+  /// count can score them. Rejects a null or untrained predictor and one
+  /// whose class count disagrees with the already-sketched columns.
+  common::Status SwapPredictor(
+      std::shared_ptr<const core::PerformancePredictor> predictor);
+
+  /// Classes the predictor's feature vector implies
+  /// (feature_dimension / |percentile grid|).
+  size_t expected_classes() const;
 
   /// Kolmogorov-Smirnov distance between this scorer's per-class output
   /// distributions and a reference scorer's (e.g. one filled from the clean
@@ -95,17 +114,33 @@ class StreamingScorer {
   double ValueErrorBound() const;
 
   const stats::QuantileSketchBank& bank() const { return bank_; }
-  const core::PerformancePredictor& predictor() const { return predictor_; }
+  const core::PerformancePredictor& predictor() const { return *predictor_; }
+  /// Shared handle to the predictor (tenant registries deduplicate the
+  /// forest across scorers through this).
+  const std::shared_ptr<const core::PerformancePredictor>& shared_predictor()
+      const {
+    return predictor_;
+  }
 
   /// Canonical serialization of the sketch state (not the predictor):
   /// byte-identical for equal ingested multisets regardless of batch split,
-  /// merge order or thread count.
+  /// merge order or thread count. The transient batches_ingested() counter
+  /// is deliberately not part of the format — it depends on how the stream
+  /// was split, which canonical bytes must not.
   common::Status SaveState(std::ostream& out) const;
 
- private:
-  StreamingScorer(core::PerformancePredictor predictor, Options options);
+  /// Restores exactly what SaveState wrote (LRU tenant rehydration).
+  /// Replaces the current sketch state; rejects state on a different grid
+  /// than Options::resolution_bits over [0, 1], and state whose class count
+  /// disagrees with the predictor's trained feature dimension. A
+  /// SaveState -> LoadState -> SaveState round-trip is byte-identical.
+  common::Status LoadState(std::istream& in);
 
-  core::PerformancePredictor predictor_;
+ private:
+  StreamingScorer(std::shared_ptr<const core::PerformancePredictor> predictor,
+                  Options options);
+
+  std::shared_ptr<const core::PerformancePredictor> predictor_;
   Options options_;
   stats::QuantileSketchBank bank_;
   size_t batches_ingested_ = 0;

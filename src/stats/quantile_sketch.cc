@@ -374,6 +374,10 @@ common::Result<QuantileSketchBank> QuantileSketchBank::Load(std::istream& in) {
   if (columns > (uint64_t{1} << 20)) {
     return common::Status::InvalidArgument("corrupt bank column count");
   }
+  if (columns == 0 && rows != 0) {
+    return common::Status::InvalidArgument(
+        "bank claims observed rows but has no columns");
+  }
   QuantileSketchBank bank(static_cast<size_t>(columns), options);
   for (uint64_t k = 0; k < columns; ++k) {
     BBV_ASSIGN_OR_RETURN(bank.sketches_[static_cast<size_t>(k)],
@@ -382,6 +386,15 @@ common::Result<QuantileSketchBank> QuantileSketchBank::Load(std::istream& in) {
                     options)) {
       return common::Status::InvalidArgument(
           "bank sketch grid disagrees with the bank header");
+    }
+    // Every row contributes exactly one value per column, so a sketch whose
+    // count disagrees with the header is corrupt state. Without this guard a
+    // bank claiming rows > 0 over empty sketches would pass Load and then
+    // crash PercentileFeatures (which BBV_CHECKs non-emptiness) — a process
+    // abort reachable from untrusted bytes.
+    if (bank.sketches_[static_cast<size_t>(k)].count() != rows) {
+      return common::Status::InvalidArgument(
+          "bank sketch count disagrees with the stored row count");
     }
   }
   bank.rows_observed_ = rows;

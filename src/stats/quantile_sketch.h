@@ -159,6 +159,9 @@ class QuantileSketchBank {
 
   size_t num_columns() const { return sketches_.size(); }
   const QuantileSketch& sketch(size_t column) const;
+  /// Grid the member sketches live on (also meaningful for a zero-column
+  /// bank, where it is the grid future columns will adopt).
+  const QuantileSketch::Options& options() const { return options_; }
   /// Rows observed (each row contributes one value per column).
   uint64_t rows_observed() const { return rows_observed_; }
   size_t MemoryBytes() const;

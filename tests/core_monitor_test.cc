@@ -339,5 +339,67 @@ TEST(ModelMonitorTest, WindowedRejectsNonFiniteWithoutPollutingWindow) {
   EXPECT_EQ(next->window_rows, 2u * proba.rows());
 }
 
+TEST(ModelMonitorTest, SwapPredictorStartsNewEpochAndClearsWindow) {
+  common::Rng rng(17);
+  Fixture fixture = MakeFixture(rng);
+  const auto shared =
+      std::make_shared<const PerformancePredictor>(fixture.predictor);
+  ModelMonitor::Options options;
+  options.window_batches = 4;
+  auto monitor = ModelMonitor::CreateForProba("tenant", shared, options);
+  ASSERT_TRUE(monitor.ok());
+  const auto proba =
+      fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(monitor->ObserveFromProba(proba).ok());
+  }
+  EXPECT_EQ(monitor->history().back().window_batches_used, 3u);
+  EXPECT_EQ(monitor->history().back().epoch, 0u);
+  EXPECT_EQ(monitor->epoch(), 0u);
+
+  // Rejected swaps keep the old predictor, window and epoch.
+  EXPECT_FALSE(monitor->SwapPredictor(nullptr).ok());
+  EXPECT_FALSE(
+      monitor->SwapPredictor(std::make_shared<const PerformancePredictor>())
+          .ok());
+  EXPECT_EQ(monitor->epoch(), 0u);
+
+  ASSERT_TRUE(monitor->SwapPredictor(shared).ok());
+  EXPECT_EQ(monitor->epoch(), 1u);
+  // Epoch boundary: the window must not straddle the swap, so the first
+  // post-swap report covers exactly its own batch.
+  const auto report = monitor->ObserveFromProba(proba);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->window_batches_used, 1u);
+  EXPECT_EQ(report->window_rows, proba.rows());
+  EXPECT_EQ(report->epoch, 1u);
+
+  const std::string json = monitor->ExportJson();
+  EXPECT_TRUE(bbv::testing::JsonParses(json));
+  EXPECT_NE(json.find("\"predictor_epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\""), std::string::npos);
+}
+
+TEST(ModelMonitorTest, ProbaOnlyMonitorRejectsObserveAndNullPredictor) {
+  common::Rng rng(18);
+  Fixture fixture = MakeFixture(rng);
+  EXPECT_FALSE(
+      ModelMonitor::CreateForProba("tenant", nullptr, {}).ok());
+  auto monitor = ModelMonitor::CreateForProba(
+      "tenant",
+      std::make_shared<const PerformancePredictor>(fixture.predictor), {});
+  ASSERT_TRUE(monitor.ok());
+  // No black box is attached, so frame-level observation cannot work; the
+  // failure must be a Status, not a crash.
+  EXPECT_FALSE(monitor->Observe(fixture.serving.features).ok());
+  EXPECT_TRUE(
+      monitor
+          ->ObserveFromProba(
+              fixture.model->PredictProba(fixture.serving.features)
+                  .ValueOrDie())
+          .ok());
+  EXPECT_NE(monitor->Summary().find("tenant"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bbv::core

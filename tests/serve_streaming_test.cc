@@ -110,6 +110,40 @@ std::string ScorerBytes(const StreamingScorer& scorer) {
   return out.str();
 }
 
+/// Three-class analogue of MixtureBatch, for foreign-class-count guards.
+linalg::Matrix Mixture3Batch(double good_fraction, size_t rows) {
+  linalg::Matrix batch(rows, 3);
+  const size_t good_rows =
+      static_cast<size_t>(good_fraction * static_cast<double>(rows) + 0.5);
+  for (size_t i = 0; i < rows; ++i) {
+    const double confidence = i < good_rows ? 0.98 : 0.34;
+    const size_t winner = i % 3;
+    for (size_t k = 0; k < 3; ++k) {
+      batch.At(i, k) = k == winner ? confidence : (1.0 - confidence) / 2.0;
+    }
+  }
+  return batch;
+}
+
+core::PerformancePredictor Train3ClassPredictor(common::Rng& rng) {
+  core::PerformancePredictor::Options options;
+  options.tree_count_grid = {10};
+  core::PerformancePredictor predictor(options);
+  std::vector<std::vector<double>> statistics;
+  std::vector<double> scores;
+  for (size_t rows : {300ul, 310ul, 320ul}) {
+    for (int level = 0; level <= 10; ++level) {
+      const double fraction = static_cast<double>(level) / 10.0;
+      statistics.push_back(
+          core::PredictionStatistics(Mixture3Batch(fraction, rows)));
+      scores.push_back(0.34 + 0.64 * fraction);
+    }
+  }
+  BBV_CHECK(
+      predictor.TrainFromStatistics(statistics, scores, 0.98, rng).ok());
+  return predictor;
+}
+
 TEST(StreamingScorerTest, CreateValidatesPredictorAndResolution) {
   common::Rng rng(31);
   EXPECT_FALSE(
@@ -266,6 +300,128 @@ TEST(StreamingScorerTest, IngestFrameRunsTheModel) {
   const auto estimate = scorer->EstimateScore();
   ASSERT_TRUE(estimate.ok());
   EXPECT_TRUE(std::isfinite(*estimate));
+}
+
+TEST(StreamingScorerTest, SaveLoadRoundTripIsByteIdentical) {
+  common::Rng rng(39);
+  core::PerformancePredictor predictor = TrainSyntheticPredictor(rng);
+  auto scorer = StreamingScorer::Create(predictor, {});
+  ASSERT_TRUE(scorer.ok());
+  for (size_t b = 0; b < 6; ++b) {
+    ASSERT_TRUE(scorer->Ingest(RandomProbabilities(200 + 13 * b, rng)).ok());
+  }
+  const std::string saved = ScorerBytes(*scorer);
+
+  auto restored = StreamingScorer::Create(predictor, {});
+  ASSERT_TRUE(restored.ok());
+  std::istringstream in(saved);
+  ASSERT_TRUE(restored->LoadState(in).ok());
+  EXPECT_EQ(restored->rows_ingested(), scorer->rows_ingested());
+  // The round-trip is exact: save(load(save(x))) == save(x), and every
+  // estimate from the restored scorer is bitwise the original's.
+  EXPECT_EQ(ScorerBytes(*restored), saved);
+  const auto original_estimate = scorer->EstimateScore();
+  const auto restored_estimate = restored->EstimateScore();
+  ASSERT_TRUE(original_estimate.ok());
+  ASSERT_TRUE(restored_estimate.ok());
+  EXPECT_EQ(*restored_estimate, *original_estimate);
+
+  // Continued ingestion stays in lockstep after the round-trip.
+  const linalg::Matrix more = RandomProbabilities(333, rng);
+  ASSERT_TRUE(scorer->Ingest(more).ok());
+  ASSERT_TRUE(restored->Ingest(more).ok());
+  EXPECT_EQ(ScorerBytes(*restored), ScorerBytes(*scorer));
+}
+
+TEST(StreamingScorerTest, LoadStateValidatesGridAndClassCount) {
+  common::Rng rng(40);
+  core::PerformancePredictor predictor = TrainSyntheticPredictor(rng);
+  auto scorer = StreamingScorer::Create(predictor, {});
+  ASSERT_TRUE(scorer.ok());
+  ASSERT_TRUE(scorer->Ingest(MixtureBatch(0.5, 500)).ok());
+  const std::string before = ScorerBytes(*scorer);
+
+  // State sketched on a coarser grid answers quantile queries on a
+  // different lattice; loading it would silently break byte-identity.
+  StreamingScorer::Options coarse;
+  coarse.resolution_bits = 10;
+  auto coarse_scorer = StreamingScorer::Create(predictor, coarse);
+  ASSERT_TRUE(coarse_scorer.ok());
+  ASSERT_TRUE(coarse_scorer->Ingest(MixtureBatch(0.5, 500)).ok());
+  std::istringstream coarse_in(ScorerBytes(*coarse_scorer));
+  EXPECT_FALSE(scorer->LoadState(coarse_in).ok());
+
+  // State sketched for three classes can never produce the feature vector
+  // a two-class predictor was trained on.
+  core::PerformancePredictor foreign = Train3ClassPredictor(rng);
+  auto foreign_scorer = StreamingScorer::Create(foreign, {});
+  ASSERT_TRUE(foreign_scorer.ok());
+  ASSERT_TRUE(foreign_scorer->Ingest(Mixture3Batch(0.5, 500)).ok());
+  std::istringstream foreign_in(ScorerBytes(*foreign_scorer));
+  EXPECT_FALSE(scorer->LoadState(foreign_in).ok());
+
+  // A truncated stream is rejected too.
+  std::istringstream truncated(before.substr(0, before.size() / 2));
+  EXPECT_FALSE(scorer->LoadState(truncated).ok());
+
+  // None of the rejected loads may disturb the scorer's state.
+  EXPECT_EQ(ScorerBytes(*scorer), before);
+  EXPECT_TRUE(scorer->EstimateScore().ok());
+}
+
+TEST(StreamingScorerTest, MergeFromRejectsForeignClassCount) {
+  common::Rng rng(41);
+  // A fresh (zero-column) scorer used to adopt whatever column count the
+  // merge source carried, leaving it permanently unable to estimate; the
+  // incompatible shard must be rejected instead.
+  auto scorer = StreamingScorer::Create(TrainSyntheticPredictor(rng), {});
+  ASSERT_TRUE(scorer.ok());
+  auto foreign = StreamingScorer::Create(Train3ClassPredictor(rng), {});
+  ASSERT_TRUE(foreign.ok());
+  ASSERT_TRUE(foreign->Ingest(Mixture3Batch(0.5, 300)).ok());
+  EXPECT_FALSE(scorer->MergeFrom(*foreign).ok());
+  EXPECT_EQ(scorer->num_classes(), 0u);
+
+  ASSERT_TRUE(scorer->Ingest(MixtureBatch(1.0, 100)).ok());
+  EXPECT_TRUE(scorer->EstimateScore().ok());
+}
+
+TEST(StreamingScorerTest, SwapPredictorValidatesAndSwitchesForests) {
+  common::Rng rng(42);
+  core::PerformancePredictor predictor = TrainSyntheticPredictor(rng);
+  auto scorer = StreamingScorer::Create(predictor, {});
+  ASSERT_TRUE(scorer.ok());
+  ASSERT_TRUE(scorer->Ingest(MixtureBatch(0.7, 400)).ok());
+  const auto before = scorer->EstimateScore();
+  ASSERT_TRUE(before.ok());
+
+  EXPECT_FALSE(scorer->SwapPredictor(nullptr).ok());
+  EXPECT_FALSE(
+      scorer
+          ->SwapPredictor(std::make_shared<const core::PerformancePredictor>())
+          .ok());
+  // A predictor trained on a different class count cannot score the
+  // sketches this scorer has already accumulated.
+  EXPECT_FALSE(scorer
+                   ->SwapPredictor(
+                       std::make_shared<const core::PerformancePredictor>(
+                           Train3ClassPredictor(rng)))
+                   .ok());
+  // Rejected swaps leave the original forest in place.
+  const auto unchanged = scorer->EstimateScore();
+  ASSERT_TRUE(unchanged.ok());
+  EXPECT_EQ(*unchanged, *before);
+
+  common::Rng other_rng(142);
+  ASSERT_TRUE(scorer
+                  ->SwapPredictor(
+                      std::make_shared<const core::PerformancePredictor>(
+                          TrainSyntheticPredictor(other_rng)))
+                  .ok());
+  const auto after = scorer->EstimateScore();
+  ASSERT_TRUE(after.ok());
+  // Different forest, same sketches: the estimate moves.
+  EXPECT_NE(*after, *before);
 }
 
 TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "core/prediction_statistics.h"
 #include "stats/descriptive.h"
 
@@ -356,6 +357,54 @@ TEST(QuantileSketchBankTest, SaveLoadRoundTrips) {
   EXPECT_EQ(loaded->rows_observed(), 500u);
   EXPECT_EQ(loaded->num_columns(), 3u);
   EXPECT_EQ(BankBytes(*loaded), bytes);
+}
+
+TEST(QuantileSketchBankTest, LoadRejectsInconsistentRowCounts) {
+  // Hand-built stream with a structurally valid header whose claimed row
+  // count disagrees with the member sketches. Such bytes used to pass Load
+  // and then crash the process inside PercentileFeatures' consistency
+  // BBV_CHECK; untrusted state must be rejected at the Load boundary.
+  const QuantileSketch::Options options;
+  const auto bank_header = [&](common::BinaryWriter& writer, uint64_t rows,
+                               uint64_t sketches) {
+    writer.WriteMagic("BBVQB", 1);
+    writer.WriteInt32(options.resolution_bits);
+    writer.WriteDouble(options.lo);
+    writer.WriteDouble(options.hi);
+    writer.WriteUint64(rows);
+    writer.WriteUint64(sketches);
+  };
+
+  // Claims 5 observed rows over one sketch that has counted none.
+  std::ostringstream empty_sketch;
+  {
+    common::BinaryWriter writer(empty_sketch);
+    bank_header(writer, 5, 1);
+    ASSERT_TRUE(QuantileSketch(options).Save(empty_sketch).ok());
+  }
+  std::istringstream in_empty(empty_sketch.str());
+  EXPECT_FALSE(QuantileSketchBank::Load(in_empty).ok());
+
+  // Claims observed rows with no columns at all.
+  std::ostringstream no_columns;
+  {
+    common::BinaryWriter writer(no_columns);
+    bank_header(writer, 5, 0);
+  }
+  std::istringstream in_no_columns(no_columns.str());
+  EXPECT_FALSE(QuantileSketchBank::Load(in_no_columns).ok());
+
+  // Sanity: the same construction with a consistent count loads fine.
+  std::ostringstream consistent;
+  {
+    common::BinaryWriter writer(consistent);
+    bank_header(writer, 3, 1);
+    QuantileSketch sketch(options);
+    for (double v : {0.1, 0.5, 0.9}) sketch.Add(v);
+    ASSERT_TRUE(sketch.Save(consistent).ok());
+  }
+  std::istringstream in_consistent(consistent.str());
+  EXPECT_TRUE(QuantileSketchBank::Load(in_consistent).ok());
 }
 
 TEST(QuantileSketchBankTest, MemoryIsIndependentOfRowCount) {
