@@ -1,0 +1,164 @@
+// Adversarial corruption search: successive halving over the composition
+// space of the error generators (errors::CorruptionSearch), maximizing the
+// |estimated - true| score error of a trained performance predictor — the
+// stress test that finds the corruption compositions the meta-training
+// regime handles worst. Compared against an equal-budget random sweep (the
+// paper's random-magnitude corruption regime): the search must surface a
+// strictly worse blind spot than the sweep stumbles into.
+//
+// CI contract (adversarial-smoke job): --report=PATH writes the canonical
+// timing-free report of the top findings; two back-to-back runs with the
+// same seed must produce byte-identical reports, and the in-process
+// BBV_THREADS 1-vs-8 self-check must agree, or the binary exits non-zero.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/performance_predictor.h"
+#include "errors/corruption_search.h"
+
+namespace bbv::bench {
+namespace {
+
+errors::CorruptionSearch::Options SearchOptions(const RunConfig& config) {
+  errors::CorruptionSearch::Options options;
+  options.seed = config.seed;
+  options.max_depth = 3;
+  if (config.fast) {
+    options.initial_candidates = 24;
+    options.probe_repetitions = 1;
+    options.max_rounds = 2;
+  } else {
+    options.initial_candidates = 64;
+    options.probe_repetitions = 2;
+    options.max_rounds = 3;
+  }
+  return options;
+}
+
+int Run(const RunConfig& config, const std::string& report_path) {
+  PrintHeader("Adversarial corruption search",
+              "successive halving vs equal-budget random sweep over "
+              "compound corruptions (income, xgb)",
+              config);
+  common::Rng rng(config.seed);
+  const ExperimentData data = PrepareDataset("income", config, rng);
+  const auto model = TrainBlackBox("xgb", data.train, config, rng);
+
+  core::PerformancePredictor::Options predictor_options;
+  predictor_options.corruptions_per_generator = config.CorruptionsPerGenerator();
+  core::PerformancePredictor predictor(predictor_options);
+  const auto generators = KnownTabularErrors();
+  BBV_CHECK(
+      predictor.Train(*model, data.test, RawPointers(generators), rng).ok());
+  std::printf("predictor trained: test_score=%.4f examples=%zu\n",
+              predictor.test_score(), predictor.num_training_examples());
+
+  const errors::CorruptionSearch::ErrorProbe probe =
+      [&](const data::DataFrame& corrupted)
+      -> common::Result<errors::CorruptionSearch::ProbeResult> {
+    BBV_ASSIGN_OR_RETURN(
+        core::PerformancePredictor::EstimationErrorProbe measured,
+        predictor.ProbeEstimationError(*model, corrupted,
+                                       data.serving.labels));
+    return errors::CorruptionSearch::ProbeResult{measured.estimated_score,
+                                                 measured.actual_score};
+  };
+
+  const errors::CorruptionSearch search(SearchOptions(config));
+  WallTimer timer;
+  auto result = search.Run(data.serving.features, probe);
+  BBV_CHECK(result.ok()) << result.status().ToString();
+  const double search_seconds = timer.Seconds();
+  const std::string report =
+      errors::CorruptionSearch::ReportString(*result, 10);
+  std::printf("%s", report.c_str());
+
+  // Equal-budget baseline: the same number of probe invocations spent on
+  // random compositions with random magnitudes.
+  timer.Reset();
+  auto sweep =
+      search.RandomSweep(data.serving.features, probe, result->total_probes);
+  BBV_CHECK(sweep.ok()) << sweep.status().ToString();
+  const double sweep_seconds = timer.Seconds();
+  const double search_best = result->findings.front().mean_abs_error;
+  const double sweep_best = sweep->findings.front().mean_abs_error;
+  std::printf(
+      "search_best=%.6f sweep_best=%.6f (equal budget: %zu probes each)\n",
+      search_best, sweep_best, result->total_probes);
+  std::printf("sweep_top: %s\n", sweep->findings.front().spec.Key().c_str());
+
+  // Determinism self-check: the full search replayed at BBV_THREADS=1 and
+  // BBV_THREADS=8 must reproduce the canonical report byte for byte.
+  bool deterministic = true;
+  for (int threads : {1, 8}) {
+    ScopedThreadsEnv scoped(threads);
+    auto replay = search.Run(data.serving.features, probe);
+    BBV_CHECK(replay.ok()) << replay.status().ToString();
+    if (errors::CorruptionSearch::ReportString(*replay, 10) != report) {
+      deterministic = false;
+      std::printf("DETERMINISM FAILURE at BBV_THREADS=%d\n", threads);
+    }
+  }
+  std::printf("determinism(threads 1 vs 8): %s\n",
+              deterministic ? "byte-identical" : "MISMATCH");
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    BBV_CHECK(out.good()) << "cannot write " << report_path;
+    out << report;
+    BBV_CHECK(out.good());
+  }
+
+  if (!config.json_path.empty()) {
+    std::vector<BenchResult> results;
+    BenchResult search_result;
+    search_result.name = "corruption_search";
+    search_result.wall_seconds = search_seconds;
+    search_result.extras = {
+        {"total_probes", static_cast<double>(result->total_probes)},
+        {"candidates", static_cast<double>(result->findings.size())},
+        {"best_mean_abs_error", search_best},
+        {"deterministic", deterministic ? 1.0 : 0.0},
+    };
+    BenchResult sweep_result;
+    sweep_result.name = "random_sweep";
+    sweep_result.wall_seconds = sweep_seconds;
+    sweep_result.extras = {
+        {"total_probes", static_cast<double>(sweep->total_probes)},
+        {"best_mean_abs_error", sweep_best},
+        {"search_beats_sweep", search_best > sweep_best ? 1.0 : 0.0},
+    };
+    results.push_back(std::move(search_result));
+    results.push_back(std::move(sweep_result));
+    WriteBenchJson(config.json_path, "adversarial_search", config, results,
+                   {{"dataset", "income"}, {"black_box", "xgb"}});
+  }
+  MaybeWriteTelemetryJson(config);
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bbv::bench
+
+int main(int argc, char** argv) {
+  // --report=PATH is bench-specific; strip it before the shared parser.
+  std::string report_path;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bbv::bench::RunConfig config =
+      bbv::bench::ParseArgs(static_cast<int>(rest.size()), rest.data());
+  return bbv::bench::Run(config, report_path);
+}

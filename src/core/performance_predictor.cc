@@ -245,6 +245,30 @@ common::Result<double> PerformancePredictor::EstimateScore(
   return EstimateScoreFromProba(probabilities);
 }
 
+common::Result<PerformancePredictor::EstimationErrorProbe>
+PerformancePredictor::ProbeEstimationError(
+    const ml::BlackBox& model, const data::DataFrame& serving,
+    const std::vector<int>& labels) const {
+  const common::telemetry::TraceSpan span("predictor.probe_error");
+  if (!trained_) {
+    return common::Status::FailedPrecondition(
+        "ProbeEstimationError before Train");
+  }
+  if (labels.size() != serving.NumRows()) {
+    return common::Status::InvalidArgument(
+        "probe labels size " + std::to_string(labels.size()) +
+        " != serving rows " + std::to_string(serving.NumRows()));
+  }
+  BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
+                       model.PredictProba(serving));
+  EstimationErrorProbe probe;
+  BBV_ASSIGN_OR_RETURN(probe.estimated_score,
+                       EstimateScoreFromProba(probabilities));
+  probe.actual_score = ComputeScore(options_.metric, probabilities, labels);
+  probe.abs_error = std::fabs(probe.estimated_score - probe.actual_score);
+  return probe;
+}
+
 common::Result<double> PerformancePredictor::EstimateScoreFromProba(
     const linalg::Matrix& probabilities) const {
   const common::telemetry::TraceSpan span("predictor.estimate");

@@ -97,6 +97,23 @@ class PerformancePredictor {
   common::Result<double> EstimateScoreFromProba(
       const linalg::Matrix& probabilities) const;
 
+  /// One estimation-error measurement on a *labeled* serving frame: the
+  /// model predicts `serving` once, and the shared probabilities feed both
+  /// the estimate (Algorithm 2) and the true score against `labels`. This is
+  /// the probe the adversarial corruption search maximizes
+  /// (errors::CorruptionSearch::ErrorProbe — errors sits below core in the
+  /// layering DAG, so the search takes this hook as a std::function instead
+  /// of depending on the predictor).
+  struct EstimationErrorProbe {
+    double estimated_score = 0.0;
+    double actual_score = 0.0;
+    /// |estimated - actual| — the quantity the search maximizes.
+    double abs_error = 0.0;
+  };
+  common::Result<EstimationErrorProbe> ProbeEstimationError(
+      const ml::BlackBox& model, const data::DataFrame& serving,
+      const std::vector<int>& labels) const;
+
   /// Estimated score from a precomputed percentile feature vector — the
   /// entry point for the streaming serving layer, whose mergeable sketches
   /// produce the same num_classes * percentile_points() features without

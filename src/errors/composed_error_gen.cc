@@ -1,0 +1,24 @@
+#include "errors/composed_error_gen.h"
+
+namespace bbv::errors {
+
+common::Result<data::DataFrame> ComposedErrorGen::Corrupt(
+    const data::DataFrame& frame, common::Rng& rng) const {
+  data::DataFrame corrupted = frame;
+  for (const std::shared_ptr<ErrorGen>& component : components_) {
+    BBV_ASSIGN_OR_RETURN(corrupted, component->Corrupt(corrupted, rng));
+  }
+  return corrupted;
+}
+
+std::string ComposedErrorGen::Name() const {
+  std::string name = "compose(";
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) name += '>';
+    name += components_[i]->Name();
+  }
+  name += ')';
+  return name;
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,49 @@
+#ifndef BBV_ERRORS_COMPOSED_ERROR_GEN_H_
+#define BBV_ERRORS_COMPOSED_ERROR_GEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// Deterministic sequential composition of error generators: Corrupt applies
+/// every component in order, each corrupting the previous component's
+/// output. Unlike ErrorMixture (which samples a random component subset per
+/// call), the composition is *fixed* — the same components run in the same
+/// order on every call — which is what the adversarial corruption search
+/// needs: a candidate composition must denote one reproducible point of the
+/// corruption space, so that its measured estimation error is a property of
+/// the composition rather than of a coin flip.
+class ComposedErrorGen : public ErrorGen {
+ public:
+  /// `components` are applied front to back; 1..3 deep in practice (the
+  /// search's compound corruptions), but any non-empty list is valid.
+  explicit ComposedErrorGen(std::vector<std::shared_ptr<ErrorGen>> components)
+      : components_(std::move(components)) {
+    BBV_CHECK(!components_.empty()) << "ComposedErrorGen needs components";
+    for (const std::shared_ptr<ErrorGen>& component : components_) {
+      BBV_CHECK(component != nullptr);
+    }
+  }
+
+  common::Result<data::DataFrame> Corrupt(const data::DataFrame& frame,
+                                          common::Rng& rng) const override;
+
+  /// "compose(a>b>c)" — the component names joined in application order.
+  std::string Name() const override;
+
+  size_t Depth() const { return components_.size(); }
+  const std::vector<std::shared_ptr<ErrorGen>>& components() const {
+    return components_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<ErrorGen>> components_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_COMPOSED_ERROR_GEN_H_

@@ -1,0 +1,567 @@
+#include "errors/corruption_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/telemetry.h"
+#include "errors/composed_error_gen.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "errors/swapped_columns.h"
+#include "errors/text_errors.h"
+
+namespace bbv::errors {
+
+namespace {
+
+/// Which column subsets an atom generator applies to.
+enum class AtomColumns {
+  kCategorical,
+  kNumeric,
+  kCategoricalNumericPair,
+};
+
+struct AtomKind {
+  AtomColumns columns;
+  std::shared_ptr<ErrorGen> (*build)(const std::vector<std::string>& columns,
+                                     FractionRange fraction);
+};
+
+/// The composition-space registry. Ordered map (det-iter rule): the atom
+/// pool — and hence the sampled population and every downstream result — is
+/// built by iterating it, so the order must be deterministic.
+const std::map<std::string, AtomKind>& AtomRegistry() {
+  static const std::map<std::string, AtomKind> kRegistry = {
+      {"missing_values",
+       {AtomColumns::kCategorical,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<MissingValues>(columns, fraction);
+        }}},
+      {"typos",
+       {AtomColumns::kCategorical,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<CategoricalTypos>(columns, fraction);
+        }}},
+      {"outliers",
+       {AtomColumns::kNumeric,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<NumericOutliers>(columns, fraction);
+        }}},
+      {"scaling",
+       {AtomColumns::kNumeric,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<Scaling>(columns, fraction);
+        }}},
+      {"smearing",
+       {AtomColumns::kNumeric,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<NumericSmearing>(columns, fraction);
+        }}},
+      {"sign_flip",
+       {AtomColumns::kNumeric,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<SignFlip>(columns, fraction);
+        }}},
+      {"swapped_columns",
+       {AtomColumns::kCategoricalNumericPair,
+        [](const std::vector<std::string>& columns, FractionRange fraction)
+            -> std::shared_ptr<ErrorGen> {
+          return std::make_shared<SwappedColumns>(
+              std::make_pair(columns[0], columns[1]), fraction);
+        }}},
+  };
+  return kRegistry;
+}
+
+std::string FormatFraction(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", fraction);
+  return buffer;
+}
+
+/// Running probe statistics for one candidate.
+struct CandidateStats {
+  double sum_abs_error = 0.0;
+  double sum_actual = 0.0;
+  double sum_estimated = 0.0;
+  int probes = 0;
+  int rounds_evaluated = 0;
+
+  double MeanAbsError() const {
+    return probes > 0 ? sum_abs_error / probes : 0.0;
+  }
+};
+
+common::Status ValidateOptions(const CorruptionSearch::Options& options) {
+  if (options.max_depth < 1 || options.max_depth > 8) {
+    return common::Status::InvalidArgument("max_depth must be in [1, 8]");
+  }
+  if (options.initial_candidates == 0) {
+    return common::Status::InvalidArgument("initial_candidates must be >= 1");
+  }
+  if (options.probe_repetitions < 1) {
+    return common::Status::InvalidArgument("probe_repetitions must be >= 1");
+  }
+  if (!(options.survivor_fraction > 0.0) || options.survivor_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "survivor_fraction must be in (0, 1]");
+  }
+  if (options.max_rounds < 1 || options.max_rounds > 16) {
+    return common::Status::InvalidArgument("max_rounds must be in [1, 16]");
+  }
+  if (options.fractions.empty()) {
+    return common::Status::InvalidArgument("need at least one fixed fraction");
+  }
+  for (double fraction : options.fractions) {
+    if (!std::isfinite(fraction) || fraction < 0.0 || fraction > 1.0) {
+      return common::Status::InvalidArgument("fractions must be in [0, 1]");
+    }
+  }
+  return common::Status::OK();
+}
+
+/// Probes every (active candidate, repetition) pair in one deterministic
+/// ParallelFor and folds the measurements into `stats` serially in task
+/// order. `round_rng` is forked into one stream per task before dispatch.
+common::Status ProbeActiveCandidates(
+    const data::DataFrame& base, const CorruptionSearch::ErrorProbe& probe,
+    const std::vector<CorruptionSpec>& candidates,
+    const std::vector<size_t>& active, int repetitions,
+    common::Rng& round_rng, std::vector<CandidateStats>& stats,
+    size_t& total_probes) {
+  std::vector<std::shared_ptr<ErrorGen>> generators;
+  generators.reserve(active.size());
+  for (size_t candidate : active) {
+    BBV_ASSIGN_OR_RETURN(std::shared_ptr<ErrorGen> generator,
+                         CorruptionSearch::BuildGenerator(
+                             candidates[candidate]));
+    generators.push_back(std::move(generator));
+  }
+  const size_t reps = static_cast<size_t>(repetitions);
+  const size_t tasks = active.size() * reps;
+  std::vector<common::Rng> task_rngs = round_rng.ForkStreams(tasks);
+  std::vector<CorruptionSearch::ProbeResult> slots(tasks);
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      tasks, [&](size_t task) -> common::Status {
+        const size_t slot = task / reps;
+        BBV_ASSIGN_OR_RETURN(
+            data::DataFrame corrupted,
+            generators[slot]->Corrupt(base, task_rngs[task]));
+        BBV_ASSIGN_OR_RETURN(CorruptionSearch::ProbeResult result,
+                             probe(corrupted));
+        if (!std::isfinite(result.estimated_score) ||
+            !std::isfinite(result.actual_score)) {
+          return common::Status::InvalidArgument(
+              "probe returned a non-finite score for composition '" +
+              candidates[active[slot]].Key() + "'");
+        }
+        slots[task] = result;
+        return common::Status::OK();
+      }));
+  for (size_t task = 0; task < tasks; ++task) {
+    CandidateStats& candidate_stats = stats[active[task / reps]];
+    candidate_stats.sum_abs_error +=
+        std::fabs(slots[task].estimated_score - slots[task].actual_score);
+    candidate_stats.sum_actual += slots[task].actual_score;
+    candidate_stats.sum_estimated += slots[task].estimated_score;
+    ++candidate_stats.probes;
+  }
+  total_probes += tasks;
+  return common::Status::OK();
+}
+
+CorruptionSearch::RunResult CollectFindings(
+    const std::vector<CorruptionSpec>& candidates,
+    const std::vector<CandidateStats>& stats, size_t total_probes) {
+  CorruptionSearch::RunResult result;
+  result.total_probes = total_probes;
+  result.findings.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    CorruptionSearch::Finding finding;
+    finding.spec = candidates[i];
+    finding.probes = stats[i].probes;
+    finding.rounds_survived = stats[i].rounds_evaluated;
+    if (stats[i].probes > 0) {
+      finding.mean_abs_error = stats[i].MeanAbsError();
+      finding.mean_actual_score = stats[i].sum_actual / stats[i].probes;
+      finding.mean_estimated_score = stats[i].sum_estimated / stats[i].probes;
+    }
+    result.findings.push_back(std::move(finding));
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const CorruptionSearch::Finding& a,
+               const CorruptionSearch::Finding& b) {
+              if (a.mean_abs_error != b.mean_abs_error) {
+                return a.mean_abs_error > b.mean_abs_error;
+              }
+              return a.spec.Key() < b.spec.Key();
+            });
+  return result;
+}
+
+}  // namespace
+
+std::string CorruptionSpec::Key() const {
+  std::string key;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) key += '>';
+    key += atoms[i].generator;
+    key += '[';
+    for (size_t c = 0; c < atoms[i].columns.size(); ++c) {
+      if (c > 0) key += ',';
+      key += atoms[i].columns[c];
+    }
+    key += "]@";
+    key += FormatFraction(atoms[i].fraction);
+  }
+  return key;
+}
+
+common::Result<CorruptionSpec> ParseCorruptionSpec(const std::string& text) {
+  CorruptionSpec spec;
+  size_t position = 0;
+  while (position < text.size()) {
+    const size_t open = text.find('[', position);
+    if (open == std::string::npos || open == position) {
+      return common::Status::InvalidArgument(
+          "corruption spec atom missing generator name: '" + text + "'");
+    }
+    const size_t close = text.find(']', open);
+    if (close == std::string::npos || close + 1 >= text.size() ||
+        text[close + 1] != '@') {
+      return common::Status::InvalidArgument(
+          "corruption spec atom missing ']@fraction': '" + text + "'");
+    }
+    CorruptionAtomSpec atom;
+    atom.generator = text.substr(position, open - position);
+    if (close > open + 1 && text[close - 1] == ',') {
+      return common::Status::InvalidArgument(
+          "corruption spec atom has a trailing comma: '" + text + "'");
+    }
+    size_t column_start = open + 1;
+    while (column_start < close) {
+      size_t comma = text.find(',', column_start);
+      if (comma == std::string::npos || comma > close) comma = close;
+      if (comma == column_start) {
+        return common::Status::InvalidArgument(
+            "corruption spec atom has an empty column name: '" + text + "'");
+      }
+      atom.columns.push_back(text.substr(column_start, comma - column_start));
+      column_start = comma + 1;
+    }
+    if (atom.columns.empty()) {
+      return common::Status::InvalidArgument(
+          "corruption spec atom has no columns: '" + text + "'");
+    }
+    size_t fraction_end = text.find('>', close);
+    if (fraction_end == std::string::npos) fraction_end = text.size();
+    const std::string fraction_text =
+        text.substr(close + 2, fraction_end - close - 2);
+    char* end = nullptr;
+    atom.fraction = std::strtod(fraction_text.c_str(), &end);
+    if (fraction_text.empty() || end == nullptr || *end != '\0' ||
+        !std::isfinite(atom.fraction) || atom.fraction < 0.0 ||
+        atom.fraction > 1.0) {
+      return common::Status::InvalidArgument(
+          "corruption spec atom has a bad fraction '" + fraction_text + "'");
+    }
+    spec.atoms.push_back(std::move(atom));
+    if (fraction_end < text.size() && fraction_end + 1 == text.size()) {
+      return common::Status::InvalidArgument(
+          "corruption spec has a trailing '>': '" + text + "'");
+    }
+    position = fraction_end + (fraction_end < text.size() ? 1 : 0);
+  }
+  if (spec.atoms.empty()) {
+    return common::Status::InvalidArgument("empty corruption spec");
+  }
+  return spec;
+}
+
+common::Result<std::shared_ptr<ErrorGen>> CorruptionSearch::BuildGenerator(
+    const CorruptionSpec& spec) {
+  if (spec.atoms.empty()) {
+    return common::Status::InvalidArgument("empty corruption spec");
+  }
+  std::vector<std::shared_ptr<ErrorGen>> components;
+  components.reserve(spec.atoms.size());
+  for (const CorruptionAtomSpec& atom : spec.atoms) {
+    const auto entry = AtomRegistry().find(atom.generator);
+    if (entry == AtomRegistry().end()) {
+      return common::Status::NotFound("unknown corruption atom generator '" +
+                                      atom.generator + "'");
+    }
+    if (atom.columns.empty()) {
+      return common::Status::InvalidArgument("corruption atom '" +
+                                             atom.generator +
+                                             "' has no columns");
+    }
+    if (entry->second.columns == AtomColumns::kCategoricalNumericPair &&
+        atom.columns.size() != 2) {
+      return common::Status::InvalidArgument(
+          "corruption atom '" + atom.generator +
+          "' needs exactly two columns (categorical, numeric)");
+    }
+    if (!std::isfinite(atom.fraction) || atom.fraction < 0.0 ||
+        atom.fraction > 1.0) {
+      return common::Status::InvalidArgument(
+          "corruption atom '" + atom.generator + "' fraction out of [0, 1]");
+    }
+    components.push_back(entry->second.build(
+        atom.columns, FractionRange{atom.fraction, atom.fraction}));
+  }
+  return std::static_pointer_cast<ErrorGen>(
+      std::make_shared<ComposedErrorGen>(std::move(components)));
+}
+
+std::vector<CorruptionAtomSpec> CorruptionSearch::BuildAtomPool(
+    const data::DataFrame& base) const {
+  const std::vector<std::string> categorical =
+      base.ColumnNamesOfType(data::ColumnType::kCategorical);
+  const std::vector<std::string> numeric =
+      base.ColumnNamesOfType(data::ColumnType::kNumeric);
+  std::vector<CorruptionAtomSpec> pool;
+  for (const auto& [name, kind] : AtomRegistry()) {
+    std::vector<std::vector<std::string>> subsets;
+    switch (kind.columns) {
+      case AtomColumns::kCategorical:
+      case AtomColumns::kNumeric: {
+        const std::vector<std::string>& columns =
+            kind.columns == AtomColumns::kCategorical ? categorical : numeric;
+        for (const std::string& column : columns) {
+          subsets.push_back({column});
+        }
+        if (columns.size() > 1) subsets.push_back(columns);
+        break;
+      }
+      case AtomColumns::kCategoricalNumericPair: {
+        for (const std::string& cat : categorical) {
+          for (const std::string& num : numeric) {
+            subsets.push_back({cat, num});
+          }
+        }
+        break;
+      }
+    }
+    for (const std::vector<std::string>& subset : subsets) {
+      for (double fraction : options_.fractions) {
+        pool.push_back({name, subset, fraction});
+      }
+    }
+  }
+  return pool;
+}
+
+std::vector<std::string> CorruptionSearch::RegisteredAtomNames() {
+  std::vector<std::string> names;
+  names.reserve(AtomRegistry().size());
+  for (const auto& [name, kind] : AtomRegistry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+common::Result<CorruptionSearch::RunResult> CorruptionSearch::Run(
+    const data::DataFrame& base, const ErrorProbe& probe) const {
+  const common::telemetry::TraceSpan span("corruption_search.run");
+  BBV_RETURN_NOT_OK(ValidateOptions(options_));
+  if (probe == nullptr) {
+    return common::Status::InvalidArgument("null error probe");
+  }
+  const std::vector<CorruptionAtomSpec> pool = BuildAtomPool(base);
+  if (pool.empty()) {
+    return common::Status::InvalidArgument(
+        "frame has no corruptible columns for any registered atom");
+  }
+  common::Rng rng(options_.seed);
+
+  // Population: half the slots go to depth-1 atoms, the rest to random
+  // compounds up to max_depth. Depth-1 slots are filled broad-first: atoms
+  // corrupting a full per-type column set carry the most damage per probe, so
+  // they get guaranteed slots (stride-sampled across fractions when there are
+  // more than fit) before the single-column and pair atoms are stride-sampled
+  // across the remaining pool. A plain pool-prefix fill would spend the whole
+  // population on the first registry entries and never probe a compound; a
+  // plain stride would usually skip every broad atom because singles and
+  // pairs dominate the pool.
+  const auto& registry = AtomRegistry();
+  std::vector<size_t> broad_atoms;
+  std::vector<size_t> narrow_atoms;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const auto entry = registry.find(pool[i].generator);
+    const bool broad =
+        entry != registry.end() &&
+        entry->second.columns != AtomColumns::kCategoricalNumericPair &&
+        pool[i].columns.size() > 1;
+    (broad ? broad_atoms : narrow_atoms).push_back(i);
+  }
+  std::vector<CorruptionSpec> candidates;
+  std::set<std::string> seen;
+  const size_t depth1_budget =
+      options_.max_depth > 1
+          ? std::max<size_t>(1, options_.initial_candidates / 2)
+          : options_.initial_candidates;
+  auto add_depth1 = [&](const std::vector<size_t>& source, size_t budget) {
+    const size_t count = std::min(budget, source.size());
+    for (size_t i = 0; i < count; ++i) {
+      CorruptionSpec spec;
+      spec.atoms.push_back(pool[source[i * source.size() / count]]);
+      if (seen.insert(spec.Key()).second) {
+        candidates.push_back(std::move(spec));
+      }
+    }
+  };
+  add_depth1(broad_atoms, depth1_budget);
+  if (depth1_budget > broad_atoms.size()) {
+    add_depth1(narrow_atoms, depth1_budget - broad_atoms.size());
+  }
+  if (options_.max_depth > 1) {
+    const size_t max_attempts = 64 * options_.initial_candidates;
+    size_t attempts = 0;
+    while (candidates.size() < options_.initial_candidates &&
+           attempts < max_attempts) {
+      ++attempts;
+      const size_t depth =
+          2 + rng.UniformInt(static_cast<size_t>(options_.max_depth) - 1);
+      CorruptionSpec spec;
+      for (size_t d = 0; d < depth; ++d) {
+        spec.atoms.push_back(pool[rng.UniformInt(pool.size())]);
+      }
+      if (seen.insert(spec.Key()).second) {
+        candidates.push_back(std::move(spec));
+      }
+    }
+  }
+  common::telemetry::IncrementCounter("corruption_search.candidates",
+                                      candidates.size());
+
+  // Successive halving: probe, rank by accumulated mean error, keep the top
+  // survivor_fraction, double the repetitions, repeat.
+  std::vector<CandidateStats> stats(candidates.size());
+  std::vector<size_t> active(candidates.size());
+  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
+  size_t total_probes = 0;
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    const int repetitions = options_.probe_repetitions << round;
+    common::Rng round_rng = rng.Fork();
+    BBV_RETURN_NOT_OK(ProbeActiveCandidates(base, probe, candidates, active,
+                                            repetitions, round_rng, stats,
+                                            total_probes));
+    for (size_t candidate : active) ++stats[candidate].rounds_evaluated;
+    std::sort(active.begin(), active.end(), [&](size_t a, size_t b) {
+      if (stats[a].MeanAbsError() != stats[b].MeanAbsError()) {
+        return stats[a].MeanAbsError() > stats[b].MeanAbsError();
+      }
+      return candidates[a].Key() < candidates[b].Key();
+    });
+    const size_t survivors = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(options_.survivor_fraction *
+                                         static_cast<double>(active.size()))));
+    if (survivors < active.size()) active.resize(survivors);
+    // Breed: compose the top-ranked survivor with each of the next few —
+    // atoms that individually confuse the predictor compound its blind
+    // spot. Offspring join the next round with fresh statistics; ranking
+    // order makes this deterministic.
+    if (options_.max_depth > 1 && round + 1 < options_.max_rounds) {
+      const size_t parents = std::min<size_t>(active.size(), 4);
+      for (size_t i = 1; i < parents; ++i) {
+        CorruptionSpec child;
+        child.atoms = candidates[active[0]].atoms;
+        for (const CorruptionAtomSpec& atom : candidates[active[i]].atoms) {
+          if (child.atoms.size() >=
+              static_cast<size_t>(options_.max_depth)) {
+            break;
+          }
+          child.atoms.push_back(atom);
+        }
+        if (seen.insert(child.Key()).second) {
+          candidates.push_back(std::move(child));
+          stats.emplace_back();
+          active.push_back(candidates.size() - 1);
+        }
+      }
+    }
+  }
+  common::telemetry::IncrementCounter("corruption_search.probes",
+                                      total_probes);
+  return CollectFindings(candidates, stats, total_probes);
+}
+
+common::Result<CorruptionSearch::RunResult> CorruptionSearch::RandomSweep(
+    const data::DataFrame& base, const ErrorProbe& probe,
+    size_t num_probes) const {
+  const common::telemetry::TraceSpan span("corruption_search.random_sweep");
+  BBV_RETURN_NOT_OK(ValidateOptions(options_));
+  if (probe == nullptr) {
+    return common::Status::InvalidArgument("null error probe");
+  }
+  if (num_probes == 0) {
+    return common::Status::InvalidArgument("num_probes must be >= 1");
+  }
+  const std::vector<CorruptionAtomSpec> pool = BuildAtomPool(base);
+  if (pool.empty()) {
+    return common::Status::InvalidArgument(
+        "frame has no corruptible columns for any registered atom");
+  }
+  // Decorrelate the sweep stream from the search population stream drawn
+  // from the same user seed.
+  common::Rng rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<CorruptionSpec> candidates;
+  candidates.reserve(num_probes);
+  for (size_t i = 0; i < num_probes; ++i) {
+    const size_t depth =
+        1 + rng.UniformInt(static_cast<size_t>(options_.max_depth));
+    CorruptionSpec spec;
+    for (size_t d = 0; d < depth; ++d) {
+      CorruptionAtomSpec atom = pool[rng.UniformInt(pool.size())];
+      // The paper's regime: magnitude sampled at random, not optimized.
+      atom.fraction = rng.Uniform();
+      spec.atoms.push_back(std::move(atom));
+    }
+    candidates.push_back(std::move(spec));
+  }
+  std::vector<CandidateStats> stats(candidates.size());
+  std::vector<size_t> active(candidates.size());
+  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
+  size_t total_probes = 0;
+  common::Rng sweep_rng = rng.Fork();
+  BBV_RETURN_NOT_OK(ProbeActiveCandidates(base, probe, candidates, active,
+                                          /*repetitions=*/1, sweep_rng, stats,
+                                          total_probes));
+  for (size_t candidate : active) ++stats[candidate].rounds_evaluated;
+  return CollectFindings(candidates, stats, total_probes);
+}
+
+std::string CorruptionSearch::ReportString(const RunResult& result,
+                                           size_t top_k) {
+  std::string report = "corruption-search report: candidates=" +
+                       std::to_string(result.findings.size()) +
+                       " probes=" + std::to_string(result.total_probes) + "\n";
+  const size_t count = std::min(top_k, result.findings.size());
+  for (size_t i = 0; i < count; ++i) {
+    const Finding& finding = result.findings[i];
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "  %2zu. mean_abs_error=%.6f probes=%d rounds=%d ",
+                  i + 1, finding.mean_abs_error, finding.probes,
+                  finding.rounds_survived);
+    report += line;
+    report += finding.spec.Key();
+    report += '\n';
+  }
+  return report;
+}
+
+}  // namespace bbv::errors

@@ -1,0 +1,171 @@
+#ifndef BBV_ERRORS_CORRUPTION_SEARCH_H_
+#define BBV_ERRORS_CORRUPTION_SEARCH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataframe.h"
+#include "errors/error_gen.h"
+
+namespace bbv::errors {
+
+/// One atom of a corruption composition: a registered generator applied to
+/// an explicit column subset at a fixed severity. Unlike the meta-training
+/// regime (random columns, random magnitudes), an atom pins every degree of
+/// freedom so a composition denotes one reproducible corruption.
+struct CorruptionAtomSpec {
+  /// Registry key, e.g. "outliers" (see CorruptionSearch::RegisteredAtomNames).
+  std::string generator;
+  /// Explicit columns the generator corrupts. For "swapped_columns" exactly
+  /// two entries (the categorical and the numeric column of the pair).
+  std::vector<std::string> columns;
+  /// Fixed per-column corruption severity in [0, 1].
+  double fraction = 1.0;
+};
+
+/// A compound corruption: atoms applied in order, each corrupting the
+/// previous atom's output (2-3 deep in the adversarial search).
+struct CorruptionSpec {
+  std::vector<CorruptionAtomSpec> atoms;
+
+  /// Canonical string form, e.g. "sign_flip[age]@1.000000>typos[job]@0.500000".
+  /// Stable across runs and platforms; the fixture files under
+  /// tests/fixtures/adversarial/ store exactly this.
+  std::string Key() const;
+};
+
+/// Parses the Key() form back into a spec (fixture replay). Rejects
+/// malformed text with InvalidArgument.
+common::Result<CorruptionSpec> ParseCorruptionSpec(const std::string& text);
+
+/// Adversarial corruption search (ROADMAP item; "Stress-Testing ML Pipelines
+/// with Adversarial Data Corruption" in PAPERS.md): a deterministic black-box
+/// optimizer over the composition space of the existing error generators
+/// (type x explicit column subsets x fixed severities, including compound
+/// corruptions via ComposedErrorGen) that *maximizes* a caller-supplied
+/// estimation-error probe — in practice |estimated - true| score error of a
+/// trained core::PerformancePredictor (see
+/// PerformancePredictor::ProbeEstimationError; the probe indirection keeps
+/// this module below core in the layering DAG).
+///
+/// Algorithm: successive halving with survivor breeding. An initial
+/// population of compositions is sampled from the atom pool — half the
+/// slots stride-sampled depth-1 atoms (every generator type represented),
+/// half seeded random compounds up to Options::max_depth. Each round probes
+/// every surviving candidate `probe_repetitions << round` times, ranks
+/// candidates by their accumulated mean absolute estimation error, keeps
+/// the top `survivor_fraction`, and breeds fresh candidates by composing
+/// the top-ranked survivor with the runners-up (atoms that individually
+/// confuse the predictor compound its blind spot). Budget concentrates on
+/// the compositions the predictor handles worst — exactly the blind spots
+/// the random-magnitude meta-training regime never visits.
+///
+/// Determinism contract (PR-2 gate): all randomness flows from
+/// Options::seed through pre-forked Rng streams, one per (candidate, probe)
+/// task, and per-candidate statistics are accumulated serially in task
+/// order — results are byte-identical at any BBV_THREADS.
+class CorruptionSearch {
+ public:
+  struct Options {
+    /// Maximum atoms per composition (compound corruptions; 1 = single).
+    int max_depth = 3;
+    /// Population size sampled from the composition space: half depth-1
+    /// atoms stride-sampled across the pool, half random compounds (all
+    /// depth-1 when max_depth is 1). Survivor breeding may grow the
+    /// evaluated candidate set slightly beyond this.
+    size_t initial_candidates = 64;
+    /// Probes per candidate in round 0; doubles every halving round.
+    int probe_repetitions = 2;
+    /// Fraction of candidates surviving each round (ceil, at least 1).
+    double survivor_fraction = 0.5;
+    /// Halving rounds. Total probe budget is roughly
+    /// initial_candidates * probe_repetitions * max_rounds when halving
+    /// balances doubling (survivor_fraction 0.5).
+    int max_rounds = 3;
+    /// Fixed severity grid the atom pool is built over.
+    std::vector<double> fractions = {0.25, 0.5, 1.0};
+    /// Seed for population sampling and probe corruption streams.
+    uint64_t seed = 7;
+  };
+
+  /// One probe measurement on a corrupted serving frame.
+  struct ProbeResult {
+    double estimated_score = 0.0;
+    double actual_score = 0.0;
+  };
+
+  /// The black-box objective. Must be safe to invoke concurrently (const
+  /// calls only) — probes of one round fan out over ParallelFor.
+  using ErrorProbe =
+      std::function<common::Result<ProbeResult>(const data::DataFrame&)>;
+
+  /// A candidate with its accumulated probe statistics. Candidates
+  /// eliminated in early rounds carry fewer probes than the survivors.
+  struct Finding {
+    CorruptionSpec spec;
+    double mean_abs_error = 0.0;
+    double mean_actual_score = 0.0;
+    double mean_estimated_score = 0.0;
+    int probes = 0;
+    /// Rounds this candidate survived (max_rounds for the final survivors).
+    int rounds_survived = 0;
+  };
+
+  struct RunResult {
+    /// All evaluated candidates, sorted by mean_abs_error descending with
+    /// the canonical spec key as the deterministic tiebreak.
+    std::vector<Finding> findings;
+    /// Probe invocations consumed — the budget for equal-budget baselines.
+    size_t total_probes = 0;
+  };
+
+  explicit CorruptionSearch(Options options) : options_(std::move(options)) {}
+  CorruptionSearch() : CorruptionSearch(Options{}) {}
+
+  /// Runs the successive-halving search against `base` (the serving frame
+  /// the probe scores). Returns InvalidArgument for degenerate options or a
+  /// frame with no corruptible columns.
+  common::Result<RunResult> Run(const data::DataFrame& base,
+                                const ErrorProbe& probe) const;
+
+  /// Equal-budget baseline: `num_probes` compositions sampled from the same
+  /// atom pool but with the paper's random-magnitude regime (fraction ~
+  /// U(0,1)), each probed once. What a non-adversarial sweep would find.
+  common::Result<RunResult> RandomSweep(const data::DataFrame& base,
+                                        const ErrorProbe& probe,
+                                        size_t num_probes) const;
+
+  /// Instantiates the composed generator a spec denotes (fixture replay).
+  /// Validates generator names, column subsets and fractions.
+  static common::Result<std::shared_ptr<ErrorGen>> BuildGenerator(
+      const CorruptionSpec& spec);
+
+  /// The deterministic atom pool for a frame schema: every registered
+  /// generator x applicable column subsets (each single column plus the
+  /// full per-type set; all categorical-numeric pairs for
+  /// "swapped_columns") x the Options::fractions grid, in registry order.
+  std::vector<CorruptionAtomSpec> BuildAtomPool(
+      const data::DataFrame& base) const;
+
+  /// Registered atom generator names, sorted (the registry is an ordered
+  /// map per the det-iter rule).
+  static std::vector<std::string> RegisteredAtomNames();
+
+  /// Canonical text report of the top `top_k` findings — no timing, no
+  /// environment: byte-identical across runs of a deterministic search, so
+  /// CI can diff back-to-back runs (the adversarial-smoke job).
+  static std::string ReportString(const RunResult& result, size_t top_k);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace bbv::errors
+
+#endif  // BBV_ERRORS_CORRUPTION_SEARCH_H_

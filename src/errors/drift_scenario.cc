@@ -1,0 +1,236 @@
+#include "errors/drift_scenario.h"
+
+#include <cmath>
+#include <utility>
+
+#include "errors/distribution_shift.h"
+#include "errors/missing_values.h"
+#include "errors/mixture.h"
+#include "errors/numeric_errors.h"
+#include "errors/text_errors.h"
+
+namespace bbv::errors {
+
+namespace {
+
+common::Status ValidateScenarioOptions(const DriftScenarioOptions& options) {
+  if (options.num_batches == 0) {
+    return common::Status::InvalidArgument("num_batches must be >= 1");
+  }
+  if (options.batch_size == 0) {
+    return common::Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.drift_onset > options.num_batches) {
+    return common::Status::InvalidArgument(
+        "drift_onset must be <= num_batches");
+  }
+  return common::Status::OK();
+}
+
+/// A clean batch: `batch_size` rows drawn with replacement from the pool.
+data::Dataset SampleBatch(const data::Dataset& serving, size_t batch_size,
+                          common::Rng& rng) {
+  std::vector<size_t> rows;
+  rows.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    rows.push_back(rng.UniformInt(serving.NumRows()));
+  }
+  return serving.SelectRows(rows);
+}
+
+/// Shared sampler for the corruption-blend scenarios: a clean draw whose
+/// features get `severity` of their rows replaced by corrupted counterparts.
+DriftScenario::BatchSampler BlendSampler(
+    std::shared_ptr<const data::Dataset> serving,
+    std::shared_ptr<const ErrorGen> corruption, size_t batch_size) {
+  return [serving = std::move(serving), corruption = std::move(corruption),
+          batch_size](size_t /*batch_index*/, double severity,
+                      common::Rng& rng) -> common::Result<data::Dataset> {
+    data::Dataset batch = SampleBatch(*serving, batch_size, rng);
+    if (severity > 0.0 && corruption != nullptr) {
+      BBV_ASSIGN_OR_RETURN(
+          batch.features,
+          BlendCorruption(batch.features, *corruption, severity, rng));
+    }
+    return batch;
+  };
+}
+
+double PositiveFraction(const data::Dataset& dataset) {
+  const std::vector<size_t> counts = data::ClassCounts(dataset);
+  if (counts.size() != 2 || dataset.NumRows() == 0) return 0.0;
+  return static_cast<double>(counts[1]) /
+         static_cast<double>(dataset.NumRows());
+}
+
+/// Linear position of `batch_index` within the post-onset window, in (0, 1].
+double RampPosition(size_t batch_index, const DriftScenarioOptions& options) {
+  if (batch_index < options.drift_onset) return 0.0;
+  const size_t span = options.num_batches - options.drift_onset;
+  if (span <= 1) return 1.0;
+  return static_cast<double>(batch_index - options.drift_onset + 1) /
+         static_cast<double>(span);
+}
+
+}  // namespace
+
+DriftScenario::DriftScenario(std::string name, DriftScenarioOptions options,
+                             SeveritySchedule severity, BatchSampler sampler)
+    : name_(std::move(name)),
+      options_(options),
+      severity_(std::move(severity)),
+      sampler_(std::move(sampler)) {
+  BBV_CHECK(severity_ != nullptr);
+  BBV_CHECK(sampler_ != nullptr);
+}
+
+common::Result<data::Dataset> DriftScenario::MakeBatch(
+    size_t batch_index, common::Rng& rng) const {
+  BBV_RETURN_NOT_OK(ValidateScenarioOptions(options_));
+  if (batch_index >= options_.num_batches) {
+    return common::Status::InvalidArgument(
+        "batch index " + std::to_string(batch_index) +
+        " out of range for scenario '" + name_ + "' with " +
+        std::to_string(options_.num_batches) + " batches");
+  }
+  return sampler_(batch_index, severity_(batch_index), rng);
+}
+
+double DriftScenario::SeverityAt(size_t batch_index) const {
+  return severity_(batch_index);
+}
+
+bool DriftScenario::ExpectsDrift() const {
+  return options_.drift_onset < options_.num_batches;
+}
+
+DriftScenario DriftScenario::NoDrift(
+    std::shared_ptr<const data::Dataset> serving,
+    DriftScenarioOptions options) {
+  options.drift_onset = options.num_batches;  // never drifts
+  const size_t batch_size = options.batch_size;
+  return DriftScenario(
+      "no_drift", options, [](size_t) { return 0.0; },
+      BlendSampler(std::move(serving), nullptr, batch_size));
+}
+
+DriftScenario DriftScenario::Sudden(
+    std::shared_ptr<const data::Dataset> serving,
+    std::shared_ptr<const ErrorGen> corruption, double severity,
+    DriftScenarioOptions options) {
+  const size_t onset = options.drift_onset;
+  const size_t batch_size = options.batch_size;
+  return DriftScenario(
+      "sudden",
+      options,
+      [onset, severity](size_t batch_index) {
+        return batch_index >= onset ? severity : 0.0;
+      },
+      BlendSampler(std::move(serving), std::move(corruption), batch_size));
+}
+
+DriftScenario DriftScenario::GradualRamp(
+    std::shared_ptr<const data::Dataset> serving,
+    std::shared_ptr<const ErrorGen> corruption, double max_severity,
+    DriftScenarioOptions options) {
+  const DriftScenarioOptions captured = options;
+  const size_t batch_size = options.batch_size;
+  return DriftScenario(
+      "gradual_ramp",
+      options,
+      [captured, max_severity](size_t batch_index) {
+        return max_severity * RampPosition(batch_index, captured);
+      },
+      BlendSampler(std::move(serving), std::move(corruption), batch_size));
+}
+
+DriftScenario DriftScenario::Recurring(
+    std::shared_ptr<const data::Dataset> serving,
+    std::vector<std::shared_ptr<const ErrorGen>> components, double severity,
+    size_t period_batches, DriftScenarioOptions options) {
+  BBV_CHECK(!components.empty()) << "Recurring needs mixture components";
+  BBV_CHECK(period_batches > 0) << "Recurring needs a positive period";
+  const size_t onset = options.drift_onset;
+  const size_t batch_size = options.batch_size;
+  auto shared_components = std::make_shared<
+      const std::vector<std::shared_ptr<const ErrorGen>>>(
+      std::move(components));
+  return DriftScenario(
+      "recurring",
+      options,
+      [onset, severity](size_t batch_index) {
+        return batch_index >= onset ? severity : 0.0;
+      },
+      [serving = std::move(serving), shared_components, onset, period_batches,
+       batch_size](size_t batch_index, double batch_severity,
+                   common::Rng& rng) -> common::Result<data::Dataset> {
+        data::Dataset batch = SampleBatch(*serving, batch_size, rng);
+        if (batch_severity > 0.0 && batch_index >= onset) {
+          const size_t season = (batch_index - onset) / period_batches;
+          const ErrorGen& component =
+              *(*shared_components)[season % shared_components->size()];
+          BBV_ASSIGN_OR_RETURN(batch.features,
+                               BlendCorruption(batch.features, component,
+                                               batch_severity, rng));
+        }
+        return batch;
+      });
+}
+
+DriftScenario DriftScenario::FeedbackLoop(
+    std::shared_ptr<const data::Dataset> serving,
+    double target_positive_fraction, DriftScenarioOptions options) {
+  const DriftScenarioOptions captured = options;
+  const size_t batch_size = options.batch_size;
+  const double base = PositiveFraction(*serving);
+  return DriftScenario(
+      "feedback_loop",
+      options,
+      [captured, base, target_positive_fraction](size_t batch_index) {
+        return std::fabs(target_positive_fraction - base) *
+               RampPosition(batch_index, captured);
+      },
+      [serving = std::move(serving), captured, base, target_positive_fraction,
+       batch_size](size_t batch_index, double /*severity*/,
+                   common::Rng& rng) -> common::Result<data::Dataset> {
+        const double position = RampPosition(batch_index, captured);
+        const double positive =
+            base + (target_positive_fraction - base) * position;
+        return ResampleLabelShift(*serving, positive, rng, batch_size);
+      });
+}
+
+std::vector<DriftScenario> StandardDriftScenarios(
+    std::shared_ptr<const data::Dataset> serving,
+    DriftScenarioOptions options) {
+  const std::vector<std::string> categorical =
+      serving->features.ColumnNamesOfType(data::ColumnType::kCategorical);
+  const std::vector<std::string> numeric =
+      serving->features.ColumnNamesOfType(data::ColumnType::kNumeric);
+  // Random columns, exact per-call severity: the blend fraction is the
+  // severity knob, so the inner generators corrupt all their picked rows.
+  const FractionRange kFull{1.0, 1.0};
+  auto missing = std::make_shared<MissingValues>(categorical, kFull);
+  auto scaling = std::make_shared<Scaling>(numeric, kFull);
+  auto sign_flip = std::make_shared<SignFlip>(numeric, kFull);
+  auto typos = std::make_shared<CategoricalTypos>(categorical, kFull);
+
+  std::vector<DriftScenario> scenarios;
+  scenarios.push_back(DriftScenario::NoDrift(serving, options));
+  scenarios.push_back(
+      DriftScenario::Sudden(serving, scaling, /*severity=*/0.8, options));
+  scenarios.push_back(DriftScenario::GradualRamp(serving, missing,
+                                                 /*max_severity=*/1.0,
+                                                 options));
+  // Scaling leads the rotation (a known error type the predictor was
+  // meta-trained on) so the first season is detectable; the later seasons
+  // rotate through the harder unknown-error regimes.
+  scenarios.push_back(DriftScenario::Recurring(
+      serving, {scaling, sign_flip, typos}, /*severity=*/0.8,
+      /*period_batches=*/4, options));
+  scenarios.push_back(DriftScenario::FeedbackLoop(
+      serving, /*target_positive_fraction=*/0.85, options));
+  return scenarios;
+}
+
+}  // namespace bbv::errors

@@ -10,6 +10,10 @@ std::vector<std::string> PickColumns(
   if (!explicit_columns.empty()) return explicit_columns;
   std::vector<std::string> candidates = frame.ColumnNamesOfType(type);
   if (candidates.empty()) return {};
+  // A single candidate admits exactly one non-empty subset: return it
+  // without consuming random draws, so generators over one-column schemas
+  // stay on the same stream as generators with explicit columns.
+  if (candidates.size() == 1) return candidates;
   size_t pool = candidates.size();
   if (max_columns > 0) pool = std::min(pool, max_columns);
   const size_t count = 1 + rng.UniformInt(pool);
@@ -20,6 +24,14 @@ std::vector<std::string> PickColumns(
 
 std::vector<size_t> PickRows(size_t num_rows, double fraction,
                              common::Rng& rng) {
+  // Corrupting everything needs no sampling: return the identity index set
+  // without drawing a permutation. (Previously fraction >= 1 still consumed
+  // num_rows draws to shuffle a set whose membership was already decided.)
+  if (fraction >= 1.0) {
+    std::vector<size_t> rows(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) rows[i] = i;
+    return rows;
+  }
   const size_t count = static_cast<size_t>(
       std::clamp(fraction, 0.0, 1.0) * static_cast<double>(num_rows));
   return rng.SampleWithoutReplacement(num_rows, count);

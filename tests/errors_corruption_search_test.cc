@@ -1,0 +1,472 @@
+// Tests for the adversarial corruption search: spec round-trips, composed
+// generator semantics, determinism across thread counts, the
+// search-beats-random-sweep acceptance property, and replay of the
+// committed adversarial fixtures (tests/fixtures/adversarial/) against a
+// freshly trained performance predictor.
+//
+// Regenerating the fixtures: the committed compositions are the top
+// findings of the search against the small income setup below. After a
+// deliberate change to the search, the predictor or the generators, run
+//   BBV_REGEN_ADVERSARIAL_FIXTURES=1 ./errors_corruption_search_test
+//     --gtest_filter='*FixtureReplay*'   (one command line)
+// from the build tree and commit the rewritten fixture file.
+
+#include "errors/corruption_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/performance_predictor.h"
+#include "data/dataset.h"
+#include "datasets/tabular.h"
+#include "errors/composed_error_gen.h"
+#include "errors/missing_values.h"
+#include "errors/numeric_errors.h"
+#include "ml/black_box.h"
+#include "ml/sgd_logistic_regression.h"
+
+namespace bbv::errors {
+namespace {
+
+constexpr const char* kFixturePath =
+    BBV_TEST_SOURCE_DIR "/fixtures/adversarial/income_compositions.txt";
+
+/// Sets BBV_THREADS for one scope (same idiom as core_determinism_test).
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    ::setenv("BBV_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+data::DataFrame MakeTabularFrame(size_t n, common::Rng& rng) {
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<std::string> c(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Gaussian(10.0, 2.0);
+    y[i] = rng.Gaussian(-5.0, 1.0);
+    c[i] = i % 3 == 0 ? "red" : (i % 3 == 1 ? "green" : "blue");
+  }
+  data::DataFrame frame;
+  BBV_CHECK(frame.AddColumn(data::Column::Numeric("x", x)).ok());
+  BBV_CHECK(frame.AddColumn(data::Column::Numeric("y", y)).ok());
+  BBV_CHECK(frame.AddColumn(data::Column::Categorical("color", c)).ok());
+  return frame;
+}
+
+size_t CountDifferingCells(const data::DataFrame& a,
+                           const data::DataFrame& b) {
+  size_t count = 0;
+  for (size_t col = 0; col < a.NumCols(); ++col) {
+    for (size_t row = 0; row < a.NumRows(); ++row) {
+      if (!(a.column(col).cell(row) == b.column(col).cell(row))) ++count;
+    }
+  }
+  return count;
+}
+
+/// Synthetic objective for the search-property tests: "estimation error" is
+/// the fraction of cells the composition corrupted. Deterministic,
+/// monotone in severity and depth — the regime where an adversarial search
+/// must beat random magnitudes.
+CorruptionSearch::ErrorProbe DamageProbe(const data::DataFrame& base) {
+  const double total =
+      static_cast<double>(base.NumRows() * base.NumCols());
+  return [&base, total](const data::DataFrame& corrupted)
+             -> common::Result<CorruptionSearch::ProbeResult> {
+    const double damage =
+        static_cast<double>(CountDifferingCells(base, corrupted)) / total;
+    return CorruptionSearch::ProbeResult{0.0, damage};
+  };
+}
+
+CorruptionSearch::Options SmallOptions() {
+  CorruptionSearch::Options options;
+  options.initial_candidates = 16;
+  options.probe_repetitions = 1;
+  options.max_rounds = 2;
+  options.max_depth = 3;
+  options.seed = 7;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Spec serialization
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionSpecTest, KeyParseRoundTrip) {
+  CorruptionSpec spec;
+  spec.atoms.push_back({"sign_flip", {"age"}, 1.0});
+  spec.atoms.push_back({"typos", {"job", "state"}, 0.5});
+  const std::string key = spec.Key();
+  EXPECT_EQ(key, "sign_flip[age]@1.000000>typos[job,state]@0.500000");
+  const auto parsed = ParseCorruptionSpec(key);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Key(), key);
+  ASSERT_EQ(parsed->atoms.size(), 2u);
+  EXPECT_EQ(parsed->atoms[1].columns,
+            (std::vector<std::string>{"job", "state"}));
+  EXPECT_DOUBLE_EQ(parsed->atoms[1].fraction, 0.5);
+}
+
+TEST(CorruptionSpecTest, ParseRejectsMalformedText) {
+  EXPECT_FALSE(ParseCorruptionSpec("").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[age]").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[]@0.5").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("[age]@0.5").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[age]@").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[age]@1.5").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[age]@nope").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[age]@0.5>").ok());
+  EXPECT_FALSE(ParseCorruptionSpec("sign_flip[a,]@0.5").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Composed generator
+// ---------------------------------------------------------------------------
+
+TEST(ComposedErrorGenTest, AppliesComponentsInOrder) {
+  common::Rng data_rng(1);
+  const data::DataFrame frame = MakeTabularFrame(60, data_rng);
+  const ComposedErrorGen composed(
+      {std::make_shared<MissingValues>(std::vector<std::string>{"color"},
+                                       FractionRange{1.0, 1.0}),
+       std::make_shared<Scaling>(std::vector<std::string>{"x"},
+                                 FractionRange{1.0, 1.0},
+                                 std::vector<double>{10.0})});
+  EXPECT_EQ(composed.Depth(), 2u);
+  EXPECT_EQ(composed.Name(), "compose(missing_values>scaling)");
+  common::Rng rng(2);
+  const auto corrupted = composed.Corrupt(frame, rng);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status().ToString();
+  EXPECT_EQ(corrupted->ColumnByName("color").CountNa(), 60u);
+  for (size_t row = 0; row < frame.NumRows(); ++row) {
+    EXPECT_NEAR(corrupted->ColumnByName("x").cell(row).AsDouble(),
+                10.0 * frame.ColumnByName("x").cell(row).AsDouble(), 1e-9);
+  }
+}
+
+TEST(ComposedErrorGenTest, PropagatesComponentFailure) {
+  common::Rng data_rng(3);
+  const data::DataFrame frame = MakeTabularFrame(10, data_rng);
+  const ComposedErrorGen composed(
+      {std::make_shared<MissingValues>(std::vector<std::string>{"nope"})});
+  common::Rng rng(4);
+  EXPECT_FALSE(composed.Corrupt(frame, rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Generator building and the atom pool
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionSearchTest, BuildGeneratorValidatesSpecs) {
+  CorruptionSpec unknown;
+  unknown.atoms.push_back({"not_a_generator", {"x"}, 0.5});
+  EXPECT_FALSE(CorruptionSearch::BuildGenerator(unknown).ok());
+
+  CorruptionSpec bad_pair;
+  bad_pair.atoms.push_back({"swapped_columns", {"color"}, 0.5});
+  EXPECT_FALSE(CorruptionSearch::BuildGenerator(bad_pair).ok());
+
+  CorruptionSpec bad_fraction;
+  bad_fraction.atoms.push_back({"sign_flip", {"x"}, 1.5});
+  EXPECT_FALSE(CorruptionSearch::BuildGenerator(bad_fraction).ok());
+
+  EXPECT_FALSE(CorruptionSearch::BuildGenerator(CorruptionSpec{}).ok());
+}
+
+TEST(CorruptionSearchTest, BuiltGeneratorReplaysDeterministically) {
+  common::Rng data_rng(5);
+  const data::DataFrame frame = MakeTabularFrame(80, data_rng);
+  const auto spec =
+      ParseCorruptionSpec("sign_flip[x,y]@1.000000>typos[color]@0.500000");
+  ASSERT_TRUE(spec.ok());
+  const auto generator = CorruptionSearch::BuildGenerator(*spec);
+  ASSERT_TRUE(generator.ok()) << generator.status().ToString();
+  common::Rng rng_a(6);
+  common::Rng rng_b(6);
+  const auto a = (*generator)->Corrupt(frame, rng_a);
+  const auto b = (*generator)->Corrupt(frame, rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(CountDifferingCells(frame, *a), 0u);
+  EXPECT_EQ(CountDifferingCells(*a, *b), 0u);
+}
+
+TEST(CorruptionSearchTest, AtomPoolCoversSchemaDeterministically) {
+  common::Rng data_rng(7);
+  const data::DataFrame frame = MakeTabularFrame(20, data_rng);
+  const CorruptionSearch search(SmallOptions());
+  const auto pool = search.BuildAtomPool(frame);
+  ASSERT_FALSE(pool.empty());
+  std::set<std::string> generators;
+  for (const auto& atom : pool) generators.insert(atom.generator);
+  for (const std::string& name : CorruptionSearch::RegisteredAtomNames()) {
+    EXPECT_TRUE(generators.count(name)) << name;
+  }
+  // Pure function of (schema, options): a second build is identical.
+  const auto again = search.BuildAtomPool(frame);
+  ASSERT_EQ(again.size(), pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    CorruptionSpec a, b;
+    a.atoms.push_back(pool[i]);
+    b.atoms.push_back(again[i]);
+    EXPECT_EQ(a.Key(), b.Key());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search properties
+// ---------------------------------------------------------------------------
+
+TEST(CorruptionSearchTest, BeatsEqualBudgetRandomSweep) {
+  common::Rng data_rng(8);
+  const data::DataFrame frame = MakeTabularFrame(80, data_rng);
+  const CorruptionSearch search(SmallOptions());
+  const auto probe = DamageProbe(frame);
+  const auto result = search.Run(frame, probe);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->findings.empty());
+  const auto sweep = search.RandomSweep(frame, probe, result->total_probes);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_EQ(sweep->total_probes, result->total_probes);
+  // The acceptance property: at equal probe budget the adversarial search
+  // must surface a composition at least as damaging as the best random
+  // composition — fixed severities plus survivor breeding vs random draws.
+  EXPECT_GE(result->findings.front().mean_abs_error,
+            sweep->findings.front().mean_abs_error);
+}
+
+TEST(CorruptionSearchTest, FindingsSortedWithBudgetAccounting) {
+  common::Rng data_rng(9);
+  const data::DataFrame frame = MakeTabularFrame(60, data_rng);
+  const CorruptionSearch search(SmallOptions());
+  const auto result = search.Run(frame, DamageProbe(frame));
+  ASSERT_TRUE(result.ok());
+  size_t probes = 0;
+  for (size_t i = 0; i < result->findings.size(); ++i) {
+    probes += static_cast<size_t>(result->findings[i].probes);
+    if (i > 0) {
+      EXPECT_LE(result->findings[i].mean_abs_error,
+                result->findings[i - 1].mean_abs_error);
+    }
+  }
+  EXPECT_EQ(probes, result->total_probes);
+  EXPECT_EQ(result->findings.front().rounds_survived,
+            search.options().max_rounds);
+}
+
+TEST(CorruptionSearchTest, ByteIdenticalAcrossThreadCounts) {
+  common::Rng data_rng(10);
+  const data::DataFrame frame = MakeTabularFrame(70, data_rng);
+  const CorruptionSearch search(SmallOptions());
+  const auto probe = DamageProbe(frame);
+  std::string serial;
+  {
+    ScopedThreadsEnv env("1");
+    const auto result = search.Run(frame, probe);
+    ASSERT_TRUE(result.ok());
+    serial = CorruptionSearch::ReportString(*result, 100);
+  }
+  {
+    ScopedThreadsEnv env("8");
+    const auto result = search.Run(frame, probe);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(CorruptionSearch::ReportString(*result, 100), serial);
+  }
+}
+
+TEST(CorruptionSearchTest, RejectsDegenerateInputs) {
+  common::Rng data_rng(11);
+  const data::DataFrame frame = MakeTabularFrame(20, data_rng);
+  const CorruptionSearch search(SmallOptions());
+  EXPECT_FALSE(search.Run(frame, nullptr).ok());
+  EXPECT_FALSE(search.RandomSweep(frame, DamageProbe(frame), 0).ok());
+  CorruptionSearch::Options bad = SmallOptions();
+  bad.survivor_fraction = 0.0;
+  EXPECT_FALSE(CorruptionSearch(bad).Run(frame, DamageProbe(frame)).ok());
+  const data::DataFrame empty;
+  EXPECT_FALSE(search.Run(empty, DamageProbe(frame)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial fixture replay (and regeneration)
+// ---------------------------------------------------------------------------
+
+struct RealSetup {
+  data::Dataset test;
+  data::Dataset serving;
+  std::unique_ptr<ml::BlackBoxModel> model;
+  core::PerformancePredictor predictor;
+};
+
+/// Small real income setup: logistic regression black box, predictor
+/// meta-trained on two known error types. Deterministic for a fixed seed.
+RealSetup MakeRealSetup() {
+  common::Rng rng(13);
+  data::Dataset dataset = datasets::MakeIncome(3000, rng);
+  dataset = data::BalanceClasses(dataset, rng);
+  auto [source, serving] = data::TrainTestSplit(dataset, 0.7, rng);
+  auto [train, test] = data::TrainTestSplit(source, 0.7, rng);
+  RealSetup setup;
+  setup.test = std::move(test);
+  setup.serving = std::move(serving);
+  setup.model = std::make_unique<ml::BlackBoxModel>(
+      std::make_unique<ml::SgdLogisticRegression>());
+  BBV_CHECK(setup.model->Train(train, rng).ok());
+  core::PerformancePredictor::Options options;
+  options.corruptions_per_generator = 15;
+  core::PerformancePredictor predictor(options);
+  const errors::MissingValues missing;
+  const errors::NumericOutliers outliers;
+  BBV_CHECK(
+      predictor.Train(*setup.model, setup.test, {&missing, &outliers}, rng)
+          .ok());
+  setup.predictor = std::move(predictor);
+  return setup;
+}
+
+/// Search budget for the real-predictor tests: a larger population and an
+/// extra halving round than SmallOptions, so mean-of-probes rankings have
+/// enough repetitions to beat the winner's-curse noise of a random sweep.
+CorruptionSearch::Options RealOptions() {
+  CorruptionSearch::Options options;
+  options.initial_candidates = 24;
+  options.probe_repetitions = 1;
+  options.max_rounds = 3;
+  options.max_depth = 3;
+  options.seed = 7;
+  return options;
+}
+
+CorruptionSearch::ErrorProbe RealProbe(const RealSetup& setup) {
+  return [&setup](const data::DataFrame& corrupted)
+             -> common::Result<CorruptionSearch::ProbeResult> {
+    BBV_ASSIGN_OR_RETURN(
+        core::PerformancePredictor::EstimationErrorProbe measured,
+        setup.predictor.ProbeEstimationError(*setup.model, corrupted,
+                                             setup.serving.labels));
+    return CorruptionSearch::ProbeResult{measured.estimated_score,
+                                         measured.actual_score};
+  };
+}
+
+// The headline acceptance property against a *real* predictor: at equal
+// probe budget, the adversarial search must surface a composition with a
+// larger estimation error than the best composition an equal number of
+// random-magnitude probes finds (the paper's corruption regime).
+TEST(CorruptionSearchTest, BeatsEqualBudgetSweepOnRealPredictor) {
+  const RealSetup setup = MakeRealSetup();
+  const auto probe = RealProbe(setup);
+  const CorruptionSearch search(RealOptions());
+  const auto result = search.Run(setup.serving.features, probe);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto sweep =
+      search.RandomSweep(setup.serving.features, probe, result->total_probes);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  EXPECT_GE(result->findings.front().mean_abs_error,
+            sweep->findings.front().mean_abs_error)
+      << "search top: " << result->findings.front().spec.Key()
+      << " sweep top: " << sweep->findings.front().spec.Key();
+}
+
+TEST(CorruptionSearchTest, FixtureReplayFindsPredictorBlindSpots) {
+  const RealSetup setup = MakeRealSetup();
+  const auto probe = RealProbe(setup);
+  const CorruptionSearch search(RealOptions());
+
+  if (std::getenv("BBV_REGEN_ADVERSARIAL_FIXTURES") != nullptr) {
+    const auto result = search.Run(setup.serving.features, probe);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::ofstream out(kFixturePath);
+    ASSERT_TRUE(out.good()) << "cannot write " << kFixturePath;
+    out << "# Worst corruption compositions found by CorruptionSearch\n"
+        << "# against the income setup in errors_corruption_search_test.cc.\n"
+        << "# Regenerate: BBV_REGEN_ADVERSARIAL_FIXTURES=1 "
+        << "./errors_corruption_search_test\n";
+    const size_t count = std::min<size_t>(5, result->findings.size());
+    for (size_t i = 0; i < count; ++i) {
+      out << result->findings[i].spec.Key() << "\n";
+    }
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "fixtures regenerated at " << kFixturePath;
+  }
+
+  std::ifstream in(kFixturePath);
+  ASSERT_TRUE(in.good()) << "missing fixture file " << kFixturePath;
+  std::vector<CorruptionSpec> fixtures;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto spec = ParseCorruptionSpec(line);
+    ASSERT_TRUE(spec.ok()) << "bad fixture line: " << line;
+    fixtures.push_back(*spec);
+  }
+  ASSERT_FALSE(fixtures.empty());
+
+  // Replay every fixture composition: it must still build against the
+  // income schema and reproducibly corrupt the serving frame. Mean over a
+  // few repetitions smooths single-draw corruption noise.
+  constexpr int kReps = 3;
+  common::Rng replay_rng(17);
+  std::vector<common::Rng> streams =
+      replay_rng.ForkStreams(fixtures.size() * kReps);
+  double best_mean_error = 0.0;
+  for (size_t i = 0; i < fixtures.size(); ++i) {
+    const auto generator = CorruptionSearch::BuildGenerator(fixtures[i]);
+    ASSERT_TRUE(generator.ok()) << fixtures[i].Key();
+    double sum = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto corrupted = (*generator)->Corrupt(setup.serving.features,
+                                             streams[i * kReps + rep]);
+      ASSERT_TRUE(corrupted.ok()) << fixtures[i].Key();
+      const auto measured = probe(*corrupted);
+      ASSERT_TRUE(measured.ok());
+      sum += std::abs(measured->estimated_score - measured->actual_score);
+    }
+    best_mean_error = std::max(best_mean_error, sum / kReps);
+  }
+
+  // The committed blind spots must still confuse the predictor far more
+  // than clean serving data does: if a predictor change makes them benign,
+  // the fixtures are stale and must be regenerated (deliberately — this is
+  // the detection-quality gate).
+  const auto clean = probe(setup.serving.features);
+  ASSERT_TRUE(clean.ok());
+  const double clean_error =
+      std::abs(clean->estimated_score - clean->actual_score);
+  EXPECT_GE(best_mean_error, 2.0 * clean_error + 0.02)
+      << "fixtures are stale (best=" << best_mean_error
+      << " clean=" << clean_error
+      << "): regenerate with BBV_REGEN_ADVERSARIAL_FIXTURES=1";
+}
+
+}  // namespace
+}  // namespace bbv::errors

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+
 #include "datasets/tabular.h"
 #include "stats/descriptive.h"
 
@@ -94,6 +98,91 @@ TEST(CovariateShiftTest, InvalidInputs) {
   const data::Dataset dataset = datasets::MakeHeart(100, rng);
   EXPECT_FALSE(ResampleCovariateShift(dataset, "zzz", 1.0, rng).ok());
   EXPECT_FALSE(ResampleCovariateShift(dataset, "gender", 1.0, rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-independence (PR-2 gate): the resamples are pure functions of
+// (dataset, seed) — BBV_THREADS must not change a single drawn row.
+// ---------------------------------------------------------------------------
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    ::setenv("BBV_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+bool DatasetsIdentical(const data::Dataset& a, const data::Dataset& b) {
+  if (a.labels != b.labels) return false;
+  if (a.features.NumRows() != b.features.NumRows() ||
+      a.features.NumCols() != b.features.NumCols()) {
+    return false;
+  }
+  for (size_t col = 0; col < a.features.NumCols(); ++col) {
+    for (size_t row = 0; row < a.features.NumRows(); ++row) {
+      if (!(a.features.column(col).cell(row) ==
+            b.features.column(col).cell(row))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(LabelShiftTest, ByteIdenticalAcrossThreadCounts) {
+  common::Rng data_rng(8);
+  const data::Dataset dataset = datasets::MakeIncome(2000, data_rng);
+  data::Dataset serial;
+  {
+    ScopedThreadsEnv env("1");
+    common::Rng rng(77);
+    auto shifted = ResampleLabelShift(dataset, 0.75, rng, 500);
+    ASSERT_TRUE(shifted.ok());
+    serial = *std::move(shifted);
+  }
+  {
+    ScopedThreadsEnv env("8");
+    common::Rng rng(77);
+    const auto shifted = ResampleLabelShift(dataset, 0.75, rng, 500);
+    ASSERT_TRUE(shifted.ok());
+    EXPECT_TRUE(DatasetsIdentical(serial, *shifted));
+  }
+}
+
+TEST(CovariateShiftTest, ByteIdenticalAcrossThreadCounts) {
+  common::Rng data_rng(9);
+  const data::Dataset dataset = datasets::MakeHeart(2000, data_rng);
+  data::Dataset serial;
+  {
+    ScopedThreadsEnv env("1");
+    common::Rng rng(78);
+    auto shifted = ResampleCovariateShift(dataset, "age", 1.5, rng, 500);
+    ASSERT_TRUE(shifted.ok());
+    serial = *std::move(shifted);
+  }
+  {
+    ScopedThreadsEnv env("8");
+    common::Rng rng(78);
+    const auto shifted = ResampleCovariateShift(dataset, "age", 1.5, rng, 500);
+    ASSERT_TRUE(shifted.ok());
+    EXPECT_TRUE(DatasetsIdentical(serial, *shifted));
+  }
 }
 
 }  // namespace

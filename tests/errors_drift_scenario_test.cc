@@ -1,0 +1,268 @@
+// Tests for the drift scenario library: schedule shapes (onset, ramp
+// monotonicity, seasonal rotation, prior ramp), batch semantics, and the
+// determinism contract (a pre-forked stream per batch index makes the whole
+// serving stream a pure function of the seed).
+
+#include "errors/drift_scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/tabular.h"
+#include "errors/numeric_errors.h"
+
+namespace bbv::errors {
+namespace {
+
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    ::setenv("BBV_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+std::shared_ptr<const data::Dataset> MakeServing(size_t rows = 2000) {
+  common::Rng rng(1);
+  return std::make_shared<const data::Dataset>(datasets::MakeIncome(rows, rng));
+}
+
+DriftScenarioOptions SmallOptions() {
+  DriftScenarioOptions options;
+  options.num_batches = 12;
+  options.batch_size = 150;
+  options.drift_onset = 6;
+  return options;
+}
+
+bool DatasetsIdentical(const data::Dataset& a, const data::Dataset& b) {
+  if (a.labels != b.labels) return false;
+  if (a.features.NumCols() != b.features.NumCols()) return false;
+  for (size_t col = 0; col < a.features.NumCols(); ++col) {
+    for (size_t row = 0; row < a.features.NumRows(); ++row) {
+      if (!(a.features.column(col).cell(row) ==
+            b.features.column(col).cell(row))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t CountDifferingRows(const data::Dataset& a, const data::Dataset& b) {
+  size_t rows = 0;
+  for (size_t row = 0; row < a.features.NumRows(); ++row) {
+    for (size_t col = 0; col < a.features.NumCols(); ++col) {
+      if (!(a.features.column(col).cell(row) ==
+            b.features.column(col).cell(row))) {
+        ++rows;
+        break;
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(DriftScenarioTest, NoDriftStaysCleanAndNeverExpectsDrift) {
+  const auto serving = MakeServing();
+  const DriftScenario scenario =
+      DriftScenario::NoDrift(serving, SmallOptions());
+  EXPECT_FALSE(scenario.ExpectsDrift());
+  EXPECT_EQ(scenario.name(), "no_drift");
+  for (size_t i = 0; i < scenario.num_batches(); ++i) {
+    EXPECT_DOUBLE_EQ(scenario.SeverityAt(i), 0.0);
+  }
+  common::Rng rng(2);
+  const auto batch = scenario.MakeBatch(0, rng);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->NumRows(), SmallOptions().batch_size);
+  EXPECT_EQ(batch->features.SchemaString(),
+            serving->features.SchemaString());
+}
+
+TEST(DriftScenarioTest, SuddenStepsAtOnset) {
+  const auto serving = MakeServing();
+  const auto corruption = std::make_shared<SignFlip>(
+      std::vector<std::string>{"age"}, FractionRange{1.0, 1.0});
+  const DriftScenario scenario =
+      DriftScenario::Sudden(serving, corruption, 0.6, SmallOptions());
+  EXPECT_TRUE(scenario.ExpectsDrift());
+  for (size_t i = 0; i < scenario.drift_onset(); ++i) {
+    EXPECT_DOUBLE_EQ(scenario.SeverityAt(i), 0.0) << i;
+  }
+  for (size_t i = scenario.drift_onset(); i < scenario.num_batches(); ++i) {
+    EXPECT_DOUBLE_EQ(scenario.SeverityAt(i), 0.6) << i;
+  }
+  // A post-onset batch has roughly severity * batch_size corrupted rows.
+  common::Rng rng(3);
+  std::vector<common::Rng> streams = rng.ForkStreams(scenario.num_batches());
+  common::Rng clean_rng = streams[6];  // copy BEFORE use: same sampled rows
+  const auto drifted =
+      scenario.MakeBatch(scenario.drift_onset(), streams[6]);
+  ASSERT_TRUE(drifted.ok());
+  const data::Dataset reference =
+      *DriftScenario::NoDrift(serving, SmallOptions())
+           .MakeBatch(0, clean_rng);
+  EXPECT_EQ(CountDifferingRows(reference, *drifted), 90u);  // 0.6 * 150
+}
+
+TEST(DriftScenarioTest, GradualRampIsMonotoneToMaxSeverity) {
+  const auto serving = MakeServing();
+  const auto corruption = std::make_shared<Scaling>(
+      std::vector<std::string>{"age"}, FractionRange{1.0, 1.0});
+  const DriftScenario scenario =
+      DriftScenario::GradualRamp(serving, corruption, 0.8, SmallOptions());
+  for (size_t i = 0; i < scenario.drift_onset(); ++i) {
+    EXPECT_DOUBLE_EQ(scenario.SeverityAt(i), 0.0);
+  }
+  double previous = 0.0;
+  for (size_t i = scenario.drift_onset(); i < scenario.num_batches(); ++i) {
+    const double severity = scenario.SeverityAt(i);
+    EXPECT_GT(severity, previous) << i;
+    previous = severity;
+  }
+  EXPECT_DOUBLE_EQ(scenario.SeverityAt(scenario.num_batches() - 1), 0.8);
+}
+
+TEST(DriftScenarioTest, RecurringRotatesSeasons) {
+  const auto serving = MakeServing();
+  const auto flip = std::make_shared<const SignFlip>(
+      std::vector<std::string>{"age"}, FractionRange{1.0, 1.0});
+  const auto scale = std::make_shared<const Scaling>(
+      std::vector<std::string>{"age"}, FractionRange{1.0, 1.0},
+      std::vector<double>{1000.0});
+  DriftScenarioOptions options = SmallOptions();
+  options.num_batches = 14;
+  options.drift_onset = 6;
+  const DriftScenario scenario = DriftScenario::Recurring(
+      serving, {flip, scale}, /*severity=*/1.0, /*period_batches=*/2,
+      options);
+  // Seasons: batches 6-7 flip, 8-9 scale, 10-11 flip again, ...
+  common::Rng rng(4);
+  std::vector<common::Rng> streams = rng.ForkStreams(options.num_batches);
+  const auto flip_batch = scenario.MakeBatch(6, streams[6]);
+  const auto scale_batch = scenario.MakeBatch(8, streams[8]);
+  ASSERT_TRUE(flip_batch.ok() && scale_batch.ok());
+  // Sign flips keep ages negative and small; the scale season multiplies by
+  // 1000 — distinguish the seasons by the column magnitude.
+  double flip_max = 0.0;
+  double scale_max = 0.0;
+  for (size_t row = 0; row < options.batch_size; ++row) {
+    flip_max = std::max(
+        flip_max,
+        flip_batch->features.ColumnByName("age").cell(row).AsDouble());
+    scale_max = std::max(
+        scale_max,
+        scale_batch->features.ColumnByName("age").cell(row).AsDouble());
+  }
+  EXPECT_LT(flip_max, 150.0);
+  EXPECT_GT(scale_max, 10000.0);
+}
+
+TEST(DriftScenarioTest, FeedbackLoopRampsThePositivePrior) {
+  const auto serving = MakeServing(4000);
+  DriftScenarioOptions options = SmallOptions();
+  options.batch_size = 1000;
+  const DriftScenario scenario =
+      DriftScenario::FeedbackLoop(serving, 0.9, options);
+  common::Rng rng(5);
+  std::vector<common::Rng> streams = rng.ForkStreams(options.num_batches);
+  auto positive_fraction = [](const data::Dataset& batch) {
+    size_t positives = 0;
+    for (int label : batch.labels) positives += label == 1 ? 1 : 0;
+    return static_cast<double>(positives) /
+           static_cast<double>(batch.NumRows());
+  };
+  const auto before = scenario.MakeBatch(2, streams[2]);
+  const auto last =
+      scenario.MakeBatch(options.num_batches - 1,
+                         streams[options.num_batches - 1]);
+  ASSERT_TRUE(before.ok() && last.ok());
+  // Pre-onset batches keep the serving prior; the final batch reaches the
+  // target within sampling noise.
+  EXPECT_LT(positive_fraction(*before), 0.6);
+  EXPECT_NEAR(positive_fraction(*last), 0.9, 0.05);
+  // Severity reports the prior distance, monotone along the ramp.
+  EXPECT_DOUBLE_EQ(scenario.SeverityAt(0), 0.0);
+  EXPECT_GT(scenario.SeverityAt(options.num_batches - 1),
+            scenario.SeverityAt(options.drift_onset));
+}
+
+TEST(DriftScenarioTest, RejectsOutOfRangeBatchIndex) {
+  const auto serving = MakeServing();
+  const DriftScenario scenario =
+      DriftScenario::NoDrift(serving, SmallOptions());
+  common::Rng rng(6);
+  EXPECT_FALSE(scenario.MakeBatch(SmallOptions().num_batches, rng).ok());
+}
+
+TEST(DriftScenarioTest, StandardLibraryHasFixedOrderAndNames) {
+  const auto serving = MakeServing();
+  const auto scenarios = StandardDriftScenarios(serving, SmallOptions());
+  ASSERT_EQ(scenarios.size(), 5u);
+  EXPECT_EQ(scenarios[0].name(), "no_drift");
+  EXPECT_EQ(scenarios[1].name(), "sudden");
+  EXPECT_EQ(scenarios[2].name(), "gradual_ramp");
+  EXPECT_EQ(scenarios[3].name(), "recurring");
+  EXPECT_EQ(scenarios[4].name(), "feedback_loop");
+  EXPECT_FALSE(scenarios[0].ExpectsDrift());
+  for (size_t i = 1; i < scenarios.size(); ++i) {
+    EXPECT_TRUE(scenarios[i].ExpectsDrift()) << scenarios[i].name();
+  }
+}
+
+// Determinism (PR-2 gate): the entire stream is a pure function of the
+// seed, independent of BBV_THREADS and of which batches are materialized.
+TEST(DriftScenarioTest, StreamsByteIdenticalAcrossThreadCounts) {
+  const auto serving = MakeServing();
+  const auto scenarios = StandardDriftScenarios(serving, SmallOptions());
+  for (const DriftScenario& scenario : scenarios) {
+    std::vector<data::Dataset> serial;
+    {
+      ScopedThreadsEnv env("1");
+      common::Rng rng(77);
+      std::vector<common::Rng> streams =
+          rng.ForkStreams(scenario.num_batches());
+      for (size_t i = 0; i < scenario.num_batches(); ++i) {
+        auto batch = scenario.MakeBatch(i, streams[i]);
+        ASSERT_TRUE(batch.ok()) << scenario.name();
+        serial.push_back(*std::move(batch));
+      }
+    }
+    {
+      ScopedThreadsEnv env("8");
+      common::Rng rng(77);
+      std::vector<common::Rng> streams =
+          rng.ForkStreams(scenario.num_batches());
+      for (size_t i = 0; i < scenario.num_batches(); ++i) {
+        const auto batch = scenario.MakeBatch(i, streams[i]);
+        ASSERT_TRUE(batch.ok());
+        EXPECT_TRUE(DatasetsIdentical(serial[i], *batch))
+            << scenario.name() << " batch " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbv::errors

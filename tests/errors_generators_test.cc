@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "common/rng.h"
 #include "errors/error_gen.h"
@@ -38,6 +40,31 @@ data::DataFrame MakeTabularFrame(size_t n, common::Rng& rng) {
   BBV_CHECK(frame.AddColumn(data::Column::Categorical("color", c)).ok());
   return frame;
 }
+
+/// Sets BBV_THREADS for one scope (same idiom as core_determinism_test);
+/// tests cannot link the bench utilities.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* previous = std::getenv("BBV_THREADS");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) previous_ = previous;
+    ::setenv("BBV_THREADS", value, 1);
+  }
+  ~ScopedThreadsEnv() {
+    if (had_previous_) {
+      ::setenv("BBV_THREADS", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("BBV_THREADS");
+    }
+  }
+  ScopedThreadsEnv(const ScopedThreadsEnv&) = delete;
+  ScopedThreadsEnv& operator=(const ScopedThreadsEnv&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
 
 size_t CountDifferingCells(const data::DataFrame& a,
                            const data::DataFrame& b) {
@@ -123,11 +150,79 @@ TEST_P(GeneratorSuite, DeterministicGivenSeed) {
   EXPECT_EQ(CountDifferingCells(*a, *b), 0u);
 }
 
+// Determinism property (PR-2 gate): a generator's output is a pure function
+// of (frame, seed) — BBV_THREADS must not leak into the corruption.
+TEST_P(GeneratorSuite, ByteIdenticalAcrossThreadCounts) {
+  common::Rng data_rng(22);
+  const data::DataFrame frame = MakeTabularFrame(150, data_rng);
+  data::DataFrame serial;
+  {
+    ScopedThreadsEnv env("1");
+    common::Rng rng(99);
+    auto corrupted = GetParam().generator->Corrupt(frame, rng);
+    ASSERT_TRUE(corrupted.ok());
+    serial = *std::move(corrupted);
+  }
+  {
+    ScopedThreadsEnv env("8");
+    common::Rng rng(99);
+    const auto corrupted = GetParam().generator->Corrupt(frame, rng);
+    ASSERT_TRUE(corrupted.ok());
+    EXPECT_EQ(CountDifferingCells(serial, *corrupted), 0u) << GetParam().name;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllGenerators, GeneratorSuite, ::testing::ValuesIn(TabularGenerators()),
     [](const ::testing::TestParamInfo<GeneratorCase>& param_info) {
       return param_info.param.name;
     });
+
+// ---------------------------------------------------------------------------
+// Row/column picking helpers
+// ---------------------------------------------------------------------------
+
+TEST(PickRowsTest, FullFractionIsIdentityWithoutConsumingRng) {
+  common::Rng rng(30);
+  common::Rng untouched(30);
+  const std::vector<size_t> rows = PickRows(100, 1.0, rng);
+  ASSERT_EQ(rows.size(), 100u);
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+  // The short-circuit must not advance the stream: a full-severity pick
+  // followed by other draws stays aligned with a stream that never picked.
+  EXPECT_EQ(rng.UniformInt(size_t{1} << 30),
+            untouched.UniformInt(size_t{1} << 30));
+}
+
+TEST(PickRowsTest, FractionAboveOneClampsToIdentity) {
+  common::Rng rng(31);
+  const std::vector<size_t> rows = PickRows(37, 1.5, rng);
+  ASSERT_EQ(rows.size(), 37u);
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], i);
+}
+
+TEST(PickRowsTest, PartialFractionStillSamples) {
+  common::Rng rng(32);
+  const std::vector<size_t> rows = PickRows(200, 0.25, rng);
+  EXPECT_EQ(rows.size(), 50u);
+  const std::set<size_t> unique(rows.begin(), rows.end());
+  EXPECT_EQ(unique.size(), rows.size());
+}
+
+TEST(PickColumnsTest, SingleCandidateSkipsRngDraws) {
+  common::Rng data_rng(33);
+  const data::DataFrame frame = MakeTabularFrame(20, data_rng);
+  common::Rng rng(34);
+  common::Rng untouched(34);
+  // The frame has exactly one categorical column; picking it must not
+  // consume random draws.
+  const std::vector<std::string> columns =
+      PickColumns(frame, data::ColumnType::kCategorical, rng);
+  ASSERT_EQ(columns.size(), 1u);
+  EXPECT_EQ(columns[0], "color");
+  EXPECT_EQ(rng.UniformInt(size_t{1} << 30),
+            untouched.UniformInt(size_t{1} << 30));
+}
 
 // ---------------------------------------------------------------------------
 // Generator-specific semantics

@@ -1,0 +1,33 @@
+// det-iter fixture: pointer-keyed ordered containers. Linted as
+// src/fixture/bad_det_iter_ptr_key.cc (the rule only applies under src/).
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+struct Node {
+  double weight = 0.0;
+};
+
+double Accumulate(const std::set<Node*>& nodes) {  // finding: pointer key
+  std::map<const Node*, double> weights;  // finding: pointer key
+  std::map<std::shared_ptr<Node>, double> shared;  // finding: address order
+  double total = 0.0;
+  for (const Node* node : nodes) total += node->weight;
+  (void)weights;
+  (void)shared;
+  // Pointers on the mapped-value side are harmless: iteration order is over
+  // the string key.
+  std::map<std::string, Node*> by_name;
+  (void)by_name;
+  // Stable-id keys are the fix.
+  std::set<std::string> names;
+  (void)names;
+  // A pointer buried inside a compound key still address-orders the set.
+  std::set<std::pair<Node*, int>> pairs;  // finding: pointer key
+  (void)pairs;
+  // bbv-lint: allow(det-iter) address-ordered scratch set, never traversed
+  std::set<Node*> suppressed;
+  (void)suppressed;
+  return total;
+}

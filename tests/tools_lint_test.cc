@@ -210,6 +210,34 @@ TEST(LintRulesTest, DetIterRuleScopedToSrc) {
   EXPECT_EQ(CountRule(findings, "det-iter"), 0u);
 }
 
+TEST(LintRulesTest, FlagsPointerKeyedOrderedContainers) {
+  const auto findings = LintFile("src/fixture/bad_det_iter_ptr_key.cc",
+                                 FixturePath("bad_det_iter_ptr_key.cc"));
+  // Raw-pointer set parameter, const-pointer map key, shared_ptr key and a
+  // pointer inside a compound key; the string-keyed containers and the
+  // suppressed declaration stay silent.
+  EXPECT_EQ(CountRule(findings, "det-iter"), 4u);
+}
+
+TEST(LintRulesTest, PointerKeyRuleScopedToSrc) {
+  std::ifstream input(FixturePath("bad_det_iter_ptr_key.cc"));
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  const auto findings =
+      LintFileContents("tools/bad_det_iter_ptr_key.cc", buffer.str());
+  EXPECT_EQ(CountRule(findings, "det-iter"), 0u);
+}
+
+TEST(LintRulesTest, PointerOnValueSideOfMapIsAllowed) {
+  const auto findings = LintFileContents(
+      "src/fixture/value_ptr.cc",
+      "#include <map>\n"
+      "#include <string>\n"
+      "struct Node {};\n"
+      "std::map<std::string, Node*> Index();\n");
+  EXPECT_EQ(CountRule(findings, "det-iter"), 0u);
+}
+
 TEST(LintRulesTest, DetIterTraversalNeedsADeclaredVariable) {
   // A range-for over an ordered map is fine even when an unordered variable
   // exists elsewhere in the file.

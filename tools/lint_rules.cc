@@ -361,7 +361,50 @@ void CheckDeterministicIteration(const std::string& path,
         break;
       }
     }
-    // (c) Iterator traversal: name.begin() / name.cbegin() and friends.
+    // (c) Pointer-keyed std::map/std::set: the container is ordered, but
+    // over pointer values, which follow allocation layout (ASLR, allocation
+    // sequence) and change run to run — ordered is not the same as
+    // deterministic. Smart-pointer keys compare addresses too. Only the key
+    // argument is scanned: pointers on the mapped-value side are harmless.
+    if (token.kind == TokenKind::kIdentifier && !token.in_directive &&
+        (token.text == "map" || token.text == "set" ||
+         token.text == "multimap" || token.text == "multiset") &&
+        i >= 2 && IsPunct(tokens[i - 1], "::") &&
+        IsIdent(tokens[i - 2], "std") && i + 1 < tokens.size() &&
+        IsPunct(tokens[i + 1], "<")) {
+      bool pointer_key = false;
+      int depth = 0;
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        const Token& argument = tokens[j];
+        if (argument.kind == TokenKind::kIdentifier &&
+            (argument.text == "shared_ptr" || argument.text == "unique_ptr" ||
+             argument.text == "weak_ptr")) {
+          pointer_key = true;
+        }
+        if (argument.kind != TokenKind::kPunct) continue;
+        if (argument.text == "<") {
+          ++depth;
+        } else if (argument.text == ">") {
+          if (--depth == 0) break;
+        } else if (argument.text == ">>") {
+          depth -= 2;
+          if (depth <= 0) break;
+        } else if (argument.text == "," && depth == 1) {
+          break;
+        } else if (argument.text == "*") {
+          pointer_key = true;
+        }
+      }
+      if (pointer_key) {
+        Report(path, lexed, token.line, rule,
+               "pointer-keyed 'std::" + token.text +
+                   "': comparison is over pointer values, so iteration order "
+                   "follows allocation layout and changes run to run; key by "
+                   "a stable id (name, index) instead",
+               findings);
+      }
+    }
+    // (d) Iterator traversal: name.begin() / name.cbegin() and friends.
     if (token.kind == TokenKind::kIdentifier &&
         context.unordered_variables.count(token.text) > 0 &&
         i + 3 < tokens.size() &&

@@ -46,7 +46,10 @@ struct LintFinding {
 ///    is unspecified and silently leaks into float accumulation order,
 ///    feature indices and serialized bytes, breaking the determinism gate.
 ///    Both the type mention and any range-for / .begin() traversal of a
-///    variable declared unordered are flagged.
+///    variable declared unordered are flagged. Pointer-keyed std::map /
+///    std::set (raw or smart-pointer keys, including inside compound keys)
+///    are flagged too: they are ordered, but over pointer values, which
+///    follow allocation layout and change run to run.
 ///  - "layering": #include edges between src/ modules must follow the
 ///    documented DAG common -> {stats, linalg, data} -> {ml, errors,
 ///    featurize, datasets} -> {core, serve, automl}, plus four audited
