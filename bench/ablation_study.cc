@@ -43,7 +43,7 @@ double PredictorMae(const ml::BlackBox& model, const data::Dataset& test,
                                             *probabilities, serving.labels);
     auto estimate = predictor.EstimateScoreFromProba(*probabilities);
     BBV_CHECK(estimate.ok());
-    absolute_errors.push_back(std::abs(*estimate - truth));
+    absolute_errors.push_back(std::abs(estimate->point - truth));
   }
   return stats::Mean(absolute_errors);
 }

@@ -55,6 +55,10 @@ ReplayOutcome Replay(
   core::ModelMonitor::Options monitor_options;
   monitor_options.alarm_threshold = 0.05;
   monitor_options.window_batches = 4;
+  // The committed detection-delay/false-alarm bounds characterize the
+  // point-drop alarm; the conservative certified (interval) policy trades
+  // delay for certainty and is gated separately in ext_conformal.
+  monitor_options.alarm_policy = core::ModelMonitor::AlarmPolicy::kPointDrop;
   auto monitor = core::ModelMonitor::CreateForProba(
       "drift:" + scenario.name(), predictor, monitor_options);
   BBV_CHECK(monitor.ok()) << monitor.status().ToString();
@@ -75,9 +79,9 @@ ReplayOutcome Replay(
     BBV_CHECK(batch.ok()) << batch.status().ToString();
     auto probabilities = model.PredictProba(batch->features);
     BBV_CHECK(probabilities.ok());
-    auto report = monitor->ObserveFromProba(*probabilities);
+    auto report = monitor->Observe(*probabilities);
     BBV_CHECK(report.ok()) << report.status().ToString();
-    outcome.windowed_estimates.push_back(report->windowed_estimate);
+    outcome.windowed_estimates.push_back(report->windowed_estimate.point);
     if (report->alarm) {
       ++outcome.alarms;
       if (batch_index < onset) {
@@ -124,8 +128,8 @@ bool CheckStreamingConsistency(
   BBV_CHECK(left->Ingest(head).ok());
   BBV_CHECK(right->Ingest(tail).ok());
   BBV_CHECK(left->MergeFrom(*right).ok());
-  const double merged = left->EstimateScore().ValueOrDie();
-  const double unsharded = full->EstimateScore().ValueOrDie();
+  const core::ScoreEstimate merged = left->EstimateScore().ValueOrDie();
+  const core::ScoreEstimate unsharded = full->EstimateScore().ValueOrDie();
   return merged == unsharded;
 }
 

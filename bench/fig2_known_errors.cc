@@ -52,7 +52,7 @@ void RunCell(const std::string& model_name, const std::string& dataset_name,
           core::ScoreMetric::kAccuracy, *probabilities, data.serving.labels);
       auto estimate = predictor.EstimateScoreFromProba(*probabilities);
       BBV_CHECK(estimate.ok()) << estimate.status().ToString();
-      absolute_errors.push_back(std::abs(*estimate - true_accuracy));
+      absolute_errors.push_back(std::abs(estimate->point - true_accuracy));
     }
     const Summary summary = Summarize(absolute_errors);
     std::printf(

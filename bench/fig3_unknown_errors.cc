@@ -102,7 +102,7 @@ std::vector<double> RunCell(const std::string& model_name,
         core::ScoreMetric::kAccuracy, *probabilities, data.serving.labels);
     auto estimate = predictor.EstimateScoreFromProba(*probabilities);
     BBV_CHECK(estimate.ok()) << estimate.status().ToString();
-    absolute_errors.push_back(std::abs(*estimate - true_accuracy));
+    absolute_errors.push_back(std::abs(estimate->point - true_accuracy));
   }
   return absolute_errors;
 }

@@ -53,7 +53,7 @@ void RunPanel(const std::string& dataset_name, const std::string& model_name,
           core::ScoreMetric::kAccuracy, *probabilities, data.serving.labels);
       auto estimate = predictor.EstimateScoreFromProba(*probabilities);
       BBV_CHECK(estimate.ok()) << estimate.status().ToString();
-      absolute_errors.push_back(std::abs(*estimate - true_accuracy));
+      absolute_errors.push_back(std::abs(estimate->point - true_accuracy));
     }
     const double mae = stats::Mean(absolute_errors);
     const std::vector<double> bands =

@@ -56,9 +56,9 @@ void RunCell(const std::string& dataset_name, const RunConfig& config) {
     auto estimate = predictor.EstimateScoreFromProba(*probabilities);
     BBV_CHECK(estimate.ok()) << estimate.status().ToString();
     true_scores.push_back(true_accuracy);
-    predicted_scores.push_back(*estimate);
+    predicted_scores.push_back(estimate->point);
     std::printf("dataset=%-7s true_accuracy=%.4f predicted_accuracy=%.4f\n",
-                dataset_name.c_str(), true_accuracy, *estimate);
+                dataset_name.c_str(), true_accuracy, estimate->point);
   }
   const double mae =
       stats::MeanAbsoluteError(true_scores, predicted_scores);

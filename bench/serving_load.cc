@@ -152,8 +152,10 @@ std::string ScorerBytes(const serve::StreamingScorer& scorer) {
 /// StreamingScorers (scalar estimate per request, swaps applied at the
 /// same per-tenant positions).
 struct StandaloneResult {
-  /// One estimate per scoring op, in trace order.
-  std::vector<double> estimates;
+  /// One estimate (point + conformal interval) per scoring op, in trace
+  /// order. All four ScoreEstimate fields take part in the bitwise
+  /// comparisons below.
+  std::vector<core::ScoreEstimate> estimates;
   /// Serialized final state per tenant (empty string = never scored).
   std::vector<std::string> states;
 };
@@ -191,7 +193,7 @@ StandaloneResult ReplayStandalone(
 
 /// One service replay of the trace at the ambient BBV_THREADS setting.
 struct ServiceResult {
-  std::vector<double> estimates;
+  std::vector<core::ScoreEstimate> estimates;
   double wall_seconds = 0.0;
   double flush_p50 = 0.0;
   double flush_p99 = 0.0;
@@ -229,7 +231,7 @@ ServiceResult RunService(
   for (const TraceOp& op : trace) {
     if (!op.is_swap) ++scoring_ops;
   }
-  result.estimates.assign(scoring_ops, 0.0);
+  result.estimates.assign(scoring_ops, core::ScoreEstimate{});
 
   WallTimer timer;
   size_t since_flush = 0;
@@ -329,7 +331,7 @@ int main(int argc, char** argv) {
   std::vector<BenchResult> results;
   bool all_identical = true;
   bool all_deterministic = true;
-  std::vector<double> serial_estimates;
+  std::vector<bbv::core::ScoreEstimate> serial_estimates;
   double serial_seconds = 0.0;
   for (int threads : {1, 4, 8}) {
     ScopedThreadsEnv env(threads);

@@ -108,7 +108,7 @@ std::string RunSketchPath(const core::PerformancePredictor& predictor,
   }
   const auto estimate = scorer->EstimateScore();
   BBV_CHECK(estimate.ok()) << estimate.status().ToString();
-  if (estimate_out != nullptr) *estimate_out = *estimate;
+  if (estimate_out != nullptr) *estimate_out = estimate->point;
   std::ostringstream out;
   BBV_CHECK(scorer->SaveState(out).ok());
   return out.str();
@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
     WallTimer timer;
     exact_features = bbv::core::PredictionStatistics(
         stream, predictor.percentile_points());
+    // bbv-lint: allow(batch-api) one feature vector per thread setting, not a batch
     const auto estimate = predictor.EstimateScoreFromStatistics(
         exact_features);
     BBV_CHECK(estimate.ok()) << estimate.status().ToString();
@@ -158,7 +159,7 @@ int main(int argc, char** argv) {
         seconds > 0.0 ? exact_serial_seconds / seconds : 0.0;
     result.extras.emplace_back("rows", static_cast<double>(rows));
     result.extras.emplace_back("memory_bytes", exact_bytes);
-    result.extras.emplace_back("estimate", *estimate);
+    result.extras.emplace_back("estimate", estimate->point);
     results.push_back(result);
     std::printf("exact_percentiles  threads=%d wall=%.3fs bytes=%.0f\n",
                 threads, seconds, exact_bytes);

@@ -50,7 +50,7 @@ int main() {
     const double actual = bbv::core::ComputeScore(
         bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
     const double estimated =
-        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie().point;
     std::printf("%3.0f%% tweets rewritten   %.3f      %.3f\n",
                 100.0 * intensity, estimated, actual);
   }

@@ -67,7 +67,7 @@ int main() {
     const double actual = bbv::core::ComputeScore(
         bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
     const double estimated =
-        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie().point;
     total_error += std::abs(estimated - actual);
     std::printf("%-8d %.3f      %.3f\n", batch, estimated, actual);
   }

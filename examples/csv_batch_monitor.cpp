@@ -101,7 +101,7 @@ int main() {
 
     const auto probabilities = model.PredictProba(*parsed).ValueOrDie();
     const double estimated =
-        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie().point;
     const double actual = bbv::core::ComputeScore(
         bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
     const bool ok = estimated >= 0.95 * predictor.test_score();

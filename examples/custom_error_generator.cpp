@@ -86,7 +86,7 @@ int main() {
     const double actual = bbv::core::ComputeScore(
         bbv::core::ScoreMetric::kAccuracy, probabilities, serving.labels);
     const double estimated =
-        predictor.EstimateScoreFromProba(probabilities).ValueOrDie();
+        predictor.EstimateScoreFromProba(probabilities).ValueOrDie().point;
     std::printf("unit change wave %-11d %.3f      %.3f\n", wave, estimated,
                 actual);
   }

@@ -65,26 +65,35 @@ int main() {
   std::printf("performance predictor trained on %zu corrupted copies\n",
               predictor.num_training_examples());
 
-  // 4. Estimate the score on unlabeled serving batches (Algorithm 2).
-  const double clean_estimate =
+  // 4. Estimate the score on unlabeled serving batches (Algorithm 2). Each
+  // estimate carries a conformal interval calibrated on the corrupted
+  // copies; the interval covers the true score at the configured coverage
+  // level (90% by default).
+  const bbv::core::ScoreEstimate clean_estimate =
       predictor.EstimateScore(model, serving.features).ValueOrDie();
-  std::printf("\nclean serving batch:     estimated=%.3f actual=%.3f\n",
-              clean_estimate, model.ScoreAccuracy(serving).ValueOrDie());
+  std::printf(
+      "\nclean serving batch:     estimated=%.3f in [%.3f, %.3f] "
+      "actual=%.3f\n",
+      clean_estimate.point, clean_estimate.lo, clean_estimate.hi,
+      model.ScoreAccuracy(serving).ValueOrDie());
 
   // Simulate a preprocessing bug that rescales numeric columns.
   const bbv::data::DataFrame corrupted =
       scaling.Corrupt(serving.features, rng).ValueOrDie();
-  const double corrupted_estimate =
+  const bbv::core::ScoreEstimate corrupted_estimate =
       predictor.EstimateScore(model, corrupted).ValueOrDie();
   const auto corrupted_probabilities =
       model.PredictProba(corrupted).ValueOrDie();
   const double corrupted_actual =
       bbv::core::ComputeScore(bbv::core::ScoreMetric::kAccuracy,
                               corrupted_probabilities, serving.labels);
-  std::printf("corrupted serving batch: estimated=%.3f actual=%.3f\n",
-              corrupted_estimate, corrupted_actual);
+  std::printf(
+      "corrupted serving batch: estimated=%.3f in [%.3f, %.3f] "
+      "actual=%.3f\n",
+      corrupted_estimate.point, corrupted_estimate.lo, corrupted_estimate.hi,
+      corrupted_actual);
 
-  if (corrupted_estimate < 0.95 * predictor.test_score()) {
+  if (corrupted_estimate.point < 0.95 * predictor.test_score()) {
     std::printf("\n=> ALARM: estimated accuracy dropped more than 5%% below "
                 "the test-time score (%.3f); do not trust these "
                 "predictions.\n",

@@ -1,0 +1,105 @@
+#include "core/conformal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace bbv::core {
+
+common::Result<ConformalCalibrator> ConformalCalibrator::Calibrate(
+    Mode mode, std::span<const double> truths,
+    std::span<const double> predictions, std::span<const double> spreads) {
+  if (truths.empty()) {
+    return common::Status::InvalidArgument(
+        "conformal calibration needs at least one out-of-fold pair");
+  }
+  if (predictions.size() != truths.size()) {
+    return common::Status::InvalidArgument(
+        "calibration truths and predictions disagree on the number of "
+        "examples");
+  }
+  const bool scaled = mode == Mode::kQuantileForest;
+  if (scaled && spreads.size() != truths.size()) {
+    return common::Status::InvalidArgument(
+        "quantile-forest calibration needs one tree spread per example");
+  }
+  ConformalCalibrator calibrator;
+  calibrator.mode_ = mode;
+  calibrator.scores_.reserve(truths.size());
+  for (size_t i = 0; i < truths.size(); ++i) {
+    if (!std::isfinite(truths[i]) || !std::isfinite(predictions[i]) ||
+        (scaled && !std::isfinite(spreads[i]))) {
+      return common::Status::InvalidArgument(
+          "non-finite calibration input at example " + std::to_string(i));
+    }
+    double score = std::fabs(truths[i] - predictions[i]);
+    if (scaled) score /= std::max(spreads[i], kSpreadFloor);
+    calibrator.scores_.push_back(score);
+  }
+  // Canonical ascending order: the serialized state is a pure function of
+  // the calibration multiset, independent of fold or thread scheduling.
+  std::sort(calibrator.scores_.begin(), calibrator.scores_.end());
+  return calibrator;
+}
+
+double ConformalCalibrator::QuantileAt(double coverage) const {
+  BBV_CHECK(calibrated()) << "QuantileAt on an uncalibrated calibrator";
+  BBV_CHECK(coverage > 0.0 && coverage < 1.0)
+      << "coverage must lie in (0, 1), got " << coverage;
+  const size_t n = scores_.size();
+  // Finite-sample rank ceil((n + 1) * coverage); the +1 pays for the
+  // serving draw itself. Ranks beyond n saturate at the largest score.
+  const auto rank = static_cast<size_t>(
+      std::ceil((static_cast<double>(n) + 1.0) * coverage));
+  return scores_[std::min(rank, n) - 1];
+}
+
+ScoreEstimate ConformalCalibrator::Interval(double point, double spread,
+                                            double coverage) const {
+  if (!calibrated()) return ScoreEstimate::Degenerate(point);
+  double radius = QuantileAt(coverage);
+  if (mode_ == Mode::kQuantileForest) {
+    radius *= std::max(spread, kSpreadFloor);
+  }
+  ScoreEstimate estimate;
+  estimate.point = point;
+  // Scores (accuracy, ROC AUC) live in [0, 1]; clamping the endpoints only
+  // tightens the interval and never costs coverage. The point stays the
+  // raw regressor output — the bytes-unchanged contract of `.point`.
+  estimate.lo = std::clamp(point - radius, 0.0, 1.0);
+  estimate.hi = std::clamp(point + radius, 0.0, 1.0);
+  estimate.coverage_level = coverage;
+  return estimate;
+}
+
+void ConformalCalibrator::Save(common::BinaryWriter& writer) const {
+  writer.WriteInt32(static_cast<int32_t>(mode_));
+  writer.WriteDoubleVector(scores_);
+}
+
+common::Result<ConformalCalibrator> ConformalCalibrator::Load(
+    common::BinaryReader& reader) {
+  BBV_ASSIGN_OR_RETURN(int32_t mode, reader.ReadInt32());
+  if (mode < 0 || mode > static_cast<int32_t>(Mode::kQuantileForest)) {
+    return common::Status::InvalidArgument("corrupt conformal mode");
+  }
+  ConformalCalibrator calibrator;
+  calibrator.mode_ = static_cast<Mode>(mode);
+  BBV_ASSIGN_OR_RETURN(calibrator.scores_, reader.ReadDoubleVector());
+  // Calibration state is untrusted input at Load time: scores are absolute
+  // (possibly scaled) residuals, so they must be finite, non-negative and
+  // in canonical ascending order.
+  for (size_t i = 0; i < calibrator.scores_.size(); ++i) {
+    const double score = calibrator.scores_[i];
+    if (!std::isfinite(score) || score < 0.0 ||
+        (i > 0 && score < calibrator.scores_[i - 1])) {
+      return common::Status::InvalidArgument(
+          "corrupt conformal calibration scores");
+    }
+  }
+  return calibrator;
+}
+
+}  // namespace bbv::core

@@ -1,0 +1,99 @@
+#ifndef BBV_CORE_CONFORMAL_H_
+#define BBV_CORE_CONFORMAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "core/score_estimate.h"
+
+namespace bbv::core {
+
+/// Split-conformal calibrator for the performance predictor's score
+/// estimates (ROADMAP "uncertainty-carrying estimates"; the coverage/length
+/// evaluation mirrors the arc conformal suite).
+///
+/// Calibration consumes out-of-fold (truth, prediction) pairs from the
+/// predictor's meta-training set — fold models predict examples they never
+/// saw, so the residuals are honest — and stores the sorted nonconformity
+/// scores. An interval query around a point prediction looks up the
+/// finite-sample quantile at rank ceil((n + 1) * coverage) and widens the
+/// point by it:
+///
+///  * kSplitConformal — nonconformity |truth - prediction|; every interval
+///    at a given coverage has the same width (marginal calibration).
+///  * kQuantileForest — locally scaled variant: the per-tree leaf responses
+///    already sitting in ml::ForestKernel's value array act as a
+///    quantile-regression-forest difficulty estimate. Nonconformity is
+///    |truth - prediction| / max(spread, kSpreadFloor) with `spread` the
+///    inter-quartile range of the fold forest's per-tree predictions, and
+///    serving intervals re-scale by the final forest's per-row spread — so
+///    easy rows (trees agree) get tight intervals and ambiguous rows wide
+///    ones, while the marginal guarantee is unchanged.
+///
+/// Both modes give finite-sample marginal coverage >= coverage_level under
+/// exchangeability of calibration and serving draws.
+///
+/// Determinism contract: the stored scores are sorted ascending (a pure
+/// function of the calibration multiset), so the serialized state — and
+/// every interval — is byte-identical at any BBV_THREADS and across
+/// Save/Load round trips.
+class ConformalCalibrator {
+ public:
+  enum class Mode : int32_t {
+    kSplitConformal = 0,
+    kQuantileForest = 1,
+  };
+
+  /// Spread floor for kQuantileForest: a degenerate forest whose trees all
+  /// agree must not collapse the interval to a point the residuals never
+  /// certified.
+  static constexpr double kSpreadFloor = 1e-3;
+
+  /// Uncalibrated: every Interval() is degenerate (lo == hi == point).
+  ConformalCalibrator() = default;
+
+  /// Builds the calibrator from out-of-fold pairs. `spreads` is read only
+  /// in kQuantileForest mode (pass an empty span for kSplitConformal) and
+  /// must then be truths.size() long. Requires at least one pair; all
+  /// inputs must be finite.
+  static common::Result<ConformalCalibrator> Calibrate(
+      Mode mode, std::span<const double> truths,
+      std::span<const double> predictions, std::span<const double> spreads);
+
+  bool calibrated() const { return !scores_.empty(); }
+  Mode mode() const { return mode_; }
+  size_t num_calibration_examples() const { return scores_.size(); }
+
+  /// Finite-sample residual quantile at `coverage` in (0, 1): the k-th
+  /// smallest stored score with k = ceil((n + 1) * coverage), clamped to n
+  /// (coverage demands beyond (n / (n + 1)) saturate at the largest
+  /// observed nonconformity). Requires calibrated().
+  double QuantileAt(double coverage) const;
+
+  /// Interval around `point` at the given coverage; `spread` is the
+  /// per-row tree spread (kQuantileForest) and ignored for kSplitConformal.
+  /// Uncalibrated calibrators return ScoreEstimate::Degenerate(point);
+  /// endpoints are clamped to [0, 1], the point never is.
+  ScoreEstimate Interval(double point, double spread, double coverage) const;
+
+  /// Sorted nonconformity scores (calibration state; ascending).
+  const std::vector<double>& scores() const { return scores_; }
+
+  /// Appends the calibration state to an open archive / restores it.
+  /// Canonical: equal calibration multisets serialize byte-identically.
+  void Save(common::BinaryWriter& writer) const;
+  static common::Result<ConformalCalibrator> Load(
+      common::BinaryReader& reader);
+
+ private:
+  Mode mode_ = Mode::kSplitConformal;
+  std::vector<double> scores_;
+};
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_CONFORMAL_H_

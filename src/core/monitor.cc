@@ -107,12 +107,12 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
   const common::telemetry::TraceSpan span("monitor.observe");
   if (model_ == nullptr) {
     return common::Status::FailedPrecondition(
-        "Observe on a proba-only monitor (no black box attached); use "
-        "ObserveFromProba");
+        "frame Observe on a proba-only monitor (no black box attached); "
+        "feed precomputed probabilities through the matrix overload");
   }
   BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
                        model_->PredictProba(serving));
-  BBV_ASSIGN_OR_RETURN(BatchReport report, ObserveFromProba(probabilities));
+  BBV_ASSIGN_OR_RETURN(BatchReport report, Observe(probabilities));
   // Fold the model-inference time into the reported latency (the inner call
   // only timed featurization + forest inference).
   report.latency_seconds = span.ElapsedSeconds();
@@ -122,7 +122,7 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
   return report;
 }
 
-common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
+common::Result<ModelMonitor::BatchReport> ModelMonitor::Observe(
     const linalg::Matrix& probabilities) {
   const common::telemetry::TraceSpan span("monitor.observe_from_proba");
   if (probabilities.rows() == 0) {
@@ -143,9 +143,9 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
       }
     }
   }
-  BBV_ASSIGN_OR_RETURN(double estimate,
+  BBV_ASSIGN_OR_RETURN(ScoreEstimate estimate,
                        predictor_->EstimateScoreFromProba(probabilities));
-  if (!std::isfinite(estimate)) {
+  if (!std::isfinite(estimate.point)) {
     // Never let NaN/Inf flow into reports, history or alarm decisions.
     common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
     return common::Status::Internal(
@@ -153,11 +153,13 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
   }
   BatchReport report;
   report.rows = probabilities.rows();
-  report.estimated_score = estimate;
+  report.estimate = estimate;
   report.reference_score = predictor_->test_score();
   // The constructor guarantees a finite, strictly positive reference.
   report.relative_drop =
-      (report.reference_score - estimate) / report.reference_score;
+      (report.reference_score - estimate.point) / report.reference_score;
+  report.certified_drop =
+      (report.reference_score - estimate.hi) / report.reference_score;
   if (windowed()) {
     // Sketch this batch, merge it with the most recent window_batches - 1
     // retained banks, and alarm on the estimate over that merged summary —
@@ -174,29 +176,41 @@ common::Result<ModelMonitor::BatchReport> ModelMonitor::ObserveFromProba(
     for (size_t i = window_.size() - prior; i < window_.size(); ++i) {
       BBV_RETURN_NOT_OK(merged.Merge(window_[i]));
     }
+    const std::vector<double> window_features =
+        merged.PercentileFeatures(predictor_->percentile_points());
     BBV_ASSIGN_OR_RETURN(
-        double windowed_estimate,
-        predictor_->EstimateScoreFromStatistics(
-            merged.PercentileFeatures(predictor_->percentile_points())));
-    if (!std::isfinite(windowed_estimate)) {
+        ScoreEstimate windowed_estimate,
+        predictor_->EstimateScoreFromStatistics(window_features));
+    if (!std::isfinite(windowed_estimate.point)) {
       common::telemetry::IncrementCounter("monitor.nonfinite_estimates");
       return common::Status::Internal(
           "performance predictor produced a non-finite windowed estimate");
     }
     report.windowed_estimate = windowed_estimate;
     report.windowed_relative_drop =
-        (report.reference_score - windowed_estimate) / report.reference_score;
+        (report.reference_score - windowed_estimate.point) /
+        report.reference_score;
+    report.windowed_certified_drop =
+        (report.reference_score - windowed_estimate.hi) /
+        report.reference_score;
     report.window_batches_used = prior + 1;
     report.window_rows = merged.rows_observed();
-    report.alarm =
-        report.windowed_relative_drop >= options_.alarm_threshold;
+    const double windowed_alarm_drop =
+        options_.alarm_policy == AlarmPolicy::kCertifiedDrop
+            ? report.windowed_certified_drop
+            : report.windowed_relative_drop;
+    report.alarm = windowed_alarm_drop >= options_.alarm_threshold;
     window_.push_back(std::move(batch_bank));
     while (window_.size() > options_.window_batches) {
       window_.pop_front();
       common::telemetry::IncrementCounter("monitor.window_evictions");
     }
   } else {
-    report.alarm = report.relative_drop >= options_.alarm_threshold;
+    const double alarm_drop =
+        options_.alarm_policy == AlarmPolicy::kCertifiedDrop
+            ? report.certified_drop
+            : report.relative_drop;
+    report.alarm = alarm_drop >= options_.alarm_threshold;
   }
   report.batch_id = batches_observed_++;
   if (report.alarm) {
@@ -251,26 +265,34 @@ std::string ModelMonitor::Summary() const {
      << " batches observed, " << alarms_raised_ << " alarms (rate "
      << AlarmRate() << ")\n";
   os << "reference score: " << predictor_->test_score() << " (alarm at >= "
-     << options_.alarm_threshold << " relative drop)\n";
+     << options_.alarm_threshold << " "
+     << (options_.alarm_policy == AlarmPolicy::kCertifiedDrop
+             ? "certified drop — the interval must cross"
+             : "point-estimate drop")
+     << ")\n";
   if (windowed()) {
     os << "sliding window: last " << options_.window_batches
        << " batches, sketched at 2^" << options_.sketch_resolution_bits
        << " cells per class";
     if (!history_.empty()) {
       const BatchReport& last = history_.back();
-      os << "; current windowed estimate " << last.windowed_estimate << " ("
-         << last.window_batches_used << " batches, " << last.window_rows
-         << " rows)";
+      os << "; current windowed estimate " << last.windowed_estimate.point
+         << " [" << last.windowed_estimate.lo << ", "
+         << last.windowed_estimate.hi << "] (" << last.window_batches_used
+         << " batches, " << last.window_rows << " rows)";
     }
     os << "\n";
   }
   if (!history_.empty()) {
     std::vector<double> estimates;
+    std::vector<double> widths;
     std::vector<double> latencies;
     estimates.reserve(history_.size());
+    widths.reserve(history_.size());
     latencies.reserve(history_.size());
     for (const BatchReport& report : history_) {
-      estimates.push_back(report.estimated_score);
+      estimates.push_back(report.estimate.point);
+      widths.push_back(report.estimate.width());
       latencies.push_back(report.latency_seconds);
     }
     // One sort per metric family, arbitrarily many quantiles after.
@@ -279,6 +301,11 @@ std::string ModelMonitor::Summary() const {
        << " batches): p5=" << estimate_view.Percentile(5.0)
        << " median=" << estimate_view.Median()
        << " p95=" << estimate_view.Percentile(95.0) << "\n";
+    const stats::SortedView width_view(std::move(widths));
+    os << "interval width (coverage "
+       << history_.back().estimate.coverage_level
+       << "): p50=" << width_view.Median()
+       << " p95=" << width_view.Percentile(95.0) << "\n";
     const stats::SortedView latency_view(std::move(latencies));
     os << "batch latency: p50=" << latency_view.Median() * 1e3
        << "ms p95=" << latency_view.Percentile(95.0) * 1e3
@@ -295,8 +322,19 @@ std::string ModelMonitor::ExportJson() const {
   os << "    \"model\": \"" << name_ << "\",\n";
   os << "    \"reference_score\": " << predictor_->test_score() << ",\n";
   os << "    \"alarm_threshold\": " << options_.alarm_threshold << ",\n";
+  os << "    \"alarm_policy\": \""
+     << (options_.alarm_policy == AlarmPolicy::kCertifiedDrop
+             ? "certified_drop"
+             : "point_drop")
+     << "\",\n";
+  os << "    \"coverage_level\": " << predictor_->coverage_level() << ",\n";
   os << "    \"history_limit\": " << options_.history_limit << ",\n";
-  os << "    \"window_batches\": " << options_.window_batches << ",\n";
+  // Windowed configuration only when a window exists: a classic monitor
+  // used to emit "window_batches": 0, which read as a degenerate 0-batch
+  // window instead of "not windowed".
+  if (windowed()) {
+    os << "    \"window_batches\": " << options_.window_batches << ",\n";
+  }
   os << "    \"predictor_epoch\": " << epoch_ << ",\n";
   os << "    \"batches_observed\": " << batches_observed_ << ",\n";
   os << "    \"alarms_raised\": " << alarms_raised_ << ",\n";
@@ -306,16 +344,25 @@ std::string ModelMonitor::ExportJson() const {
     const BatchReport& report = history_[i];
     os << "      {\"batch_id\": " << report.batch_id
        << ", \"rows\": " << report.rows
-       << ", \"estimated_score\": " << report.estimated_score
+       << ", \"estimated_score\": " << report.estimate.point
+       << ", \"estimate_lo\": " << report.estimate.lo
+       << ", \"estimate_hi\": " << report.estimate.hi
+       << ", \"estimate_width\": " << report.estimate.width()
+       << ", \"coverage_level\": " << report.estimate.coverage_level
        << ", \"relative_drop\": " << report.relative_drop
+       << ", \"certified_drop\": " << report.certified_drop
        << ", \"alarm\": " << (report.alarm ? "true" : "false")
        << ", \"latency_seconds\": " << report.latency_seconds
        << ", \"estimate_calls_total\": " << report.estimate_calls_total
        << ", \"alarms_total\": " << report.alarms_total
        << ", \"epoch\": " << report.epoch;
     if (windowed()) {
-      os << ", \"windowed_estimate\": " << report.windowed_estimate
+      os << ", \"windowed_estimate\": " << report.windowed_estimate.point
+         << ", \"windowed_lo\": " << report.windowed_estimate.lo
+         << ", \"windowed_hi\": " << report.windowed_estimate.hi
          << ", \"windowed_relative_drop\": " << report.windowed_relative_drop
+         << ", \"windowed_certified_drop\": "
+         << report.windowed_certified_drop
          << ", \"window_batches_used\": " << report.window_batches_used
          << ", \"window_rows\": " << report.window_rows;
     }

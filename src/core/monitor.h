@@ -28,10 +28,28 @@ namespace bbv::core {
 /// same invariants with BBV_CHECK.
 class ModelMonitor {
  public:
+  /// What the alarm thresholds on. The estimate is an interval now
+  /// (core::ScoreEstimate), so "the score dropped" is a statement with an
+  /// uncertainty attached:
+  ///  * kCertifiedDrop (default) alarms when the *interval* has crossed
+  ///    the drop threshold — even the optimistic endpoint (hi) shows a
+  ///    relative drop >= alarm_threshold, i.e. the calibrated interval
+  ///    certifies the drop at the estimate's coverage level. Estimation
+  ///    noise inside the interval can no longer fire spurious alarms.
+  ///  * kPointDrop alarms on the raw point estimate's drop (the
+  ///    pre-interval behavior, and what both policies degrade to when the
+  ///    predictor is uncalibrated).
+  enum class AlarmPolicy {
+    kCertifiedDrop,
+    kPointDrop,
+  };
+
   struct Options {
     /// Relative quality drop that raises an alarm (e.g. 0.05 = 5%). An
-    /// alarm fires when relative_drop >= alarm_threshold.
+    /// alarm fires when the policy-selected drop >= alarm_threshold.
     double alarm_threshold = 0.05;
+    /// Which drop the alarm thresholds on (see AlarmPolicy).
+    AlarmPolicy alarm_policy = AlarmPolicy::kCertifiedDrop;
     /// Maximum batch reports retained (older entries are dropped).
     size_t history_limit = 1000;
     /// Sliding-window mode: when positive, the monitor keeps a ring of the
@@ -50,12 +68,17 @@ class ModelMonitor {
   struct BatchReport {
     size_t batch_id = 0;
     size_t rows = 0;
-    /// Predictor estimate of the score on this batch.
-    double estimated_score = 0.0;
+    /// Predictor estimate of the score on this batch, with its conformal
+    /// interval (degenerate when the predictor is uncalibrated).
+    ScoreEstimate estimate;
     /// Clean-test reference score l_test.
     double reference_score = 0.0;
-    /// (reference - estimate) / reference; positive = estimated drop.
+    /// (reference - estimate.point) / reference; positive = estimated drop.
     double relative_drop = 0.0;
+    /// (reference - estimate.hi) / reference: the drop even the interval's
+    /// optimistic endpoint concedes — what kCertifiedDrop alarms on.
+    /// Equals relative_drop for degenerate estimates.
+    double certified_drop = 0.0;
     bool alarm = false;
     /// Wall-clock seconds spent scoring this batch (predictor featurization
     /// + forest inference; model inference too when observed via
@@ -69,10 +92,12 @@ class ModelMonitor {
     size_t alarms_total = 0;
     /// Sliding-window fields; meaningful only when Options::window_batches
     /// is positive. The estimate over the merged sketches of the last
-    /// `window_batches_used` batches, and its relative drop — this is what
-    /// drives the alarm in window mode.
-    double windowed_estimate = 0.0;
+    /// `window_batches_used` batches, and its drops — this is what drives
+    /// the alarm in window mode.
+    ScoreEstimate windowed_estimate;
     double windowed_relative_drop = 0.0;
+    /// Certified drop of the windowed interval (see certified_drop).
+    double windowed_certified_drop = 0.0;
     /// Batches merged into the windowed estimate (<= window_batches).
     size_t window_batches_used = 0;
     /// Rows covered by the windowed estimate.
@@ -98,10 +123,11 @@ class ModelMonitor {
 
   /// Proba-only factory for serving systems that run model inference
   /// elsewhere (the multi-tenant service): no black box is attached, so
-  /// Observe() is unavailable — feed precomputed probabilities through
-  /// ObserveFromProba. `name` labels the monitor in Summary()/ExportJson();
-  /// the predictor is shared, not copied, so thousands of tenants can
-  /// monitor against one deployed forest.
+  /// the frame overload of Observe() is unavailable — feed precomputed
+  /// probabilities through Observe(const linalg::Matrix&). `name` labels
+  /// the monitor in Summary()/ExportJson(); the predictor is shared, not
+  /// copied, so thousands of tenants can monitor against one deployed
+  /// forest.
   static common::Result<ModelMonitor> CreateForProba(
       std::string name,
       std::shared_ptr<const PerformancePredictor> predictor, Options options);
@@ -113,13 +139,16 @@ class ModelMonitor {
   ModelMonitor(const ml::BlackBox* model, PerformancePredictor predictor,
                Options options);
 
-  /// Scores one serving batch and appends the report to the history.
+  /// The one observation surface: scores one serving batch and appends the
+  /// report to the history. The frame overload runs the attached black box
+  /// first (unavailable on proba-only monitors); the probability overload
+  /// takes precomputed model outputs. Both reject empty batches and
+  /// non-finite estimates (neither pollutes the history), and both return
+  /// the report — callers must consume it (or at minimum its Status; the
+  /// status-discard lint flags drops). The former ObserveFromProba name is
+  /// folded into this overload set.
   common::Result<BatchReport> Observe(const data::DataFrame& serving);
-
-  /// Report from precomputed model outputs. Rejects empty batches and
-  /// non-finite estimates (neither pollutes the history).
-  common::Result<BatchReport> ObserveFromProba(
-      const linalg::Matrix& probabilities);
+  common::Result<BatchReport> Observe(const linalg::Matrix& probabilities);
 
   /// Deploys a retrained predictor (tenant hot-swap). This is an *epoch
   /// boundary*: the windowed ring is cleared, because its sketches were

@@ -9,6 +9,7 @@
 #include "core/prediction_statistics.h"
 #include "ml/cross_validation.h"
 #include "ml/metrics.h"
+#include "stats/descriptive.h"
 
 namespace bbv::core {
 
@@ -164,15 +165,119 @@ common::Status PerformancePredictor::TrainFromStatistics(
   forest_options.tree.binned_split_search = options_.binned_split_search;
   regressor_ = ml::RandomForestRegressor(forest_options);
   BBV_RETURN_NOT_OK(regressor_.Fit(features, scores, rng));
+  // The conformal pass runs strictly AFTER the final fit and on its own
+  // internal Rng: it neither perturbs the Rng draws the forest consumed nor
+  // advances the caller's stream, so the regressor, every `.point`
+  // downstream (including the committed adversarial-search probe fixtures),
+  // and every later draw from `rng` are byte-identical whether calibration
+  // is on or off.
+  calibrator_ = ConformalCalibrator();
+  if (options_.conformal_calibration && options_.calibration_folds >= 2 &&
+      scores.size() >= static_cast<size_t>(options_.calibration_folds)) {
+    BBV_RETURN_NOT_OK(CalibrateConformal(features, scores));
+  }
   trained_ = true;
   return common::Status::OK();
+}
+
+common::Status PerformancePredictor::CalibrateConformal(
+    const linalg::Matrix& features, const std::vector<double>& scores) {
+  const common::telemetry::TraceSpan span("predictor.calibrate");
+  const bool scaled =
+      options_.conformal_mode == ConformalCalibrator::Mode::kQuantileForest;
+  // Fixed-seed internal stream, deliberately NOT the training Rng: drawing
+  // the fold permutation from the caller's stream would shift every Rng
+  // consumer downstream of Train, breaking seed-pinned fixtures and replays
+  // that predate calibration. The fold split only needs to be deterministic,
+  // which a constant seed plus the example count provides.
+  common::Rng rng(0xC0'4F'0B'A1ull + scores.size());
+  const std::vector<ml::Fold> folds = ml::KFoldIndices(
+      scores.size(), options_.calibration_folds, rng);
+  // Fold refits are independent and write disjoint slots; one pre-forked
+  // stream per fold keeps the residual multiset — and hence the canonical
+  // sorted calibration state — byte-identical at every BBV_THREADS.
+  std::vector<common::Rng> fold_rngs = rng.ForkStreams(folds.size());
+  std::vector<std::vector<double>> fold_predictions(folds.size());
+  std::vector<std::vector<double>> fold_spreads(folds.size());
+  BBV_RETURN_NOT_OK(common::ParallelFor(
+      folds.size(), [&](size_t f) -> common::Status {
+        const ml::Fold& fold = folds[f];
+        const linalg::Matrix train_x = features.SelectRows(fold.train_rows);
+        const linalg::Matrix test_x = features.SelectRows(fold.test_rows);
+        std::vector<double> train_y;
+        train_y.reserve(fold.train_rows.size());
+        for (size_t row : fold.train_rows) train_y.push_back(scores[row]);
+        ml::RandomForestRegressor::Options forest_options;
+        forest_options.num_trees = selected_tree_count_;
+        forest_options.tree.binned_split_search =
+            options_.binned_split_search;
+        ml::RandomForestRegressor fold_model(forest_options);
+        BBV_RETURN_NOT_OK(fold_model.Fit(train_x, train_y, fold_rngs[f]));
+        fold_predictions[f].resize(fold.test_rows.size());
+        fold_model.PredictInto(test_x, fold_predictions[f]);
+        if (scaled) {
+          // Difficulty scale from the FINAL forest, not the fold model: the
+          // normalized-conformal guarantee needs one fixed sigma(x) shared
+          // between calibration and serving, and fold forests (fit on a 1 -
+          // 1/folds fraction) have systematically wider tree spreads, which
+          // would deflate every calibration score and undercover at serving
+          // time. Residuals above stay honest (out-of-fold) regardless.
+          fold_spreads[f].reserve(fold.test_rows.size());
+          for (size_t i = 0; i < fold.test_rows.size(); ++i) {
+            fold_spreads[f].push_back(TreeValueSpread(test_x.RowData(i)));
+          }
+        }
+        return common::Status::OK();
+      }));
+  // Serial assembly in fold-major order; the calibrator canonicalizes by
+  // sorting, so assembly order never reaches the stored state anyway.
+  std::vector<double> truths;
+  std::vector<double> predictions;
+  std::vector<double> spreads;
+  truths.reserve(scores.size());
+  predictions.reserve(scores.size());
+  if (scaled) spreads.reserve(scores.size());
+  for (size_t f = 0; f < folds.size(); ++f) {
+    for (size_t i = 0; i < folds[f].test_rows.size(); ++i) {
+      truths.push_back(scores[folds[f].test_rows[i]]);
+      predictions.push_back(fold_predictions[f][i]);
+      if (scaled) spreads.push_back(fold_spreads[f][i]);
+    }
+  }
+  BBV_ASSIGN_OR_RETURN(
+      calibrator_,
+      ConformalCalibrator::Calibrate(options_.conformal_mode, truths,
+                                     predictions, spreads));
+  common::telemetry::IncrementCounter("predictor.calibration_examples",
+                                      truths.size());
+  return common::Status::OK();
+}
+
+double PerformancePredictor::TreeValueSpread(const double* row) const {
+  const ml::ForestKernel& kernel = regressor_.kernel();
+  std::vector<double> tree_values(kernel.num_trees());
+  kernel.PredictRowValuesInto(row, tree_values);
+  const stats::SortedView view(std::move(tree_values));
+  return view.Percentile(75.0) - view.Percentile(25.0);
+}
+
+ScoreEstimate PerformancePredictor::IntervalFor(
+    double point, const double* row, double coverage_level) const {
+  if (!calibrator_.calibrated()) return ScoreEstimate::Degenerate(point);
+  const bool scaled =
+      calibrator_.mode() == ConformalCalibrator::Mode::kQuantileForest;
+  const double spread = scaled ? TreeValueSpread(row) : 0.0;
+  return calibrator_.Interval(point, spread, coverage_level);
 }
 
 namespace {
 constexpr char kPredictorMagic[] = "BBVPP";
 // Version 2 added the trained feature dimension, which guards
-// EstimateScoreFromStatistics against mis-sized feature vectors.
-constexpr uint32_t kPredictorVersion = 2;
+// EstimateScoreFromStatistics against mis-sized feature vectors. Version 3
+// carries the conformal calibration state (coverage level, mode, sorted
+// residual quantiles) so a deployed predictor serves the same intervals it
+// was trained with.
+constexpr uint32_t kPredictorVersion = 3;
 }  // namespace
 
 common::Status PerformancePredictor::Save(std::ostream& out) const {
@@ -187,6 +292,11 @@ common::Status PerformancePredictor::Save(std::ostream& out) const {
   writer.WriteInt32(static_cast<int32_t>(selected_tree_count_));
   writer.WriteUint64(num_training_examples_);
   writer.WriteUint64(feature_dimension_);
+  writer.WriteDouble(options_.coverage_level);
+  // Canonical calibration state: sorted residuals, so equal calibration
+  // multisets — e.g. the same train at different BBV_THREADS — serialize
+  // byte-identically.
+  calibrator_.Save(writer);
   BBV_RETURN_NOT_OK(writer.status());
   // Chain the forest's archive core onto the open writer; the bytes are
   // identical to the pre-redesign nested stream Save.
@@ -232,13 +342,21 @@ common::Result<PerformancePredictor> PerformancePredictor::Load(
     return common::Status::InvalidArgument("corrupt feature dimension");
   }
   predictor.feature_dimension_ = feature_dimension;
+  BBV_ASSIGN_OR_RETURN(double coverage_level, reader.ReadDouble());
+  if (!(coverage_level > 0.0 && coverage_level < 1.0)) {
+    return common::Status::InvalidArgument("corrupt coverage level");
+  }
+  predictor.options_.coverage_level = coverage_level;
+  BBV_ASSIGN_OR_RETURN(predictor.calibrator_,
+                       ConformalCalibrator::Load(reader));
+  predictor.options_.conformal_mode = predictor.calibrator_.mode();
   BBV_ASSIGN_OR_RETURN(predictor.regressor_,
                        ml::RandomForestRegressor::Load(reader));
   predictor.trained_ = true;
   return predictor;
 }
 
-common::Result<double> PerformancePredictor::EstimateScore(
+common::Result<ScoreEstimate> PerformancePredictor::EstimateScore(
     const ml::BlackBox& model, const data::DataFrame& serving) const {
   BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
                        model.PredictProba(serving));
@@ -262,15 +380,20 @@ PerformancePredictor::ProbeEstimationError(
   BBV_ASSIGN_OR_RETURN(linalg::Matrix probabilities,
                        model.PredictProba(serving));
   EstimationErrorProbe probe;
-  BBV_ASSIGN_OR_RETURN(probe.estimated_score,
-                       EstimateScoreFromProba(probabilities));
+  BBV_ASSIGN_OR_RETURN(probe.estimate, EstimateScoreFromProba(probabilities));
+  probe.estimated_score = probe.estimate.point;
   probe.actual_score = ComputeScore(options_.metric, probabilities, labels);
   probe.abs_error = std::fabs(probe.estimated_score - probe.actual_score);
   return probe;
 }
 
-common::Result<double> PerformancePredictor::EstimateScoreFromProba(
+common::Result<ScoreEstimate> PerformancePredictor::EstimateScoreFromProba(
     const linalg::Matrix& probabilities) const {
+  return EstimateScoreFromProba(probabilities, options_.coverage_level);
+}
+
+common::Result<ScoreEstimate> PerformancePredictor::EstimateScoreFromProba(
+    const linalg::Matrix& probabilities, double coverage_level) const {
   const common::telemetry::TraceSpan span("predictor.estimate");
   if (!trained_) {
     return common::Status::FailedPrecondition("EstimateScore before Train");
@@ -287,11 +410,19 @@ common::Result<double> PerformancePredictor::EstimateScoreFromProba(
         std::to_string(feature_dimension_ /
                        options_.percentile_points.size()));
   }
-  return regressor_.PredictRow(statistics.data());
+  const double point = regressor_.PredictRow(statistics.data());
+  return IntervalFor(point, statistics.data(), coverage_level);
 }
 
-common::Result<double> PerformancePredictor::EstimateScoreFromStatistics(
+common::Result<ScoreEstimate>
+PerformancePredictor::EstimateScoreFromStatistics(
     std::span<const double> statistics) const {
+  return EstimateScoreFromStatistics(statistics, options_.coverage_level);
+}
+
+common::Result<ScoreEstimate>
+PerformancePredictor::EstimateScoreFromStatistics(
+    std::span<const double> statistics, double coverage_level) const {
   const common::telemetry::TraceSpan span("predictor.estimate");
   if (!trained_) {
     return common::Status::FailedPrecondition("EstimateScore before Train");
@@ -305,7 +436,8 @@ common::Result<double> PerformancePredictor::EstimateScoreFromStatistics(
         std::to_string(feature_dimension_));
   }
   common::telemetry::IncrementCounter("predictor.estimate.calls");
-  return regressor_.PredictRow(statistics.data());
+  const double point = regressor_.PredictRow(statistics.data());
+  return IntervalFor(point, statistics.data(), coverage_level);
 }
 
 common::Status PerformancePredictor::EstimateScoresFromStatistics(
@@ -330,6 +462,40 @@ common::Status PerformancePredictor::EstimateScoresFromStatistics(
                                       statistics.rows());
   common::telemetry::IncrementCounter("predictor.estimate.batches");
   regressor_.PredictInto(statistics, out);
+  return common::Status::OK();
+}
+
+common::Status PerformancePredictor::EstimateScoresFromStatistics(
+    const linalg::Matrix& statistics, std::span<ScoreEstimate> out) const {
+  const common::telemetry::TraceSpan span("predictor.estimate_batch");
+  if (!trained_) {
+    return common::Status::FailedPrecondition("EstimateScore before Train");
+  }
+  if (statistics.cols() != feature_dimension_) {
+    return common::Status::InvalidArgument(
+        "feature matrix has " + std::to_string(statistics.cols()) +
+        " columns but the predictor was trained on " +
+        std::to_string(feature_dimension_));
+  }
+  if (out.size() != statistics.rows()) {
+    return common::Status::InvalidArgument(
+        "output span holds " + std::to_string(out.size()) +
+        " slots for " + std::to_string(statistics.rows()) + " feature rows");
+  }
+  if (statistics.rows() == 0) return common::Status::OK();
+  common::telemetry::IncrementCounter("predictor.estimate.calls",
+                                      statistics.rows());
+  common::telemetry::IncrementCounter("predictor.estimate.batches");
+  // Points through the one kernel batch call (bit-identical to the scalar
+  // walk), then the interval per row — a pure function of the point and,
+  // in quantile-forest mode, the same per-row spread the scalar path
+  // computes, so batched and scalar estimates match bit for bit.
+  std::vector<double> points(statistics.rows());
+  regressor_.PredictInto(statistics, points);
+  for (size_t i = 0; i < statistics.rows(); ++i) {
+    out[i] = IntervalFor(points[i], statistics.RowData(i),
+                         options_.coverage_level);
+  }
   return common::Status::OK();
 }
 

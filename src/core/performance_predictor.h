@@ -8,6 +8,8 @@
 #include "common/result.h"
 #include "common/serialize.h"
 #include "common/rng.h"
+#include "core/conformal.h"
+#include "core/score_estimate.h"
 #include "data/dataset.h"
 #include "errors/error_gen.h"
 #include "linalg/matrix.h"
@@ -67,6 +69,23 @@ class PerformancePredictor {
     /// deterministic and thread-count independent, but are a bounded
     /// approximation of the exact split search (see TreeOptions).
     bool binned_split_search = false;
+    /// Conformal calibration of the estimate intervals (ScoreEstimate
+    /// lo/hi). When on, training runs an out-of-fold residual pass *after*
+    /// the final regressor fit — the fitted forest (and hence every
+    /// `.point`) is byte-for-byte what an uncalibrated train produces.
+    /// Calibration is skipped (estimates stay degenerate) when there are
+    /// fewer meta-training examples than calibration folds.
+    bool conformal_calibration = true;
+    /// Nonconformity mode: kSplitConformal for constant-width intervals,
+    /// kQuantileForest for locally scaled ones (see ConformalCalibrator).
+    ConformalCalibrator::Mode conformal_mode =
+        ConformalCalibrator::Mode::kSplitConformal;
+    /// Folds of the out-of-fold residual pass.
+    int calibration_folds = 5;
+    /// Nominal marginal coverage of the intervals the EstimateScore*
+    /// surfaces return; explicit-coverage overloads exist for callers that
+    /// sweep coverage levels.
+    double coverage_level = 0.9;
   };
 
   PerformancePredictor() : PerformancePredictor(Options{}) {}
@@ -89,13 +108,19 @@ class PerformancePredictor {
       const std::vector<std::vector<double>>& statistics,
       const std::vector<double>& scores, double test_score, common::Rng& rng);
 
-  /// Algorithm 2: estimated score of `model` on the unlabeled serving batch.
-  common::Result<double> EstimateScore(const ml::BlackBox& model,
-                                       const data::DataFrame& serving) const;
+  /// Algorithm 2: estimated score of `model` on the unlabeled serving
+  /// batch, as a point with its conformal interval (degenerate when the
+  /// predictor is uncalibrated). The interval sits at
+  /// Options::coverage_level.
+  common::Result<ScoreEstimate> EstimateScore(
+      const ml::BlackBox& model, const data::DataFrame& serving) const;
 
   /// Estimated score from precomputed model outputs.
-  common::Result<double> EstimateScoreFromProba(
+  common::Result<ScoreEstimate> EstimateScoreFromProba(
       const linalg::Matrix& probabilities) const;
+  /// Explicit-coverage overload for callers sweeping coverage levels.
+  common::Result<ScoreEstimate> EstimateScoreFromProba(
+      const linalg::Matrix& probabilities, double coverage_level) const;
 
   /// One estimation-error measurement on a *labeled* serving frame: the
   /// model predicts `serving` once, and the shared probabilities feed both
@@ -105,10 +130,14 @@ class PerformancePredictor {
   /// layering DAG, so the search takes this hook as a std::function instead
   /// of depending on the predictor).
   struct EstimationErrorProbe {
+    /// Point estimate (== estimate.point, kept as a thin accessor so the
+    /// committed adversarial fixtures replay bytes-unchanged).
     double estimated_score = 0.0;
     double actual_score = 0.0;
     /// |estimated - actual| — the quantity the search maximizes.
     double abs_error = 0.0;
+    /// The full interval-carrying estimate behind estimated_score.
+    ScoreEstimate estimate;
   };
   common::Result<EstimationErrorProbe> ProbeEstimationError(
       const ml::BlackBox& model, const data::DataFrame& serving,
@@ -120,18 +149,26 @@ class PerformancePredictor {
   /// retaining rows. Takes a span so callers hand over their statistics
   /// buffer without copying; `statistics` must match the feature dimension
   /// the regressor was trained on.
-  common::Result<double> EstimateScoreFromStatistics(
+  common::Result<ScoreEstimate> EstimateScoreFromStatistics(
       std::span<const double> statistics) const;
+  /// Explicit-coverage overload for callers sweeping coverage levels.
+  common::Result<ScoreEstimate> EstimateScoreFromStatistics(
+      std::span<const double> statistics, double coverage_level) const;
 
   /// Batch variant for the multi-tenant serving layer: one percentile
   /// feature row per pending request, all scored through a single
   /// ForestKernel batch call instead of one scalar walk per request.
   /// Bit-identical per row to EstimateScoreFromStatistics — the kernel's
   /// exact batch path accumulates trees in the same order as the scalar
-  /// walk. `statistics` must have feature_dimension() columns and
-  /// `out.size()` rows.
+  /// walk, and the interval is a pure function of the point (plus, in
+  /// quantile-forest mode, the per-row tree spread, computed identically on
+  /// both paths). `statistics` must have feature_dimension() columns and
+  /// `out.size()` rows. The point-only overload is the serving fast path
+  /// for consumers that do not read intervals.
   common::Status EstimateScoresFromStatistics(const linalg::Matrix& statistics,
                                               std::span<double> out) const;
+  common::Status EstimateScoresFromStatistics(
+      const linalg::Matrix& statistics, std::span<ScoreEstimate> out) const;
 
   /// Percentile grid the regressor's features are built on. Streaming
   /// consumers must query their sketches at exactly these points.
@@ -155,13 +192,34 @@ class PerformancePredictor {
 
   bool trained() const { return trained_; }
 
+  /// The conformal calibration state (uncalibrated before training, or
+  /// when Options::conformal_calibration is off / the meta-training set is
+  /// too small for the fold pass).
+  const ConformalCalibrator& calibrator() const { return calibrator_; }
+  /// Coverage level the default EstimateScore* surfaces use.
+  double coverage_level() const { return options_.coverage_level; }
+
   /// Persists the trained predictor (random forest, percentile grid, score
-  /// metric and reference test score) so it can be deployed next to a
-  /// serving system and reloaded without retraining.
+  /// metric, reference test score and conformal calibration state) so it
+  /// can be deployed next to a serving system and reloaded without
+  /// retraining.
   common::Status Save(std::ostream& out) const;
   static common::Result<PerformancePredictor> Load(std::istream& in);
 
  private:
+  /// Out-of-fold residual pass feeding calibrator_; runs after the final
+  /// regressor fit and on an internal fixed-seed Rng, so both the forest
+  /// bytes and the caller's Rng stream are calibration-independent.
+  common::Status CalibrateConformal(const linalg::Matrix& features,
+                                    const std::vector<double>& scores);
+  /// Inter-quartile range of the final forest's per-tree predictions for
+  /// one feature row (the kQuantileForest difficulty signal).
+  double TreeValueSpread(const double* row) const;
+  /// Interval around a point prediction for the feature row `row` at the
+  /// given coverage (row is only walked in quantile-forest mode).
+  ScoreEstimate IntervalFor(double point, const double* row,
+                            double coverage_level) const;
+
   Options options_;
   bool trained_ = false;
   double test_score_ = 0.0;
@@ -169,6 +227,7 @@ class PerformancePredictor {
   size_t feature_dimension_ = 0;
   int selected_tree_count_ = 0;
   ml::RandomForestRegressor regressor_;
+  ConformalCalibrator calibrator_;
 };
 
 }  // namespace bbv::core

@@ -11,8 +11,23 @@
 
 namespace bbv::core {
 
+namespace {
+
+/// The validator only ever consumes the internal predictor's point
+/// estimate (BuildFeatures / the degenerate fallback), so the conformal
+/// calibration pass — five extra fold refits per Train — would be pure
+/// cost here. Keep it off.
+PerformancePredictor::Options WithoutCalibration(
+    PerformancePredictor::Options options) {
+  options.conformal_calibration = false;
+  return options;
+}
+
+}  // namespace
+
 PerformanceValidator::PerformanceValidator(Options options)
-    : options_(std::move(options)), predictor_(options_.predictor) {
+    : options_(std::move(options)),
+      predictor_(WithoutCalibration(options_.predictor)) {
   if (options_.percentile_points.empty()) {
     options_.percentile_points = DefaultPercentilePoints();
   }
@@ -226,7 +241,8 @@ std::vector<double> PerformanceValidator::BuildFeatures(
   // drop against the clean test score.
   if (options_.use_predictor_feature) {
     const auto estimate = predictor_.EstimateScoreFromProba(probabilities);
-    const double estimated_score = estimate.ok() ? *estimate : test_score_;
+    const double estimated_score =
+        estimate.ok() ? estimate->point : test_score_;
     features.push_back(estimated_score);
     features.push_back(test_score_ > 0.0
                            ? (test_score_ - estimated_score) / test_score_
@@ -252,9 +268,9 @@ common::Result<bool> PerformanceValidator::ValidateFromProba(
   bool verdict = false;
   if (degenerate_) {
     // Decision via the predictor estimate against the threshold.
-    BBV_ASSIGN_OR_RETURN(double estimate,
+    BBV_ASSIGN_OR_RETURN(ScoreEstimate estimate,
                          predictor_.EstimateScoreFromProba(probabilities));
-    verdict = estimate >= (1.0 - options_.threshold) * test_score_;
+    verdict = estimate.point >= (1.0 - options_.threshold) * test_score_;
   } else {
     const std::vector<double> features = BuildFeatures(probabilities);
     const linalg::Matrix decision = decision_model_.PredictProba(

@@ -1,0 +1,42 @@
+#ifndef BBV_CORE_SCORE_ESTIMATE_H_
+#define BBV_CORE_SCORE_ESTIMATE_H_
+
+namespace bbv::core {
+
+/// The one estimate currency of the validator: a point estimate of a score
+/// together with the conformal interval certifying it. Every estimate-
+/// returning surface (PerformancePredictor::EstimateScore*, the streaming
+/// scorer, the monitor, the multi-tenant service) speaks this type.
+///
+/// An *uncalibrated* estimate is degenerate: lo == hi == point and
+/// coverage_level == 0 — exactly the pre-interval behavior, so consumers
+/// that only read `point` are unaffected by calibration being off.
+///
+/// For a calibrated estimate the contract is the split-conformal one: the
+/// true score lands in [lo, hi] with probability >= coverage_level
+/// (marginally over calibration and serving draws), lo <= point <= hi, and
+/// the endpoints are clamped to [0, 1] because every score the predictor
+/// targets (accuracy, ROC AUC) lives there.
+struct ScoreEstimate {
+  /// The regressor's point prediction — byte-for-byte the value the
+  /// pre-interval API returned, never clamped or recentred.
+  double point = 0.0;
+  /// Conformal lower / upper interval endpoints.
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Nominal marginal coverage of [lo, hi]; 0 for degenerate estimates.
+  double coverage_level = 0.0;
+
+  double width() const { return hi - lo; }
+  bool calibrated() const { return coverage_level > 0.0; }
+
+  static ScoreEstimate Degenerate(double point) {
+    return ScoreEstimate{point, point, point, 0.0};
+  }
+
+  friend bool operator==(const ScoreEstimate&, const ScoreEstimate&) = default;
+};
+
+}  // namespace bbv::core
+
+#endif  // BBV_CORE_SCORE_ESTIMATE_H_

@@ -481,4 +481,14 @@ double ForestKernel::PredictRowMean(const double* row) const {
   return sum / static_cast<double>(roots_.size());
 }
 
+void ForestKernel::PredictRowValuesInto(const double* row,
+                                        std::span<double> out) const {
+  BBV_CHECK(!empty()) << "ForestKernel inference before Compile";
+  BBV_CHECK_EQ(out.size(), roots_.size())
+      << "per-tree output span must hold one slot per tree";
+  for (size_t t = 0; t < roots_.size(); ++t) {
+    out[t] = TraverseRow(t, row);
+  }
+}
+
 }  // namespace bbv::ml

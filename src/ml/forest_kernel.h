@@ -140,6 +140,14 @@ class ForestKernel {
   /// `row` has at least max_feature() + 1 entries.
   double PredictRowMean(const double* row) const;
 
+  /// Per-tree leaf responses for one feature row, in ensemble order:
+  /// out[t] = tree_t(row). Always the bit-exact walk. This exposes the
+  /// quantile-regression-forest view of the ensemble — the spread of these
+  /// values is the difficulty signal core::ConformalCalibrator's
+  /// kQuantileForest mode scales intervals by. `out.size()` must equal
+  /// num_trees(); `row` must have at least max_feature() + 1 entries.
+  void PredictRowValuesInto(const double* row, std::span<double> out) const;
+
  private:
   /// Lanes per quantized row group: one float tile column per lane, so the
   /// compare-and-descend step runs 8 independent rows in lockstep.

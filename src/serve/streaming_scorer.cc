@@ -91,7 +91,7 @@ common::Result<std::vector<double>> StreamingScorer::PercentileFeatures()
   return bank_.PercentileFeatures(predictor_->percentile_points());
 }
 
-common::Result<double> StreamingScorer::EstimateScore() const {
+common::Result<core::ScoreEstimate> StreamingScorer::EstimateScore() const {
   const common::telemetry::TraceSpan span("serve.estimate");
   BBV_ASSIGN_OR_RETURN(std::vector<double> features, PercentileFeatures());
   common::telemetry::IncrementCounter("serve.estimates");

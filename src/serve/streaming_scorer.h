@@ -75,8 +75,9 @@ class StreamingScorer {
   common::Result<std::vector<double>> PercentileFeatures() const;
 
   /// Estimated score of the black box over the ingested stream (Algorithm 2
-  /// on the sketch summary instead of the materialized batch).
-  common::Result<double> EstimateScore() const;
+  /// on the sketch summary instead of the materialized batch), with its
+  /// conformal interval (degenerate when the predictor is uncalibrated).
+  common::Result<core::ScoreEstimate> EstimateScore() const;
 
   /// Merges another scorer's sketch state into this one (shard fan-in).
   /// Both scorers must use the same grid, and the other scorer's class

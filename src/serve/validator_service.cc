@@ -1,6 +1,7 @@
 #include "serve/validator_service.h"
 
 #include <algorithm>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -27,6 +28,7 @@ common::Status ValidatorService::CreateTenant(
   if (options.window_batches > 0) {
     core::ModelMonitor::Options monitor_options;
     monitor_options.alarm_threshold = options.alarm_threshold;
+    monitor_options.alarm_policy = options.alarm_policy;
     monitor_options.history_limit = options.history_limit;
     monitor_options.window_batches = options.window_batches;
     monitor_options.sketch_resolution_bits = options.monitor_resolution_bits;
@@ -129,11 +131,12 @@ void ValidatorService::ProcessTenantOps(
       std::copy(run_features[i].begin(), run_features[i].end(),
                 statistics.RowData(i));
     }
-    std::vector<double> estimates(run.size(), 0.0);
+    std::vector<core::ScoreEstimate> estimates(run.size());
     // The coalesced path: one ForestKernel batch call for the whole run,
-    // bit-identical per row to StreamingScorer::EstimateScore.
+    // bit-identical per row (point and interval) to
+    // StreamingScorer::EstimateScore.
     const common::Status scored = tenant.predictor->EstimateScoresFromStatistics(
-        statistics, estimates);
+        statistics, std::span<core::ScoreEstimate>(estimates));
     for (size_t i = 0; i < run.size(); ++i) {
       ScoreResponse& response = responses[op_indices[run[i]]];
       if (scored.ok()) {
@@ -179,11 +182,12 @@ void ValidatorService::ProcessTenantOps(
     if (tenant.monitor.has_value()) {
       response.monitored = true;
       const common::Result<core::ModelMonitor::BatchReport> report =
-          tenant.monitor->ObserveFromProba(op.probabilities);
+          tenant.monitor->Observe(op.probabilities);
       if (report.ok()) {
         response.alarm = report->alarm;
         response.windowed_estimate = report->windowed_estimate;
         response.windowed_relative_drop = report->windowed_relative_drop;
+        response.windowed_certified_drop = report->windowed_certified_drop;
       }
       // A monitor failure is not a scoring failure: the estimate is still
       // delivered, the window just skips the batch (same contract as a
@@ -277,7 +281,7 @@ ValidatorService::ScoreResponse ValidatorService::Score(
   return response;
 }
 
-common::Result<double> ValidatorService::EstimateScore(
+common::Result<core::ScoreEstimate> ValidatorService::EstimateScore(
     const std::string& model_id) {
   const common::MutexLock lock(mutex_);
   const auto it = tenants_.find(model_id);

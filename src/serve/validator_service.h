@@ -16,6 +16,7 @@
 #include "common/thread_annotations.h"
 #include "core/monitor.h"
 #include "core/performance_predictor.h"
+#include "core/score_estimate.h"
 #include "linalg/matrix.h"
 #include "serve/streaming_scorer.h"
 
@@ -76,6 +77,10 @@ class ValidatorService {
     size_t window_batches = 0;
     /// Relative windowed drop that raises an alarm (see ModelMonitor).
     double alarm_threshold = 0.05;
+    /// Whether the alarm requires the whole conformal interval to certify
+    /// the drop or just the point estimate (see core::AlarmPolicy).
+    core::ModelMonitor::AlarmPolicy alarm_policy =
+        core::ModelMonitor::AlarmPolicy::kCertifiedDrop;
     /// Sketch resolution of the monitor's window ring.
     int monitor_resolution_bits = 12;
     /// Batch reports the monitor retains.
@@ -99,9 +104,10 @@ class ValidatorService {
     /// True when this response answers a SubmitSwap instead of a Submit.
     bool is_swap = false;
     /// Streaming estimate over everything the tenant has ingested,
-    /// including this request's batch. Bit-identical to a standalone
-    /// StreamingScorer fed the same stream.
-    double estimate = 0.0;
+    /// including this request's batch — point plus conformal interval.
+    /// Bit-identical (all four fields) to a standalone StreamingScorer fed
+    /// the same stream.
+    core::ScoreEstimate estimate;
     /// Tenant rows ingested up to and including this request.
     uint64_t rows_ingested = 0;
     /// Tenant predictor epoch the request was scored under.
@@ -110,8 +116,9 @@ class ValidatorService {
     /// created with window_batches > 0 (monitored == true).
     bool monitored = false;
     bool alarm = false;
-    double windowed_estimate = 0.0;
+    core::ScoreEstimate windowed_estimate;
     double windowed_relative_drop = 0.0;
+    double windowed_certified_drop = 0.0;
   };
 
   /// Registry/liveness facts about one tenant (introspection; does not
@@ -171,7 +178,8 @@ class ValidatorService {
 
   /// Current streaming estimate of a tenant (rehydrates it if evicted and
   /// counts as a use for LRU purposes). Requires ingested rows.
-  common::Result<double> EstimateScore(const std::string& model_id);
+  common::Result<core::ScoreEstimate> EstimateScore(
+      const std::string& model_id);
 
   /// Serializes the tenant's canonical sketch state: byte-identical to the
   /// standalone StreamingScorer::SaveState of the same stream, whether the

@@ -172,9 +172,9 @@ PipelineOutputs RunPipeline() {
     const auto proba = model.PredictProba(corrupted).ValueOrDie();
     outputs.verdicts.push_back(
         validator.ValidateFromProba(proba).ValueOrDie());
-    const auto report = monitor.ObserveFromProba(proba).ValueOrDie();
+    const auto report = monitor.Observe(proba).ValueOrDie();
     outputs.alarms.push_back(report.alarm);
-    outputs.estimate = report.estimated_score;
+    outputs.estimate = report.estimate.point;
   }
   return outputs;
 }

@@ -120,7 +120,7 @@ TEST(DeterminismTest, PredictorSerializesIdenticallyAcrossThreadCounts) {
         predictor.Train(*fixture.model, fixture.test, generators, rng).ok());
     std::ostringstream out;
     BBV_CHECK(predictor.Save(out).ok());
-    const double estimate =
+    const ScoreEstimate estimate =
         predictor.EstimateScore(*fixture.model, fixture.serving.features)
             .ValueOrDie();
     return std::make_pair(out.str(), estimate);

@@ -53,7 +53,7 @@ TEST(ModelMonitorTest, CleanBatchesDoNotAlarm) {
   EXPECT_FALSE(report->alarm);
   EXPECT_EQ(report->rows, fixture.serving.NumRows());
   EXPECT_EQ(report->batch_id, 0u);
-  EXPECT_NEAR(report->estimated_score, report->reference_score, 0.06);
+  EXPECT_NEAR(report->estimate.point, report->reference_score, 0.06);
 }
 
 TEST(ModelMonitorTest, CatastrophicBatchesAlarm) {
@@ -85,7 +85,7 @@ TEST(ModelMonitorTest, HistoryIsBounded) {
   const auto proba =
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
   for (int i = 0; i < 7; ++i) {
-    ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+    ASSERT_TRUE(monitor.Observe(proba).ok());
   }
   EXPECT_EQ(monitor.history().size(), 3u);
   EXPECT_EQ(monitor.batches_observed(), 7u);
@@ -98,7 +98,7 @@ TEST(ModelMonitorTest, EmptyBatchRejected) {
   common::Rng rng(4);
   Fixture fixture = MakeFixture(rng);
   ModelMonitor monitor(fixture.model.get(), fixture.predictor);
-  EXPECT_FALSE(monitor.ObserveFromProba(linalg::Matrix()).ok());
+  EXPECT_FALSE(monitor.Observe(linalg::Matrix()).ok());
 }
 
 TEST(ModelMonitorTest, SummaryMentionsCounts) {
@@ -121,26 +121,29 @@ TEST(ModelMonitorTest, AlarmFiresExactlyAtThreshold) {
   const auto proba = fixture.model->PredictProba(corrupted).ValueOrDie();
   // Deterministic relative drop of this exact batch.
   const double estimate =
-      fixture.predictor.EstimateScoreFromProba(proba).ValueOrDie();
+      fixture.predictor.EstimateScoreFromProba(proba).ValueOrDie().point;
   const double reference = fixture.predictor.test_score();
   const double drop = (reference - estimate) / reference;
   ASSERT_GT(drop, 0.0);
   ASSERT_LT(drop, 1.0);
 
-  // >= semantics: a drop exactly at the threshold alarms...
+  // >= semantics: a drop exactly at the threshold alarms... (point-drop
+  // policy, so the comparison under test sees exactly `drop`)
   ModelMonitor::Options at_options;
+  at_options.alarm_policy = ModelMonitor::AlarmPolicy::kPointDrop;
   at_options.alarm_threshold = drop;
   ModelMonitor at_monitor(fixture.model.get(), fixture.predictor, at_options);
-  const auto at_report = at_monitor.ObserveFromProba(proba);
+  const auto at_report = at_monitor.Observe(proba);
   ASSERT_TRUE(at_report.ok());
   EXPECT_TRUE(at_report->alarm);
 
   // ...while a threshold just above it does not.
   ModelMonitor::Options above_options;
+  above_options.alarm_policy = ModelMonitor::AlarmPolicy::kPointDrop;
   above_options.alarm_threshold = drop + 1e-9;
   ModelMonitor above_monitor(fixture.model.get(), fixture.predictor,
                              above_options);
-  const auto above_report = above_monitor.ObserveFromProba(proba);
+  const auto above_report = above_monitor.Observe(proba);
   ASSERT_TRUE(above_report.ok());
   EXPECT_FALSE(above_report->alarm);
 }
@@ -155,12 +158,12 @@ TEST(ModelMonitorTest, HistoryTrimsAtExactBoundary) {
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
   // Exactly at the limit: nothing is dropped yet.
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+    ASSERT_TRUE(monitor.Observe(proba).ok());
   }
   EXPECT_EQ(monitor.history().size(), 3u);
   EXPECT_EQ(monitor.history().front().batch_id, 0u);
   // One past the limit: only the oldest entry goes.
-  ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+  ASSERT_TRUE(monitor.Observe(proba).ok());
   EXPECT_EQ(monitor.history().size(), 3u);
   EXPECT_EQ(monitor.history().front().batch_id, 1u);
   EXPECT_EQ(monitor.history().back().batch_id, 3u);
@@ -273,17 +276,17 @@ TEST(ModelMonitorTest, WindowedHandlesEmptyAndSingleRowBatches) {
   options.window_batches = 3;
   ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
 
-  EXPECT_FALSE(monitor.ObserveFromProba(linalg::Matrix()).ok());
+  EXPECT_FALSE(monitor.Observe(linalg::Matrix()).ok());
   EXPECT_EQ(monitor.batches_observed(), 0u);
 
   const auto proba =
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
-  const auto single = monitor.ObserveFromProba(proba.SelectRows({0}));
+  const auto single = monitor.Observe(proba.SelectRows({0}));
   ASSERT_TRUE(single.ok());
   EXPECT_EQ(single->rows, 1u);
   EXPECT_EQ(single->window_batches_used, 1u);
   EXPECT_EQ(single->window_rows, 1u);
-  EXPECT_TRUE(std::isfinite(single->windowed_estimate));
+  EXPECT_TRUE(std::isfinite(single->windowed_estimate.point));
   EXPECT_TRUE(std::isfinite(single->windowed_relative_drop));
 }
 
@@ -296,7 +299,7 @@ TEST(ModelMonitorTest, WindowedEvictsWhenBatchCountExceedsWindow) {
   const auto proba =
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
   for (int i = 0; i < 5; ++i) {
-    const auto report = monitor.ObserveFromProba(proba);
+    const auto report = monitor.Observe(proba);
     ASSERT_TRUE(report.ok());
     // The merged summary never covers more than window_batches batches.
     EXPECT_EQ(report->window_batches_used,
@@ -325,15 +328,15 @@ TEST(ModelMonitorTest, WindowedRejectsNonFiniteWithoutPollutingWindow) {
   ModelMonitor monitor(fixture.model.get(), fixture.predictor, options);
   const auto proba =
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
-  ASSERT_TRUE(monitor.ObserveFromProba(proba).ok());
+  ASSERT_TRUE(monitor.Observe(proba).ok());
 
   linalg::Matrix poisoned = proba;
   poisoned.At(2, 0) = std::numeric_limits<double>::quiet_NaN();
-  EXPECT_FALSE(monitor.ObserveFromProba(poisoned).ok());
+  EXPECT_FALSE(monitor.Observe(poisoned).ok());
   EXPECT_EQ(monitor.batches_observed(), 1u);
 
   // The rejected batch must not occupy a window slot.
-  const auto next = monitor.ObserveFromProba(proba);
+  const auto next = monitor.Observe(proba);
   ASSERT_TRUE(next.ok());
   EXPECT_EQ(next->window_batches_used, 2u);
   EXPECT_EQ(next->window_rows, 2u * proba.rows());
@@ -351,7 +354,7 @@ TEST(ModelMonitorTest, SwapPredictorStartsNewEpochAndClearsWindow) {
   const auto proba =
       fixture.model->PredictProba(fixture.serving.features).ValueOrDie();
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(monitor->ObserveFromProba(proba).ok());
+    ASSERT_TRUE(monitor->Observe(proba).ok());
   }
   EXPECT_EQ(monitor->history().back().window_batches_used, 3u);
   EXPECT_EQ(monitor->history().back().epoch, 0u);
@@ -368,7 +371,7 @@ TEST(ModelMonitorTest, SwapPredictorStartsNewEpochAndClearsWindow) {
   EXPECT_EQ(monitor->epoch(), 1u);
   // Epoch boundary: the window must not straddle the swap, so the first
   // post-swap report covers exactly its own batch.
-  const auto report = monitor->ObserveFromProba(proba);
+  const auto report = monitor->Observe(proba);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->window_batches_used, 1u);
   EXPECT_EQ(report->window_rows, proba.rows());
@@ -394,7 +397,7 @@ TEST(ModelMonitorTest, ProbaOnlyMonitorRejectsObserveAndNullPredictor) {
   EXPECT_FALSE(monitor->Observe(fixture.serving.features).ok());
   EXPECT_TRUE(
       monitor
-          ->ObserveFromProba(
+          ->Observe(
               fixture.model->PredictProba(fixture.serving.features)
                   .ValueOrDie())
           .ok());

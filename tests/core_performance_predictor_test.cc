@@ -96,7 +96,7 @@ TEST(PerformancePredictorTest, EstimatesCleanScoreAccurately) {
   ASSERT_TRUE(estimate.ok());
   const double actual =
       fixture.model->ScoreAccuracy(fixture.serving).ValueOrDie();
-  EXPECT_NEAR(*estimate, actual, 0.05);
+  EXPECT_NEAR(estimate->point, actual, 0.05);
 }
 
 TEST(PerformancePredictorTest, TracksDegradationUnderKnownError) {
@@ -118,7 +118,7 @@ TEST(PerformancePredictorTest, TracksDegradationUnderKnownError) {
                                        fixture.serving.labels);
     const auto estimate = predictor.EstimateScoreFromProba(*proba);
     ASSERT_TRUE(estimate.ok());
-    total_error += std::abs(*estimate - actual);
+    total_error += std::abs(estimate->point - actual);
   }
   EXPECT_LT(total_error / repetitions, 0.05);
 }
@@ -138,7 +138,7 @@ TEST(PerformancePredictorTest, AucMetricVariant) {
   ASSERT_TRUE(estimate.ok());
   const double actual_auc =
       fixture.model->ScoreAuc(fixture.serving).ValueOrDie();
-  EXPECT_NEAR(*estimate, actual_auc, 0.08);
+  EXPECT_NEAR(estimate->point, actual_auc, 0.08);
 }
 
 TEST(PerformancePredictorTest, GridSearchSelectsFromGrid) {
@@ -172,8 +172,8 @@ TEST(PerformancePredictorTest, MetaBatchSizeSubsampling) {
   const auto estimate =
       predictor.EstimateScore(*fixture.model, small.features);
   ASSERT_TRUE(estimate.ok());
-  EXPECT_GT(*estimate, 0.4);
-  EXPECT_LT(*estimate, 1.0);
+  EXPECT_GT(estimate->point, 0.4);
+  EXPECT_LT(estimate->point, 1.0);
 }
 
 TEST(PerformancePredictorTest, TrainFromStatisticsValidation) {

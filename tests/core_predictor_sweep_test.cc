@@ -77,7 +77,7 @@ TEST_P(PredictorSweep, TracksTrueAccuracyUnderItsErrorType) {
                                       serving.labels);
     const auto estimate = predictor.EstimateScoreFromProba(*probabilities);
     ASSERT_TRUE(estimate.ok());
-    total_error += std::abs(*estimate - truth);
+    total_error += std::abs(estimate->point - truth);
   }
   // Figure 2 medians are ~0.01; at this reduced test scale we accept a mean
   // absolute error up to 0.06 per cell (the bench reproduces the tighter

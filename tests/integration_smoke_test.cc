@@ -64,7 +64,7 @@ TEST(IntegrationSmokeTest, PredictorEstimatesScoresUnderCorruption) {
         source_serving.second.labels);
     auto estimate = predictor.EstimateScoreFromProba(*probabilities);
     ASSERT_TRUE(estimate.ok());
-    absolute_errors.push_back(std::abs(*estimate - true_score));
+    absolute_errors.push_back(std::abs(estimate->point - true_score));
   }
   double mean_error = 0.0;
   for (double e : absolute_errors) mean_error += e;

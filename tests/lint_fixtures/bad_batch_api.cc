@@ -43,3 +43,32 @@ double Suppressed(const Model& model, const double* rows, int n) {
   }
   return total;
 }
+
+struct Predictor {
+  double EstimateScoreFromStatistics(const double* row) const;
+  void EstimateScoresFromStatistics(const double* rows, double* out,
+                                    int n) const;
+};
+
+double ScalarEstimateLoop(const Predictor& predictor, const double* rows,
+                          int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // finding: scalar estimate surface inside a loop
+    total += predictor.EstimateScoreFromStatistics(rows + i);
+  }
+  return total;
+}
+
+void BatchEstimate(const Predictor& predictor, const double* rows,
+                   double* out, int n) {
+  // Clean even inside a loop: the plural span surface IS the batch path.
+  for (int rep = 0; rep < 2; ++rep) {
+    predictor.EstimateScoresFromStatistics(rows, out, n);
+  }
+}
+
+double ScalarEstimateOnce(const Predictor& predictor, const double* row) {
+  // Clean: one estimate outside any loop is the sanctioned scalar path.
+  return predictor.EstimateScoreFromStatistics(row);
+}

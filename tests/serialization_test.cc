@@ -253,8 +253,10 @@ TEST(PredictorSerializationTest, EstimatesSurviveRoundTrip) {
             predictor.num_training_examples());
 
   const auto proba = model.PredictProba(serving.features).ValueOrDie();
-  EXPECT_DOUBLE_EQ(predictor.EstimateScoreFromProba(proba).ValueOrDie(),
-                   restored->EstimateScoreFromProba(proba).ValueOrDie());
+  // Full four-field ScoreEstimate equality: the round-trip restores the
+  // conformal calibration state, not just the forest.
+  EXPECT_EQ(predictor.EstimateScoreFromProba(proba).ValueOrDie(),
+            restored->EstimateScoreFromProba(proba).ValueOrDie());
 }
 
 TEST(PredictorSerializationTest, SaveBeforeTrainFails) {

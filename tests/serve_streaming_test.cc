@@ -188,7 +188,7 @@ TEST(StreamingScorerTest, StreamedFeaturesMatchExactBatchWithinBound) {
   const auto exact_score = predictor.EstimateScoreFromProba(all);
   ASSERT_TRUE(streamed_score.ok());
   ASSERT_TRUE(exact_score.ok());
-  EXPECT_NEAR(*streamed_score, *exact_score, 0.1);
+  EXPECT_NEAR(streamed_score->point, exact_score->point, 0.1);
 }
 
 TEST(StreamingScorerTest, StateIsByteIdenticalAcrossSplitsAndThreads) {
@@ -299,7 +299,7 @@ TEST(StreamingScorerTest, IngestFrameRunsTheModel) {
   EXPECT_EQ(scorer->rows_ingested(), dataset.features.NumRows());
   const auto estimate = scorer->EstimateScore();
   ASSERT_TRUE(estimate.ok());
-  EXPECT_TRUE(std::isfinite(*estimate));
+  EXPECT_TRUE(std::isfinite(estimate->point));
 }
 
 TEST(StreamingScorerTest, SaveLoadRoundTripIsByteIdentical) {
@@ -432,6 +432,9 @@ TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {
   core::ModelMonitor::Options options;
   options.alarm_threshold = 0.35;
   options.window_batches = 2;
+  // This test pins down the point-drop eviction semantics; the certified
+  // (interval-based) policy is covered in core_monitor_interval_test.
+  options.alarm_policy = core::ModelMonitor::AlarmPolicy::kPointDrop;
   auto monitor = core::ModelMonitor::Create(&model, predictor, options);
   ASSERT_TRUE(monitor.ok());
   ASSERT_TRUE(monitor->windowed());
@@ -439,7 +442,7 @@ TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {
   const linalg::Matrix good = MixtureBatch(1.0, 400);
   const linalg::Matrix bad = MixtureBatch(0.0, 400);
 
-  const auto healthy = monitor->ObserveFromProba(good);
+  const auto healthy = monitor->Observe(good);
   ASSERT_TRUE(healthy.ok());
   EXPECT_FALSE(healthy->alarm);
   EXPECT_EQ(healthy->window_batches_used, 1u);
@@ -448,7 +451,7 @@ TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {
   // First degraded batch: the window still contains the healthy batch, so
   // the windowed estimate sits near the midpoint and must NOT alarm even
   // though the per-batch drop alone would cross the threshold.
-  const auto mixed = monitor->ObserveFromProba(bad);
+  const auto mixed = monitor->Observe(bad);
   ASSERT_TRUE(mixed.ok());
   EXPECT_GE(mixed->relative_drop, options.alarm_threshold);
   EXPECT_LT(mixed->windowed_relative_drop, options.alarm_threshold);
@@ -458,7 +461,7 @@ TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {
 
   // Second degraded batch evicts the healthy one; the window is now all
   // degraded traffic and the alarm fires.
-  const auto degraded = monitor->ObserveFromProba(bad);
+  const auto degraded = monitor->Observe(bad);
   ASSERT_TRUE(degraded.ok());
   EXPECT_GE(degraded->windowed_relative_drop, options.alarm_threshold);
   EXPECT_TRUE(degraded->alarm);
@@ -467,8 +470,8 @@ TEST(SlidingWindowMonitorTest, AlarmFiresOnlyAfterHealthyBatchesEvicted) {
   EXPECT_EQ(monitor->alarms_raised(), 1u);
 
   // Traffic recovers: once degraded batches are evicted again, no alarm.
-  ASSERT_TRUE(monitor->ObserveFromProba(good).ok());
-  const auto recovered = monitor->ObserveFromProba(good);
+  ASSERT_TRUE(monitor->Observe(good).ok());
+  const auto recovered = monitor->Observe(good);
   ASSERT_TRUE(recovered.ok());
   EXPECT_FALSE(recovered->alarm);
   EXPECT_LT(recovered->windowed_relative_drop, options.alarm_threshold);

@@ -133,12 +133,12 @@ std::vector<linalg::Matrix> TenantStream(size_t tenant, size_t batches) {
 /// Replays one tenant's stream through a standalone StreamingScorer,
 /// returning the per-batch estimates (the ground truth the service's
 /// coalesced batch path must match bitwise).
-std::vector<double> StandaloneEstimates(
+std::vector<core::ScoreEstimate> StandaloneEstimates(
     const std::shared_ptr<const core::PerformancePredictor>& predictor,
     const std::vector<linalg::Matrix>& stream) {
   auto scorer = StreamingScorer::Create(predictor, {});
   BBV_CHECK(scorer.ok());
-  std::vector<double> estimates;
+  std::vector<core::ScoreEstimate> estimates;
   for (const linalg::Matrix& batch : stream) {
     BBV_CHECK(scorer->Ingest(batch).ok());
     const auto estimate = scorer->EstimateScore();
@@ -201,7 +201,7 @@ TEST(ValidatorServiceTest, CoalescedFlushMatchesStandaloneBitwise) {
     const auto responses = service.Flush();
     BBV_CHECK(responses.size() == kTenants * kBatches);
     // Map responses back per tenant, in submission order.
-    std::vector<std::vector<double>> estimates(kTenants);
+    std::vector<std::vector<core::ScoreEstimate>> estimates(kTenants);
     for (size_t t = 0; t < kTenants; ++t) {
       for (const uint64_t id : request_ids[t]) {
         bool found = false;
@@ -225,7 +225,7 @@ TEST(ValidatorServiceTest, CoalescedFlushMatchesStandaloneBitwise) {
   const auto [parallel_estimates, parallel_state] = run_service("8");
 
   for (size_t t = 0; t < kTenants; ++t) {
-    const std::vector<double> standalone =
+    const std::vector<core::ScoreEstimate> standalone =
         StandaloneEstimates(predictor, streams[t]);
     ASSERT_EQ(serial_estimates[t].size(), standalone.size());
     for (size_t b = 0; b < standalone.size(); ++b) {
@@ -282,8 +282,8 @@ TEST(ValidatorServiceTest, EvictionAndRehydrationAreByteInvisible) {
 
   // Alternate tenants so every request lands on an evicted tenant and
   // forces a rehydration round-trip.
-  std::vector<double> estimates_a;
-  std::vector<double> estimates_b;
+  std::vector<core::ScoreEstimate> estimates_a;
+  std::vector<core::ScoreEstimate> estimates_b;
   for (size_t b = 0; b < 4; ++b) {
     const auto response_a = service.Score("a", stream_a[b]);
     ASSERT_TRUE(response_a.status.ok()) << response_a.status.ToString();
@@ -307,9 +307,9 @@ TEST(ValidatorServiceTest, EvictionAndRehydrationAreByteInvisible) {
 
   // Evicted and resident tenants must serialize the same canonical bytes a
   // standalone scorer of the same stream produces.
-  const std::vector<double> standalone_a =
+  const std::vector<core::ScoreEstimate> standalone_a =
       StandaloneEstimates(predictor, stream_a);
-  const std::vector<double> standalone_b =
+  const std::vector<core::ScoreEstimate> standalone_b =
       StandaloneEstimates(predictor, stream_b);
   for (size_t b = 0; b < 4; ++b) {
     EXPECT_EQ(estimates_a[b], standalone_a[b]) << "batch " << b;
@@ -416,7 +416,7 @@ TEST(ValidatorServiceTest, MalformedRequestsFailSoftly) {
   // The tenant is fully usable after every failure above.
   const auto response = service.Score("m", MixtureBatch(1.0, 200));
   ASSERT_TRUE(response.status.ok());
-  EXPECT_TRUE(std::isfinite(response.estimate));
+  EXPECT_TRUE(std::isfinite(response.estimate.point));
   EXPECT_EQ(response.rows_ingested, 200u);
 }
 
@@ -500,7 +500,7 @@ TEST(ValidatorServiceTest, ConcurrentSubmitFlushAndSwapStayCoherent) {
     EXPECT_EQ(info->epoch, t == 0 ? 1u : 0u);
     const auto estimate = service.EstimateScore(ids[t]);
     ASSERT_TRUE(estimate.ok());
-    EXPECT_TRUE(std::isfinite(*estimate));
+    EXPECT_TRUE(std::isfinite(estimate->point));
   }
 }
 

@@ -366,9 +366,34 @@ TEST(LintRulesTest, AmbiguousStatusNamesAreSkipped) {
 TEST(LintRulesTest, FlagsPredictRowInLoops) {
   const auto findings =
       LintFile("src/fixture/bad_batch_api.cc", FixturePath("bad_batch_api.cc"));
-  // The braced for body, the while body and the single-statement for body;
-  // the lone call, the string literal and the suppressed loop stay silent.
-  EXPECT_EQ(CountRule(findings, "batch-api"), 3u);
+  // The braced for body, the while body, the single-statement for body and
+  // the scalar-estimate loop; the lone calls, the string literal, the
+  // suppressed loop and the plural span surface stay silent.
+  EXPECT_EQ(CountRule(findings, "batch-api"), 4u);
+}
+
+TEST(LintRulesTest, ScalarEstimateInLoopIsFlagged) {
+  const auto findings = LintFileContents(
+      "serve/fixture/estimate_loop.cc",
+      "void All(const Predictor& p, const Rows& rows, Est* out) {\n"
+      "  for (size_t i = 0; i < rows.size(); ++i) {\n"
+      "    out[i] = p.EstimateScoreFromStatistics(rows[i]);\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 1u);
+}
+
+TEST(LintRulesTest, BatchEstimateSpanSurfaceIsCleanInLoops) {
+  // The plural span overload IS the sanctioned batch surface; calling it
+  // repeatedly (e.g. once per monitoring epoch) is fine.
+  const auto findings = LintFileContents(
+      "serve/fixture/estimate_batch.cc",
+      "void Epochs(const Predictor& p, const Matrix& x, Span out) {\n"
+      "  for (int epoch = 0; epoch < 5; ++epoch) {\n"
+      "    BBV_CHECK(p.EstimateScoresFromStatistics(x, out).ok());\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "batch-api"), 0u);
 }
 
 TEST(LintRulesTest, PredictRowInStringLiteralDoesNotFire) {

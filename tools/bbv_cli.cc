@@ -301,10 +301,13 @@ int Estimate(const Flags& flags) {
   const double threshold = std::strtod(
       Optional(flags, "threshold", "0.05").c_str(), nullptr);
   const double floor = (1.0 - threshold) * predictor->test_score();
-  std::printf("rows=%zu estimated_accuracy=%.4f reference=%.4f verdict=%s\n",
-              batch.NumRows(), *estimate, predictor->test_score(),
-              *estimate >= floor ? "ACCEPT" : "ALARM");
-  return *estimate >= floor ? 0 : 2;  // exit code 2 signals an alarm
+  std::printf(
+      "rows=%zu estimated_accuracy=%.4f interval=[%.4f, %.4f] "
+      "coverage=%.2f reference=%.4f verdict=%s\n",
+      batch.NumRows(), estimate->point, estimate->lo, estimate->hi,
+      estimate->coverage_level, predictor->test_score(),
+      estimate->point >= floor ? "ACCEPT" : "ALARM");
+  return estimate->point >= floor ? 0 : 2;  // exit code 2 signals an alarm
 }
 
 int Corrupt(const Flags& flags) {

@@ -650,6 +650,19 @@ void CheckBatchApi(const std::string& path, const LexedFile& lexed,
                  "scalar walk is reserved for kernel validation)",
              findings);
     }
+    // Same contract one layer up: the scalar estimate surface inside a loop
+    // bypasses the sanctioned batch interval surface. The plural
+    // EstimateScoresFromStatistics(matrix, span) is a different identifier
+    // and never fires.
+    if (!loops.empty() && IsIdent(token, "EstimateScoreFromStatistics") &&
+        i + 1 < tokens.size() && IsPunct(tokens[i + 1], "(")) {
+      Report(path, lexed, token.line, rule,
+             "scalar 'EstimateScoreFromStatistics' inside a loop; batch "
+             "through EstimateScoresFromStatistics(matrix, "
+             "span<ScoreEstimate>) — deliberate scalar baselines carry an "
+             "allow(batch-api) suppression",
+             findings);
+    }
   }
 }
 

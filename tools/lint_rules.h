@@ -69,7 +69,11 @@ struct LintFinding {
 ///    ParallelFor/ParallelMap callables count as loop bodies (the callable
 ///    runs once per item), so per-row calls hidden in a parallel lambda —
 ///    including in bench/ harnesses — are flagged too; deliberate scalar
-///    baselines carry an allow(batch-api) suppression.
+///    baselines carry an allow(batch-api) suppression. The same contract
+///    holds one layer up: scalar EstimateScoreFromStatistics inside a loop
+///    is flagged — batched interval estimation flows through the sanctioned
+///    EstimateScoresFromStatistics(matrix, span<ScoreEstimate>) surface,
+///    which is never flagged.
 ///
 /// A finding on line N is suppressed when line N or line N-1 contains the
 /// comment marker "bbv-lint: allow(<rule>)"; every suppression must carry a
